@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table or figure: it builds (once per
+session) the synthetic workload, runs the experiment driver under
+``pytest-benchmark``, and prints the resulting rows/series so the numbers
+can be compared against the paper (see EXPERIMENTS.md).
+
+The workload is intentionally smaller than the paper's full production
+trace so the whole harness completes in minutes; the *shapes* (orderings,
+ratios, crossovers) are what the benchmarks reproduce, not absolute
+values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext, ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def experiment_context() -> ExperimentContext:
+    """Workload shared by every benchmark (built once per session)."""
+    scale = ExperimentScale(
+        num_apps=150,
+        duration_days=3.0,
+        seed=2020,
+        max_daily_rate=2000.0,
+    )
+    context = ExperimentContext(scale=scale)
+    # Force workload construction outside the benchmarked region.
+    _ = context.workload
+    return context
+
+
+def run_and_print(benchmark, experiment_id: str, context: ExperimentContext):
+    """Benchmark one experiment driver and print its table."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, context), iterations=1, rounds=1
+    )
+    print()
+    print(result.as_text())
+    return result

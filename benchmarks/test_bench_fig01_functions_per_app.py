@@ -1,0 +1,13 @@
+"""Figure 1 — distribution of the number of functions per application."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig01_functions_per_app(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig1", experiment_context)
+    rows = {row["functions_per_app"]: row for row in result.rows}
+    # Paper: 54% of apps have a single function, 95% have at most 10.
+    assert 40.0 <= rows[1]["pct_apps"] <= 70.0
+    assert rows[10]["pct_apps"] >= 88.0
+    # Invocation-weighted CDF lags the plain app CDF (bigger apps do more).
+    assert rows[3]["pct_invocations"] <= rows[3]["pct_apps"] + 10.0

@@ -1,0 +1,16 @@
+"""Figure 3 — trigger types and combinations per application."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig03_trigger_combinations(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig3", experiment_context)
+    combos = {row["combination"]: row for row in result.rows}
+    # Paper: HTTP-only is the most common combination (43.3%), timer-only
+    # second (13.4%).
+    assert "H" in combos
+    assert combos["H"]["pct_apps"] == max(row["pct_apps"] for row in result.rows)
+    cumulative = [row["cumulative_pct"] for row in result.rows]
+    assert cumulative == sorted(cumulative)
+    # The top-12 combinations cover most applications (paper: ~89.6%).
+    assert cumulative[-1] > 70.0

@@ -1,0 +1,17 @@
+"""Figure 4 — invocations per hour, normalized to the peak."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig04_diurnal_load(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig4", experiment_context)
+    load = np.asarray(result.series["hourly_load"], dtype=float)
+    # Normalized to the peak hour.
+    assert load.max() == 1.0
+    # Paper: a constant baseline of roughly half the peak plus diurnal swing;
+    # the synthetic trace must show a clear day/night spread but never drop
+    # to a fully idle platform.
+    assert load.min() > 0.1
+    assert load.max() - load.min() > 0.2

@@ -1,0 +1,16 @@
+"""Figure 5 — invocation rates per application and popularity skew."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig05_popularity(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig5", experiment_context)
+    rows = {row["top_pct_apps"]: row["pct_invocations"] for row in result.rows}
+    # Popularity skew: a small fraction of applications produces most of the
+    # invocations (paper: 18.6% of apps -> 99.6% of invocations; the synthetic
+    # trace caps per-app rates, which softens but must not erase the skew).
+    assert rows[18.6] > 60.0
+    assert rows[100.0] >= 99.9
+    # The skew curve is monotone in the top-percentage.
+    shares = [row["pct_invocations"] for row in result.rows]
+    assert shares == sorted(shares)

@@ -1,0 +1,14 @@
+"""Figure 6 — CV of inter-arrival times for subsets of applications."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig06_iat_cv(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig6", experiment_context)
+    rows = {row["subset"]: row for row in result.rows}
+    # Paper: timer-only applications are the most periodic subset (~50% at
+    # CV 0); applications without timers are less periodic, and a sizeable
+    # fraction of all applications has CV > 1.
+    assert rows["only-timers"]["cdf_at_cv_0.05"] >= rows["no-timers"]["cdf_at_cv_0.05"]
+    assert rows["only-timers"]["cdf_at_cv_0.05"] > 0.25
+    assert rows["all"]["cdf_at_cv_1"] < 1.0  # some apps have CV > 1

@@ -1,0 +1,14 @@
+"""Figure 7 — distribution of function execution times + log-normal fit."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig07_execution_times(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig7", experiment_context)
+    rows = {row["percentile"]: row["average_execution_seconds"] for row in result.rows}
+    # Paper: 50% of functions average under 1 second, 96% under a minute.
+    assert rows[50] < 3.0
+    assert rows[96] < 600.0
+    # Percentiles are monotone.
+    ordered = [rows[p] for p in sorted(rows)]
+    assert ordered == sorted(ordered)

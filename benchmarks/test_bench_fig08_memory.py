@@ -1,0 +1,14 @@
+"""Figure 8 — distribution of allocated memory per application + Burr fit."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig08_memory(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig8", experiment_context)
+    rows = {row["percentile"]: row for row in result.rows}
+    # Paper: median allocation around 100-170 MB, 90% of apps under ~400 MB
+    # at the maximum, roughly a 4x spread over the first 90% of applications.
+    assert 50.0 < rows[50]["average_allocated_mb"] < 400.0
+    assert rows[90]["maximum_allocated_mb"] < 1500.0
+    spread = rows[90]["average_allocated_mb"] / rows[10]["average_allocated_mb"]
+    assert 1.5 < spread < 15.0

@@ -1,0 +1,25 @@
+"""Figure 14 — cold-start behaviour of the fixed keep-alive policy."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig14_fixed_keepalive(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig14", experiment_context)
+    rows = {row["policy"]: row for row in result.rows}
+    # Paper shape: longer keep-alive windows monotonically reduce the
+    # 3rd-quartile application cold-start percentage, with the no-unloading
+    # policy as the lower bound, and cost monotonically more memory.
+    assert (
+        rows["fixed-10min"]["app_cold_start_p75"]
+        >= rows["fixed-60min"]["app_cold_start_p75"]
+        >= rows["fixed-120min"]["app_cold_start_p75"]
+        >= rows["no-unloading"]["app_cold_start_p75"]
+    )
+    assert (
+        rows["fixed-10min"]["normalized_wasted_memory_pct"]
+        <= rows["fixed-60min"]["normalized_wasted_memory_pct"]
+        <= rows["fixed-120min"]["normalized_wasted_memory_pct"]
+    )
+    # Even no-unloading leaves the single-invocation apps always cold
+    # (paper: ~3.5% of apps have exactly one invocation in the week).
+    assert rows["no-unloading"]["always_cold_pct"] > 0.0

@@ -1,0 +1,29 @@
+"""Figure 15 — cold-start vs wasted-memory trade-off (fixed vs hybrid)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig15_pareto(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig15", experiment_context)
+    rows = {row["policy"]: row for row in result.rows}
+    # Headline shape of the paper: the hybrid family forms a more optimal
+    # Pareto frontier than the fixed family.  Concretely, the hybrid policy
+    # with an N-hour histogram range achieves no more cold starts than the
+    # fixed policy with an N-hour keep-alive, at lower memory cost.
+    assert (
+        rows["hybrid-1h"]["third_quartile_app_cold_start_pct"]
+        <= rows["fixed-60min"]["third_quartile_app_cold_start_pct"] + 1e-9
+    )
+    assert (
+        rows["hybrid-1h"]["normalized_wasted_memory_pct"]
+        < rows["fixed-60min"]["normalized_wasted_memory_pct"]
+    )
+    assert (
+        rows["hybrid-2h"]["normalized_wasted_memory_pct"]
+        < rows["fixed-120min"]["normalized_wasted_memory_pct"]
+    )
+    # And the 4-hour hybrid beats the 10-minute fixed baseline on cold starts.
+    assert (
+        rows["hybrid-4h"]["third_quartile_app_cold_start_pct"]
+        < rows["fixed-10min"]["third_quartile_app_cold_start_pct"]
+    )

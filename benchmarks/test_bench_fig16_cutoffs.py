@@ -1,0 +1,22 @@
+"""Figure 16 — impact of the histogram head/tail cutoff percentiles."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig16_cutoffs(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig16", experiment_context)
+    rows = {row["policy"]: row for row in result.rows}
+    full = next(v for k, v in rows.items() if "[0,100]" in k)
+    default = next(v for k, v in rows.items() if k == "hybrid-4h" or "[5,99]" in k)
+    aggressive = next(v for k, v in rows.items() if "[5,95]" in k)
+    # Paper: trimming outliers ([5,99]) reduces wasted memory relative to
+    # [0,100] without a noticeable cold-start degradation; more aggressive
+    # tail cuts ([5,95]) save further memory.
+    assert default["normalized_wasted_memory_pct"] <= full["normalized_wasted_memory_pct"] + 1e-6
+    assert (
+        aggressive["normalized_wasted_memory_pct"]
+        <= default["normalized_wasted_memory_pct"] + 1e-6
+    )
+    assert (
+        default["app_cold_start_p75"] <= full["app_cold_start_p75"] + 15.0
+    )

@@ -1,0 +1,22 @@
+"""Figure 18 — impact of the histogram-representativeness CV threshold."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig18_cv_threshold(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig18", experiment_context)
+    rows = {row["policy"]: row for row in result.rows}
+    # Paper shape: a small non-zero CV threshold (2) keeps cold starts close
+    # to the CV=0 configuration while the wasted memory grows with the
+    # threshold (more apps sit in the conservative standard keep-alive mode).
+    assert rows["hybrid-cv2"]["app_cold_start_p75"] <= rows["hybrid-cv0"]["app_cold_start_p75"] + 10.0
+    assert (
+        rows["hybrid-cv10"]["normalized_wasted_memory_pct"]
+        >= rows["hybrid-cv0"]["normalized_wasted_memory_pct"] - 1e-6
+    )
+    # Raising the threshold beyond 2 must not dramatically improve cold starts
+    # (the paper observes negligible gains).
+    assert (
+        rows["hybrid-cv10"]["app_cold_start_p75"]
+        >= rows["hybrid-cv2"]["app_cold_start_p75"] - 15.0
+    )

@@ -1,0 +1,16 @@
+"""Figure 19 — percentage of always-cold applications per policy."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_bench_fig19_arima(benchmark, experiment_context):
+    result = run_and_print(benchmark, "fig19", experiment_context)
+    rows = {row["policy"]: row for row in result.rows}
+    # Paper shape: fixed >= hybrid-without-ARIMA >= hybrid (ARIMA rescues a
+    # share of the applications whose idle times overflow the histogram).
+    assert rows["hybrid"]["always_cold_pct"] <= rows["hybrid-without-arima"]["always_cold_pct"] + 1e-9
+    assert rows["hybrid"]["always_cold_pct"] <= rows["fixed"]["always_cold_pct"] + 1e-9
+    # Single-invocation applications can never be saved; the metric that
+    # excludes them is necessarily no larger.
+    for row in result.rows:
+        assert row["always_cold_excl_single_pct"] <= row["always_cold_pct"] + 1e-9

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a workload, characterize it, and compare policies.
+
+This walks through the three layers of the library in ~40 lines:
+
+1. synthesize an Azure-Functions-like workload (``repro.trace``);
+2. print the Section 3 headline characterization numbers
+   (``repro.characterization``);
+3. compare the fixed keep-alive baseline against the paper's hybrid
+   histogram policy with the cold-start simulator (``repro.simulation``).
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import fixed_keepalive_factory, generate_workload, hybrid_factory
+from repro.characterization import characterize
+from repro.policies import no_unloading_factory
+from repro.simulation import WorkloadRunner
+
+
+def main() -> None:
+    # 1. A small synthetic workload: 200 applications over three days.
+    workload = generate_workload(num_apps=200, duration_days=3, seed=7)
+    print("workload summary:")
+    for key, value in workload.summary().items():
+        print(f"  {key:<24} {value:,.1f}")
+
+    # 2. Section 3 characterization headlines.
+    report = characterize(workload)
+    headlines = report.headline_numbers()
+    print("\ncharacterization headlines (cf. Section 3 of the paper):")
+    print(f"  single-function apps:        {headlines['fraction_single_function_apps']:.0%}")
+    print(f"  apps invoked <= once/hour:   {headlines['fraction_apps_at_most_hourly']:.0%}")
+    print(f"  apps invoked <= once/minute: {headlines['fraction_apps_at_most_minutely']:.0%}")
+    print(f"  execution log-normal fit:    mu={headlines['execution_lognormal_log_mean']:.2f}, "
+          f"sigma={headlines['execution_lognormal_log_sigma']:.2f}")
+
+    # 3. Policy comparison: 10-minute fixed keep-alive (the state of the
+    #    practice) vs the hybrid histogram policy vs never unloading.
+    runner = WorkloadRunner(workload)
+    comparison = runner.compare(
+        [
+            fixed_keepalive_factory(10),
+            fixed_keepalive_factory(60),
+            hybrid_factory(),
+            no_unloading_factory(),
+        ]
+    )
+    print("\npolicy comparison (wasted memory normalized to the 10-minute fixed policy):")
+    print(comparison.as_text_table())
+
+
+if __name__ == "__main__":
+    main()

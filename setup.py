@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment used for development lacks the ``wheel`` package,
+so PEP 517/660 editable installs (which build a wheel) are unavailable.
+This ``setup.py`` lets ``pip install -e . --no-use-pep517`` perform a
+legacy editable install; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""Reproduction of *Serverless in the Wild* (Shahrad et al., USENIX ATC 2020).
+
+The package provides four layers, mirroring the paper:
+
+* :mod:`repro.trace` — an Azure-Functions-like workload substrate: schema,
+  synthetic generator calibrated to the paper's published distributions,
+  and I/O in the public `AzurePublicDataset` CSV format;
+* :mod:`repro.characterization` — the Section 3 analyses (Figures 1–8);
+* :mod:`repro.core` and :mod:`repro.policies` — the hybrid histogram
+  keep-alive policy (the paper's contribution) plus the fixed keep-alive
+  and no-unloading baselines;
+* :mod:`repro.simulation` and :mod:`repro.platform` — the trace-driven
+  cold-start simulator of Section 5.1 and a discrete-event OpenWhisk-like
+  FaaS platform used for the Section 5.3 experiments;
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import generate_workload, hybrid_factory, fixed_keepalive_factory
+    from repro.simulation import WorkloadRunner
+
+    workload = generate_workload(num_apps=200, duration_days=3, seed=7)
+    runner = WorkloadRunner(workload)
+    comparison = runner.compare([fixed_keepalive_factory(10), hybrid_factory()])
+    print(comparison.as_text_table())
+"""
+
+from repro.core import (
+    ARIMA,
+    HybridHistogramPolicy,
+    HybridPolicyConfig,
+    IdleTimeHistogram,
+    PolicyDecision,
+    Welford,
+    auto_arima,
+)
+from repro.policies import (
+    FixedKeepAlivePolicy,
+    KeepAlivePolicy,
+    NoUnloadingPolicy,
+    PolicyFactory,
+    fixed_keepalive_factory,
+    hybrid_factory,
+    no_unloading_factory,
+    parse_policy_spec,
+)
+from repro.trace import (
+    GeneratorConfig,
+    TriggerType,
+    Workload,
+    WorkloadGenerator,
+    generate_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARIMA",
+    "HybridHistogramPolicy",
+    "HybridPolicyConfig",
+    "IdleTimeHistogram",
+    "PolicyDecision",
+    "Welford",
+    "auto_arima",
+    "FixedKeepAlivePolicy",
+    "KeepAlivePolicy",
+    "NoUnloadingPolicy",
+    "PolicyFactory",
+    "fixed_keepalive_factory",
+    "hybrid_factory",
+    "no_unloading_factory",
+    "parse_policy_spec",
+    "GeneratorConfig",
+    "TriggerType",
+    "Workload",
+    "WorkloadGenerator",
+    "generate_workload",
+    "__version__",
+]

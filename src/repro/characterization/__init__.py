@@ -1,0 +1,65 @@
+"""Workload characterization analyses (Section 3, Figures 1–8)."""
+
+from repro.characterization.fits import BurrFit, LogNormalFit, fit_burr, fit_lognormal
+from repro.characterization.iat import (
+    IatAnalysis,
+    SUBSET_ALL,
+    SUBSET_AT_LEAST_ONE_TIMER,
+    SUBSET_NO_TIMERS,
+    SUBSET_ONLY_TIMERS,
+    analyze_iat_variability,
+)
+from repro.characterization.popularity import PopularityAnalysis, analyze_popularity
+from repro.characterization.report import (
+    CharacterizationReport,
+    ExecutionTimeAnalysis,
+    FunctionsPerAppAnalysis,
+    MemoryAnalysis,
+    characterize,
+)
+from repro.characterization.stats import (
+    EmpiricalCdf,
+    coefficient_of_variation,
+    daily_rate_from_count,
+    empirical_cdf,
+    fraction_at_or_below,
+    lorenz_curve,
+    weighted_percentile,
+)
+from repro.characterization.triggers import (
+    TriggerCombinationShares,
+    TriggerShares,
+    trigger_combinations,
+    trigger_shares,
+)
+
+__all__ = [
+    "BurrFit",
+    "LogNormalFit",
+    "fit_burr",
+    "fit_lognormal",
+    "IatAnalysis",
+    "SUBSET_ALL",
+    "SUBSET_AT_LEAST_ONE_TIMER",
+    "SUBSET_NO_TIMERS",
+    "SUBSET_ONLY_TIMERS",
+    "analyze_iat_variability",
+    "PopularityAnalysis",
+    "analyze_popularity",
+    "CharacterizationReport",
+    "ExecutionTimeAnalysis",
+    "FunctionsPerAppAnalysis",
+    "MemoryAnalysis",
+    "characterize",
+    "EmpiricalCdf",
+    "coefficient_of_variation",
+    "daily_rate_from_count",
+    "empirical_cdf",
+    "fraction_at_or_below",
+    "lorenz_curve",
+    "weighted_percentile",
+    "TriggerCombinationShares",
+    "TriggerShares",
+    "trigger_combinations",
+    "trigger_shares",
+]

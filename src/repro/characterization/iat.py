@@ -1,0 +1,118 @@
+"""Inter-arrival-time variability analysis (Figure 6 of the paper).
+
+Figure 6 plots the CDF of the per-application coefficient of variation
+(CV) of inter-arrival times, for four subsets of applications: all
+applications, applications with only timer triggers, applications with at
+least one timer, and applications without timers.  The paper's key
+observations — only ~50% of timer-only applications have CV 0, ~20% of all
+applications have CV ≈ 0, few applications are exactly Poisson (CV = 1),
+and ~40% have CV > 1 — are exposed as properties here so the tests and
+experiment reports can check the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.characterization.stats import EmpiricalCdf, empirical_cdf, fraction_at_or_below
+from repro.trace.arrival import iat_coefficient_of_variation
+from repro.trace.schema import TriggerType, Workload
+
+#: Subset labels used in Figure 6.
+SUBSET_ALL = "all"
+SUBSET_ONLY_TIMERS = "only-timers"
+SUBSET_AT_LEAST_ONE_TIMER = "at-least-one-timer"
+SUBSET_NO_TIMERS = "no-timers"
+
+#: CVs below this are treated as "CV ≈ 0" (periodic) in the summaries.
+NEAR_ZERO_CV = 0.05
+
+
+@dataclass(frozen=True)
+class IatAnalysis:
+    """Per-application IAT CVs, split by timer usage."""
+
+    cv_by_app: Mapping[str, float]
+    subsets: Mapping[str, tuple[str, ...]]
+
+    def cvs_for(self, subset: str) -> np.ndarray:
+        """CV values of a subset, excluding apps with too few invocations."""
+        if subset not in self.subsets:
+            raise KeyError(f"unknown subset {subset!r}; choose from {sorted(self.subsets)}")
+        values = np.asarray(
+            [self.cv_by_app[app_id] for app_id in self.subsets[subset]], dtype=float
+        )
+        return values[~np.isnan(values)]
+
+    def cdf_for(self, subset: str) -> EmpiricalCdf:
+        values = self.cvs_for(subset)
+        if values.size == 0:
+            raise ValueError(f"subset {subset!r} has no applications with measurable CV")
+        return empirical_cdf(values)
+
+    def fraction_with_cv_below(self, subset: str, threshold: float) -> float:
+        values = self.cvs_for(subset)
+        if values.size == 0:
+            return 0.0
+        return fraction_at_or_below(values, threshold)
+
+    def fraction_periodic(self, subset: str) -> float:
+        """Fraction of a subset with CV ≈ 0 (predictably periodic)."""
+        return self.fraction_with_cv_below(subset, NEAR_ZERO_CV)
+
+    def fraction_highly_variable(self, subset: str = SUBSET_ALL) -> float:
+        """Fraction with CV > 1 (the paper reports ~40% of all apps)."""
+        values = self.cvs_for(subset)
+        if values.size == 0:
+            return 0.0
+        return float(np.mean(values > 1.0))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "periodic_all": self.fraction_periodic(SUBSET_ALL),
+            "periodic_only_timers": self.fraction_periodic(SUBSET_ONLY_TIMERS),
+            "periodic_at_least_one_timer": self.fraction_periodic(SUBSET_AT_LEAST_ONE_TIMER),
+            "periodic_no_timers": self.fraction_periodic(SUBSET_NO_TIMERS),
+            "highly_variable_all": self.fraction_highly_variable(SUBSET_ALL),
+        }
+
+
+def analyze_iat_variability(workload: Workload, *, min_invocations: int = 3) -> IatAnalysis:
+    """Compute the Figure 6 analysis for a workload.
+
+    Args:
+        workload: The workload to analyze.
+        min_invocations: Applications with fewer invocations than this have
+            no meaningful IAT CV and are excluded from all subsets.
+    """
+    cv_by_app: dict[str, float] = {}
+    only_timers: list[str] = []
+    at_least_one_timer: list[str] = []
+    no_timers: list[str] = []
+    all_apps: list[str] = []
+    for app in workload.apps:
+        times = workload.app_invocations(app.app_id)
+        if times.size < min_invocations:
+            continue
+        cv = iat_coefficient_of_variation(times)
+        cv_by_app[app.app_id] = cv
+        all_apps.append(app.app_id)
+        triggers = app.trigger_types
+        if triggers == {TriggerType.TIMER}:
+            only_timers.append(app.app_id)
+        if TriggerType.TIMER in triggers:
+            at_least_one_timer.append(app.app_id)
+        else:
+            no_timers.append(app.app_id)
+    return IatAnalysis(
+        cv_by_app=cv_by_app,
+        subsets={
+            SUBSET_ALL: tuple(all_apps),
+            SUBSET_ONLY_TIMERS: tuple(only_timers),
+            SUBSET_AT_LEAST_ONE_TIMER: tuple(at_least_one_timer),
+            SUBSET_NO_TIMERS: tuple(no_timers),
+        },
+    )

@@ -1,0 +1,123 @@
+"""Invocation-rate skew analysis (Figure 5 of the paper).
+
+Figure 5(a) plots the CDF of the average number of invocations per day of
+functions and applications; Figure 5(b) plots the cumulative fraction of
+all invocations produced by the most popular functions/applications.  The
+paper highlights three facts this module quantifies directly:
+
+* rates span roughly 8 orders of magnitude;
+* 45% of applications average at most one invocation per hour and 81%
+  at most one per minute;
+* the ~18.6% most popular applications (those invoked at least once per
+  minute) account for 99.6% of all invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.characterization.stats import (
+    EmpiricalCdf,
+    daily_rate_from_count,
+    empirical_cdf,
+    fraction_at_or_below,
+    lorenz_curve,
+)
+from repro.trace.schema import Workload
+
+INVOCATIONS_PER_DAY_HOURLY = 24.0
+INVOCATIONS_PER_DAY_MINUTELY = 1440.0
+
+
+@dataclass(frozen=True)
+class PopularityAnalysis:
+    """Per-entity daily rates and the derived skew statistics."""
+
+    app_daily_rates: np.ndarray
+    function_daily_rates: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # Figure 5(a)
+    # ------------------------------------------------------------------ #
+    def app_rate_cdf(self) -> EmpiricalCdf:
+        return empirical_cdf(self.app_daily_rates[self.app_daily_rates > 0])
+
+    def function_rate_cdf(self) -> EmpiricalCdf:
+        return empirical_cdf(self.function_daily_rates[self.function_daily_rates > 0])
+
+    @property
+    def fraction_apps_at_most_hourly(self) -> float:
+        """Apps invoked once per hour or less on average (45% in the paper)."""
+        return fraction_at_or_below(self.app_daily_rates, INVOCATIONS_PER_DAY_HOURLY)
+
+    @property
+    def fraction_apps_at_most_minutely(self) -> float:
+        """Apps invoked once per minute or less on average (81% in the paper)."""
+        return fraction_at_or_below(self.app_daily_rates, INVOCATIONS_PER_DAY_MINUTELY)
+
+    @property
+    def rate_orders_of_magnitude(self) -> float:
+        """Log10 spread between the busiest and the quietest active app."""
+        active = self.app_daily_rates[self.app_daily_rates > 0]
+        if active.size == 0:
+            return 0.0
+        return float(np.log10(active.max() / active.min()))
+
+    # ------------------------------------------------------------------ #
+    # Figure 5(b)
+    # ------------------------------------------------------------------ #
+    def app_popularity_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        return lorenz_curve(self.app_daily_rates)
+
+    def function_popularity_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        return lorenz_curve(self.function_daily_rates)
+
+    def invocation_share_of_apps_at_least_minutely(self) -> float:
+        """Share of invocations from apps invoked at least once per minute.
+
+        The paper reports 99.6% from the 18.6% most popular applications.
+        """
+        total = self.app_daily_rates.sum()
+        if total == 0:
+            return 0.0
+        popular = self.app_daily_rates[self.app_daily_rates >= INVOCATIONS_PER_DAY_MINUTELY]
+        return float(popular.sum() / total)
+
+    def fraction_of_apps_at_least_minutely(self) -> float:
+        """Fraction of apps invoked at least once per minute (18.6% in the paper)."""
+        if self.app_daily_rates.size == 0:
+            return 0.0
+        return float(np.mean(self.app_daily_rates >= INVOCATIONS_PER_DAY_MINUTELY))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "fraction_apps_at_most_hourly": self.fraction_apps_at_most_hourly,
+            "fraction_apps_at_most_minutely": self.fraction_apps_at_most_minutely,
+            "fraction_apps_at_least_minutely": self.fraction_of_apps_at_least_minutely(),
+            "invocation_share_of_popular_apps": (
+                self.invocation_share_of_apps_at_least_minutely()
+            ),
+            "rate_orders_of_magnitude": self.rate_orders_of_magnitude,
+        }
+
+
+def analyze_popularity(workload: Workload) -> PopularityAnalysis:
+    """Compute the Figure 5 analysis for a workload."""
+    duration = workload.duration_minutes
+    app_rates = np.asarray(
+        [
+            daily_rate_from_count(count, duration)
+            for count in workload.invocation_counts_per_app().values()
+        ],
+        dtype=float,
+    )
+    function_rates = np.asarray(
+        [
+            daily_rate_from_count(count, duration)
+            for count in workload.invocation_counts_per_function().values()
+        ],
+        dtype=float,
+    )
+    return PopularityAnalysis(app_daily_rates=app_rates, function_daily_rates=function_rates)

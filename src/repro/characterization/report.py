@@ -1,0 +1,270 @@
+"""Full workload characterization report (Section 3 / Figures 1–8).
+
+:class:`CharacterizationReport` bundles every Section 3 analysis over one
+workload: functions per application (Figure 1), trigger shares (Figure 2),
+trigger combinations (Figure 3), the diurnal load curve (Figure 4),
+invocation-rate skew (Figure 5), IAT variability (Figure 6), execution
+times with the log-normal fit (Figure 7), and allocated memory with the
+Burr fit (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.characterization.fits import BurrFit, LogNormalFit, fit_burr, fit_lognormal
+from repro.characterization.iat import IatAnalysis, analyze_iat_variability
+from repro.characterization.popularity import PopularityAnalysis, analyze_popularity
+from repro.characterization.stats import EmpiricalCdf, empirical_cdf, weighted_percentile
+from repro.characterization.triggers import (
+    TriggerCombinationShares,
+    TriggerShares,
+    trigger_combinations,
+    trigger_shares,
+)
+from repro.trace.schema import Workload
+
+
+@dataclass(frozen=True)
+class FunctionsPerAppAnalysis:
+    """Figure 1: distribution of the number of functions per application."""
+
+    functions_per_app: np.ndarray
+    invocations_per_app: np.ndarray
+
+    def app_cdf(self) -> EmpiricalCdf:
+        """CDF over applications of the number of functions per app."""
+        return empirical_cdf(self.functions_per_app)
+
+    def invocation_weighted_cdf(self) -> EmpiricalCdf:
+        """Fraction of invocations from apps with ≤ N functions."""
+        return empirical_cdf(self.functions_per_app, weights=self.invocations_per_app)
+
+    def function_weighted_cdf(self) -> EmpiricalCdf:
+        """Fraction of functions belonging to apps with ≤ N functions."""
+        return empirical_cdf(self.functions_per_app, weights=self.functions_per_app)
+
+    @property
+    def fraction_single_function_apps(self) -> float:
+        """54% in the paper."""
+        if self.functions_per_app.size == 0:
+            return 0.0
+        return float(np.mean(self.functions_per_app == 1))
+
+    @property
+    def fraction_apps_at_most_10_functions(self) -> float:
+        """95% in the paper."""
+        if self.functions_per_app.size == 0:
+            return 0.0
+        return float(np.mean(self.functions_per_app <= 10))
+
+
+@dataclass(frozen=True)
+class ExecutionTimeAnalysis:
+    """Figure 7: per-function execution-time distributions and fit."""
+
+    average_seconds: np.ndarray
+    minimum_seconds: np.ndarray
+    maximum_seconds: np.ndarray
+    weights: np.ndarray
+    lognormal_fit: LogNormalFit
+
+    def average_cdf(self) -> EmpiricalCdf:
+        return empirical_cdf(self.average_seconds, weights=self.weights)
+
+    def percentile_of_average(self, percentile: float) -> float:
+        return float(
+            weighted_percentile(self.average_seconds, percentile, self.weights)[0]
+        )
+
+    @property
+    def fraction_average_below_1s(self) -> float:
+        """50% of functions run for less than a second on average."""
+        if self.average_seconds.size == 0:
+            return 0.0
+        return float(np.mean(self.average_seconds < 1.0))
+
+    @property
+    def fraction_maximum_below_60s(self) -> float:
+        """90% of functions take at most a minute at the maximum."""
+        if self.maximum_seconds.size == 0:
+            return 0.0
+        return float(np.mean(self.maximum_seconds <= 60.0))
+
+
+@dataclass(frozen=True)
+class MemoryAnalysis:
+    """Figure 8: per-application allocated memory distribution and fit."""
+
+    average_mb: np.ndarray
+    first_percentile_mb: np.ndarray
+    maximum_mb: np.ndarray
+    burr_fit: BurrFit
+
+    def average_cdf(self) -> EmpiricalCdf:
+        return empirical_cdf(self.average_mb)
+
+    @property
+    def median_maximum_mb(self) -> float:
+        """50% of applications allocate at most ~170 MB at the maximum."""
+        if self.maximum_mb.size == 0:
+            return 0.0
+        return float(np.median(self.maximum_mb))
+
+    @property
+    def p90_maximum_mb(self) -> float:
+        """90% of applications never exceed ~400 MB."""
+        if self.maximum_mb.size == 0:
+            return 0.0
+        return float(np.percentile(self.maximum_mb, 90))
+
+
+class CharacterizationReport:
+    """Computes and caches every Section 3 analysis for one workload."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+
+    # ------------------------------------------------------------------ #
+    # Figure 1
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def functions_per_app(self) -> FunctionsPerAppAnalysis:
+        apps = self.workload.apps
+        function_counts = np.asarray([app.num_functions for app in apps], dtype=float)
+        invocation_counts = np.asarray(
+            [self.workload.app_invocations(app.app_id).size for app in apps], dtype=float
+        )
+        return FunctionsPerAppAnalysis(
+            functions_per_app=function_counts, invocations_per_app=invocation_counts
+        )
+
+    # ------------------------------------------------------------------ #
+    # Figures 2 and 3
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def trigger_shares(self) -> TriggerShares:
+        return trigger_shares(self.workload)
+
+    @cached_property
+    def trigger_combinations(self) -> TriggerCombinationShares:
+        return trigger_combinations(self.workload)
+
+    # ------------------------------------------------------------------ #
+    # Figure 4
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def hourly_load(self) -> np.ndarray:
+        """Invocations per hour, normalized to the peak hour (Figure 4)."""
+        totals = self.workload.hourly_invocation_totals().astype(float)
+        peak = totals.max() if totals.size else 0.0
+        if peak == 0:
+            return totals
+        return totals / peak
+
+    @property
+    def diurnal_baseline_fraction(self) -> float:
+        """Trough-to-peak ratio of the hourly load (≈0.5 in the paper)."""
+        load = self.hourly_load
+        if load.size == 0 or load.max() == 0:
+            return 0.0
+        positive = load[load > 0]
+        if positive.size == 0:
+            return 0.0
+        return float(positive.min())
+
+    # ------------------------------------------------------------------ #
+    # Figures 5 and 6
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def popularity(self) -> PopularityAnalysis:
+        return analyze_popularity(self.workload)
+
+    @cached_property
+    def iat_variability(self) -> IatAnalysis:
+        return analyze_iat_variability(self.workload)
+
+    # ------------------------------------------------------------------ #
+    # Figure 7
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def execution_times(self) -> ExecutionTimeAnalysis:
+        averages: list[float] = []
+        minimums: list[float] = []
+        maximums: list[float] = []
+        weights: list[float] = []
+        for function in self.workload.functions():
+            count = self.workload.function_invocations(function.function_id).size
+            if count == 0:
+                continue
+            averages.append(function.execution.average_seconds)
+            minimums.append(function.execution.minimum_seconds)
+            maximums.append(function.execution.maximum_seconds)
+            weights.append(float(count))
+        if not averages:
+            raise ValueError("workload has no invoked functions to characterize")
+        averages_array = np.asarray(averages)
+        weights_array = np.asarray(weights)
+        fit = fit_lognormal(averages_array, weights_array)
+        return ExecutionTimeAnalysis(
+            average_seconds=averages_array,
+            minimum_seconds=np.asarray(minimums),
+            maximum_seconds=np.asarray(maximums),
+            weights=weights_array,
+            lognormal_fit=fit,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Figure 8
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def memory(self) -> MemoryAnalysis:
+        averages = np.asarray([app.memory.average_mb for app in self.workload.apps])
+        firsts = np.asarray([app.memory.first_percentile_mb for app in self.workload.apps])
+        maximums = np.asarray([app.memory.maximum_mb for app in self.workload.apps])
+        fit = fit_burr(averages)
+        return MemoryAnalysis(
+            average_mb=averages,
+            first_percentile_mb=firsts,
+            maximum_mb=maximums,
+            burr_fit=fit,
+        )
+
+    # ------------------------------------------------------------------ #
+    def headline_numbers(self) -> dict[str, float]:
+        """The quotable Section 3 statistics in one dictionary."""
+        popularity = self.popularity.summary()
+        iat = self.iat_variability.summary()
+        return {
+            "fraction_single_function_apps": (
+                self.functions_per_app.fraction_single_function_apps
+            ),
+            "fraction_apps_at_most_10_functions": (
+                self.functions_per_app.fraction_apps_at_most_10_functions
+            ),
+            "fraction_apps_at_most_hourly": popularity["fraction_apps_at_most_hourly"],
+            "fraction_apps_at_most_minutely": popularity["fraction_apps_at_most_minutely"],
+            "invocation_share_of_popular_apps": (
+                popularity["invocation_share_of_popular_apps"]
+            ),
+            "rate_orders_of_magnitude": popularity["rate_orders_of_magnitude"],
+            "fraction_periodic_timer_only_apps": iat["periodic_only_timers"],
+            "fraction_highly_variable_apps": iat["highly_variable_all"],
+            "fraction_functions_below_1s_average": (
+                self.execution_times.fraction_average_below_1s
+            ),
+            "execution_lognormal_log_mean": self.execution_times.lognormal_fit.log_mean,
+            "execution_lognormal_log_sigma": self.execution_times.lognormal_fit.log_sigma,
+            "memory_burr_c": self.memory.burr_fit.c,
+            "memory_burr_k": self.memory.burr_fit.k,
+            "memory_burr_scale": self.memory.burr_fit.scale,
+            "diurnal_baseline_fraction": self.diurnal_baseline_fraction,
+        }
+
+
+def characterize(workload: Workload) -> CharacterizationReport:
+    """Build a :class:`CharacterizationReport` for a workload."""
+    return CharacterizationReport(workload)

@@ -1,0 +1,171 @@
+"""Statistical primitives shared by the characterization analyses.
+
+The Azure dataset only exposes aggregated statistics (per-minute counts,
+per-interval average execution times with sample counts), so the paper
+works with *weighted* percentiles: an average of 100 ms over 45 samples
+contributes as if 100 ms appeared 45 times.  This module provides weighted
+percentiles and empirical CDFs with that semantics, plus small helpers for
+rates and intervals used across the Section 3 figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+MINUTES_PER_DAY = 1440.0
+SECONDS_PER_DAY = 86_400.0
+
+
+def weighted_percentile(
+    values: Sequence[float] | np.ndarray,
+    percentiles: Sequence[float] | np.ndarray | float,
+    weights: Sequence[float] | np.ndarray | None = None,
+) -> np.ndarray:
+    """Weighted percentiles of ``values``.
+
+    Args:
+        values: Observations.
+        percentiles: Percentile(s) in ``[0, 100]``.
+        weights: Non-negative weights (sample counts); defaults to 1.
+
+    Returns:
+        Array of percentile values, one per requested percentile.  The
+        implementation uses the inverted weighted CDF (the value at which
+        the cumulative weight first reaches the requested fraction), which
+        is exactly the paper's semantics: an average of 100 ms with a
+        sample count of 45 behaves like 45 copies of 100 ms.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute percentiles of an empty sample")
+    qs = np.atleast_1d(np.asarray(percentiles, dtype=float))
+    if np.any((qs < 0) | (qs > 100)):
+        raise ValueError("percentiles must lie in [0, 100]")
+    if weights is None:
+        weights = np.ones_like(values)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != values.shape:
+            raise ValueError("weights must have the same shape as values")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    order = np.argsort(values)
+    sorted_values = values[order]
+    sorted_weights = weights[order]
+    cumulative = np.cumsum(sorted_weights) / total
+    indices = np.searchsorted(cumulative, np.clip(qs / 100.0, 0.0, 1.0), side="left")
+    indices = np.minimum(indices, sorted_values.size - 1)
+    return sorted_values[indices]
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """Empirical (optionally weighted) CDF of a one-dimensional sample."""
+
+    values: np.ndarray
+    cumulative: np.ndarray
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray:
+        """CDF evaluated at ``x``."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        return np.interp(x, self.values, self.cumulative, left=0.0, right=1.0)
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray:
+        """Inverse CDF at probability ``q`` in ``[0, 1]``."""
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        return np.interp(q, self.cumulative, self.values)
+
+    def percentile(self, p: float) -> float:
+        """Inverse CDF at percentile ``p`` in ``[0, 100]``."""
+        return float(self.quantile(p / 100.0)[0])
+
+    def as_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(x, F(x))`` arrays for plotting or tabulation."""
+        return self.values.copy(), self.cumulative.copy()
+
+
+def empirical_cdf(
+    values: Sequence[float] | np.ndarray,
+    weights: Sequence[float] | np.ndarray | None = None,
+) -> EmpiricalCdf:
+    """Build a weighted empirical CDF."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    if weights is None:
+        weights = np.ones_like(values)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != values.shape:
+            raise ValueError("weights must have the same shape as values")
+    order = np.argsort(values)
+    sorted_values = values[order]
+    sorted_weights = weights[order]
+    cumulative = np.cumsum(sorted_weights)
+    cumulative = cumulative / cumulative[-1]
+    return EmpiricalCdf(values=sorted_values, cumulative=cumulative)
+
+
+def daily_rate_from_count(count: int | float, duration_minutes: float) -> float:
+    """Average invocations per day given a total count over a horizon."""
+    if duration_minutes <= 0:
+        raise ValueError("duration must be positive")
+    return float(count) * MINUTES_PER_DAY / duration_minutes
+
+
+def average_interval_minutes_from_daily_rate(daily_rate: float) -> float:
+    """Average inter-invocation interval (minutes) given a daily rate."""
+    if daily_rate <= 0:
+        return float("inf")
+    return MINUTES_PER_DAY / daily_rate
+
+
+def fraction_at_or_below(
+    values: Sequence[float] | np.ndarray, threshold: float
+) -> float:
+    """Fraction of values that are ≤ ``threshold``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 0.0
+    return float(np.mean(values <= threshold))
+
+
+def coefficient_of_variation(values: Sequence[float] | np.ndarray) -> float:
+    """CV (std/mean) of a sample; ``nan`` for empty, 0 for zero-mean-zero-var."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return float("nan")
+    mean = float(np.mean(values))
+    std = float(np.std(values))
+    if mean == 0.0:
+        return 0.0 if std == 0.0 else float("inf")
+    return std / mean
+
+
+def lorenz_curve(
+    counts: Sequence[float] | np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Skew curve used in Figure 5(b).
+
+    Returns ``(top_fraction, invocation_fraction)`` where
+    ``invocation_fraction[i]`` is the share of all invocations produced by
+    the ``top_fraction[i]`` most popular entities (functions or apps).
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        raise ValueError("cannot compute a popularity curve from an empty sample")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    descending = np.sort(counts)[::-1]
+    cumulative = np.cumsum(descending)
+    total = cumulative[-1]
+    top_fraction = np.arange(1, counts.size + 1) / counts.size
+    if total == 0:
+        return top_fraction, np.zeros_like(top_fraction)
+    return top_fraction, cumulative / total

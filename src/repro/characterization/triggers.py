@@ -1,0 +1,136 @@
+"""Trigger-mix analysis (Figures 2 and 3 of the paper).
+
+Computes, for a workload:
+
+* the share of functions and of invocations per trigger type (Figure 2);
+* the share of applications with at least one trigger of each type
+  (Figure 3a);
+* the share of applications per trigger *combination*, with cumulative
+  fractions (Figure 3b);
+* the fraction of applications whose invocations could be anticipated via
+  timers alone vs those mixing timers with other triggers (the 86%
+  observation of Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.trace.schema import TriggerType, Workload
+
+
+@dataclass(frozen=True)
+class TriggerShares:
+    """Figure 2: shares of functions and invocations per trigger type."""
+
+    function_share: Mapping[TriggerType, float]
+    invocation_share: Mapping[TriggerType, float]
+
+    def rows(self) -> list[dict[str, float | str]]:
+        return [
+            {
+                "trigger": trigger.value,
+                "pct_functions": 100.0 * self.function_share.get(trigger, 0.0),
+                "pct_invocations": 100.0 * self.invocation_share.get(trigger, 0.0),
+            }
+            for trigger in TriggerType
+        ]
+
+
+@dataclass(frozen=True)
+class TriggerCombinationShares:
+    """Figure 3: per-app trigger presence and combination shares."""
+
+    app_share_per_trigger: Mapping[TriggerType, float]
+    combination_share: Mapping[str, float]
+
+    def top_combinations(self, count: int = 12) -> list[dict[str, float | str]]:
+        """The most common combinations with cumulative fractions (Fig. 3b)."""
+        ordered = sorted(self.combination_share.items(), key=lambda kv: kv[1], reverse=True)
+        rows: list[dict[str, float | str]] = []
+        cumulative = 0.0
+        for combination, share in ordered[:count]:
+            cumulative += share
+            rows.append(
+                {
+                    "combination": combination,
+                    "pct_apps": 100.0 * share,
+                    "cumulative_pct": 100.0 * cumulative,
+                }
+            )
+        return rows
+
+    def presence_rows(self) -> list[dict[str, float | str]]:
+        """Applications with ≥ 1 trigger of each type (Fig. 3a)."""
+        return [
+            {
+                "trigger": trigger.value,
+                "pct_apps": 100.0 * self.app_share_per_trigger.get(trigger, 0.0),
+            }
+            for trigger in TriggerType
+        ]
+
+    @property
+    def timer_only_share(self) -> float:
+        """Fraction of applications driven exclusively by timers."""
+        return self.combination_share.get("T", 0.0)
+
+    @property
+    def timer_mixed_share(self) -> float:
+        """Fraction of applications with timers plus at least one other trigger."""
+        total = sum(
+            share
+            for combination, share in self.combination_share.items()
+            if "T" in combination and combination != "T"
+        )
+        return total
+
+    @property
+    def predictable_by_timers_share(self) -> float:
+        """Applications with timers only — fully timer-predictable."""
+        return self.timer_only_share
+
+
+def trigger_shares(workload: Workload) -> TriggerShares:
+    """Compute Figure 2 for a workload."""
+    function_counts: dict[TriggerType, int] = {trigger: 0 for trigger in TriggerType}
+    invocation_counts: dict[TriggerType, int] = {trigger: 0 for trigger in TriggerType}
+    total_functions = 0
+    total_invocations = 0
+    for function in workload.functions():
+        function_counts[function.trigger] += 1
+        total_functions += 1
+        count = int(workload.function_invocations(function.function_id).size)
+        invocation_counts[function.trigger] += count
+        total_invocations += count
+    function_share = {
+        trigger: (count / total_functions if total_functions else 0.0)
+        for trigger, count in function_counts.items()
+    }
+    invocation_share = {
+        trigger: (count / total_invocations if total_invocations else 0.0)
+        for trigger, count in invocation_counts.items()
+    }
+    return TriggerShares(function_share=function_share, invocation_share=invocation_share)
+
+
+def trigger_combinations(workload: Workload) -> TriggerCombinationShares:
+    """Compute Figure 3 for a workload."""
+    num_apps = workload.num_apps
+    presence: dict[TriggerType, int] = {trigger: 0 for trigger in TriggerType}
+    combination_counts: dict[str, int] = {}
+    for app in workload.apps:
+        for trigger in app.trigger_types:
+            presence[trigger] += 1
+        combination = app.trigger_combination
+        combination_counts[combination] = combination_counts.get(combination, 0) + 1
+    app_share = {
+        trigger: (count / num_apps if num_apps else 0.0) for trigger, count in presence.items()
+    }
+    combination_share = {
+        combination: count / num_apps for combination, count in combination_counts.items()
+    }
+    return TriggerCombinationShares(
+        app_share_per_trigger=app_share, combination_share=combination_share
+    )

@@ -1,0 +1,170 @@
+"""Command-line front end.
+
+Usage (after ``pip install -e .``)::
+
+    repro generate --num-apps 200 --days 3 --out traces/        # write a synthetic trace
+    repro characterize --num-apps 200 --days 3                  # Section 3 headline numbers
+    repro simulate --policies fixed:10 fixed:60 hybrid:240      # policy comparison table
+    repro experiment fig15                                      # one paper figure
+    repro experiment all                                        # every registered figure
+
+Every sub-command accepts ``--num-apps``, ``--days``, ``--seed`` and
+``--max-daily-rate`` to size the synthetic workload; ``--trace-dir`` loads
+an AzurePublicDataset-schema trace from disk instead of generating one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.characterization.report import CharacterizationReport
+from repro.experiments import ExperimentContext, ExperimentScale, experiment_ids, run_experiment
+from repro.policies.registry import parse_policy_spec
+from repro.simulation.runner import WorkloadRunner
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+from repro.trace.loader import load_dataset
+from repro.trace.schema import Workload
+from repro.trace.writer import write_dataset
+
+MINUTES_PER_DAY = 1440.0
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--num-apps", type=int, default=300, help="number of synthetic apps")
+    parser.add_argument("--days", type=float, default=7.0, help="trace duration in days")
+    parser.add_argument("--seed", type=int, default=2020, help="random seed")
+    parser.add_argument(
+        "--max-daily-rate",
+        type=float,
+        default=4000.0,
+        help="cap on per-app average invocations per day",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="load an AzurePublicDataset-schema trace instead of generating one",
+    )
+
+
+def _build_workload(args: argparse.Namespace) -> Workload:
+    if args.trace_dir is not None:
+        return load_dataset(args.trace_dir, seed=args.seed)
+    config = GeneratorConfig(
+        num_apps=args.num_apps,
+        duration_minutes=args.days * MINUTES_PER_DAY,
+        seed=args.seed,
+        max_daily_rate=args.max_daily_rate,
+    )
+    return WorkloadGenerator(config).generate()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    paths = write_dataset(workload, args.out)
+    print(f"workload: {workload.summary()}")
+    print(f"wrote {len(paths)} files under {args.out}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    report = CharacterizationReport(workload)
+    print("workload summary:")
+    for key, value in workload.summary().items():
+        print(f"  {key:<28} {value:,.2f}")
+    print("headline characterization numbers (see Section 3 of the paper):")
+    for key, value in report.headline_numbers().items():
+        print(f"  {key:<40} {value:.4f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    factories = [parse_policy_spec(spec) for spec in args.policies]
+    runner = WorkloadRunner(workload)
+    comparison = runner.compare(factories, baseline_name=None)
+    print(comparison.as_text_table())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(
+        num_apps=args.num_apps,
+        duration_days=args.days,
+        seed=args.seed,
+        max_daily_rate=args.max_daily_rate,
+    )
+    context = ExperimentContext(scale=scale)
+    requested = experiment_ids() if args.experiment == ["all"] else args.experiment
+    unknown = [e for e in requested if e not in experiment_ids()]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {experiment_ids()}", file=sys.stderr)
+        return 2
+    for experiment_id in requested:
+        result = run_experiment(experiment_id, context)
+        print(result.as_text())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Serverless in the Wild' (ATC 2020): workload "
+            "characterization and the hybrid histogram keep-alive policy."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic trace in the AzurePublicDataset schema"
+    )
+    _add_workload_arguments(generate)
+    generate.add_argument("--out", type=Path, required=True, help="output directory")
+    generate.set_defaults(handler=_cmd_generate)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="print Section 3 headline characterization numbers"
+    )
+    _add_workload_arguments(characterize)
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="compare keep-alive policies with the cold-start simulator"
+    )
+    _add_workload_arguments(simulate)
+    simulate.add_argument(
+        "--policies",
+        nargs="+",
+        default=["fixed:10", "fixed:60", "hybrid:240", "no-unloading"],
+        help="policy specs, e.g. fixed:10 hybrid:240 hybrid:240:5:99 no-unloading",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one or more paper figure/table experiments"
+    )
+    _add_workload_arguments(experiment)
+    experiment.add_argument(
+        "experiment",
+        nargs="+",
+        help=f"experiment ids (or 'all'); available: {', '.join(experiment_ids())}",
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

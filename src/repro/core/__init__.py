@@ -1,0 +1,35 @@
+"""Core contribution of the paper: the hybrid histogram keep-alive policy.
+
+This subpackage implements Section 4 of *Serverless in the Wild*:
+
+* :class:`~repro.core.histogram.IdleTimeHistogram` — the range-limited,
+  1-minute-bin idle-time histogram that is the centerpiece of the policy.
+* :class:`~repro.core.welford.Welford` — online mean/variance/CV tracking.
+* :class:`~repro.core.arima.ARIMA` and :func:`~repro.core.arima.auto_arima`
+  — the time-series fallback used for applications whose idle times do not
+  fit in the histogram range.
+* :class:`~repro.core.hybrid.HybridHistogramPolicy` — the policy state
+  machine of Figure 10, producing a pre-warming window and a keep-alive
+  window after every invocation.
+"""
+
+from repro.core.arima import ARIMA, ARIMAFit, auto_arima
+from repro.core.config import HybridPolicyConfig
+from repro.core.forecaster import IdleTimeForecaster
+from repro.core.histogram import IdleTimeHistogram
+from repro.core.hybrid import HybridHistogramPolicy, PolicyMode
+from repro.core.welford import Welford
+from repro.core.windows import PolicyDecision
+
+__all__ = [
+    "ARIMA",
+    "ARIMAFit",
+    "auto_arima",
+    "HybridPolicyConfig",
+    "IdleTimeForecaster",
+    "IdleTimeHistogram",
+    "HybridHistogramPolicy",
+    "PolicyMode",
+    "Welford",
+    "PolicyDecision",
+]

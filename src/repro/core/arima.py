@@ -1,0 +1,346 @@
+"""Dependency-free ARIMA(p, d, q) modelling for idle-time forecasting.
+
+The paper falls back to ARIMA time-series forecasting (via the
+``pmdarima.auto_arima`` package) for applications whose idle times are too
+long to be captured by the compact histogram.  That package is not
+available offline, so this module provides a small, self-contained ARIMA
+implementation sufficient for the policy's needs:
+
+* differencing of order ``d``;
+* ARMA(p, q) estimation with the **Hannan–Rissanen** two-stage procedure
+  (a long autoregression estimates the innovations, then the ARMA
+  coefficients are obtained by least squares on lagged values and lagged
+  innovations);
+* one-step-ahead (and multi-step) forecasting with un-differencing;
+* :func:`auto_arima`, a small grid search over ``(p, d, q)`` orders scored
+  by AIC, mirroring the role ``pmdarima.auto_arima`` plays in the paper.
+
+The implementation intentionally favours robustness on the very short,
+irregular series produced by sparse applications (a handful of idle times)
+over econometric completeness: every failure mode degrades gracefully to a
+simpler model, ending at the series mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ARIMA", "ARIMAFit", "auto_arima", "difference", "undifference"]
+
+
+def difference(series: np.ndarray, order: int) -> np.ndarray:
+    """Apply ``order`` rounds of first differencing to a series."""
+    if order < 0:
+        raise ValueError("differencing order must be non-negative")
+    out = np.asarray(series, dtype=float)
+    for _ in range(order):
+        out = np.diff(out)
+    return out
+
+
+def undifference(forecast: float, history: np.ndarray, order: int) -> float:
+    """Invert ``order`` rounds of differencing for a one-step forecast.
+
+    Args:
+        forecast: Forecast produced in the differenced domain.
+        history: The original (undifferenced) series.
+        order: Differencing order used when fitting.
+    """
+    if order == 0:
+        return float(forecast)
+    history = np.asarray(history, dtype=float)
+    value = float(forecast)
+    # Re-integrate: a forecast of the d-th difference is added back through
+    # the last value of each lower-order differenced series.
+    for level in range(order - 1, -1, -1):
+        tail = difference(history, level)
+        if tail.size == 0:
+            return value
+        value = value + float(tail[-1])
+    return value
+
+
+@dataclass
+class ARIMAFit:
+    """Fitted ARIMA model parameters and diagnostics."""
+
+    order: tuple[int, int, int]
+    ar_coefficients: np.ndarray
+    ma_coefficients: np.ndarray
+    intercept: float
+    sigma2: float
+    aic: float
+    nobs: int
+    residuals: np.ndarray = field(repr=False)
+
+    @property
+    def p(self) -> int:
+        return self.order[0]
+
+    @property
+    def d(self) -> int:
+        return self.order[1]
+
+    @property
+    def q(self) -> int:
+        return self.order[2]
+
+
+class ARIMA:
+    """ARIMA(p, d, q) model fitted by Hannan–Rissanen conditional least squares.
+
+    Args:
+        order: The ``(p, d, q)`` model order.
+
+    Usage::
+
+        model = ARIMA((1, 0, 1))
+        fit = model.fit(series)
+        next_value = model.forecast(series, steps=1)[0]
+    """
+
+    def __init__(self, order: tuple[int, int, int] = (1, 0, 0)) -> None:
+        p, d, q = order
+        if p < 0 or d < 0 or q < 0:
+            raise ValueError("ARIMA orders must be non-negative")
+        self.order = (int(p), int(d), int(q))
+        self._fit: ARIMAFit | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    @property
+    def fitted(self) -> ARIMAFit | None:
+        """The most recent fit, or ``None`` if :meth:`fit` has not run."""
+        return self._fit
+
+    def fit(self, series: Sequence[float]) -> ARIMAFit:
+        """Fit the model to ``series`` and return the fitted parameters.
+
+        The series must contain at least ``d + max(p, q) + 1`` observations;
+        shorter series raise ``ValueError`` (callers are expected to fall
+        back to a simpler forecast).
+        """
+        p, d, q = self.order
+        raw = np.asarray(series, dtype=float)
+        if raw.ndim != 1:
+            raise ValueError("series must be one-dimensional")
+        if np.any(~np.isfinite(raw)):
+            raise ValueError("series contains non-finite values")
+        working = difference(raw, d)
+        min_len = max(p, q) + 1
+        if working.size < max(min_len, 2):
+            raise ValueError(
+                f"series too short for ARIMA{self.order}: need at least "
+                f"{max(min_len, 2) + d} observations, got {raw.size}"
+            )
+        if p == 0 and q == 0:
+            fit = self._fit_mean_only(working)
+        else:
+            fit = self._fit_hannan_rissanen(working)
+        self._fit = fit
+        return fit
+
+    def _fit_mean_only(self, working: np.ndarray) -> ARIMAFit:
+        """ARIMA(0, d, 0): the differenced series is white noise about a mean."""
+        intercept = float(np.mean(working))
+        residuals = working - intercept
+        sigma2 = float(np.mean(residuals**2)) if residuals.size else 0.0
+        aic = self._aic(sigma2, nobs=working.size, k=1)
+        return ARIMAFit(
+            order=self.order,
+            ar_coefficients=np.zeros(0),
+            ma_coefficients=np.zeros(0),
+            intercept=intercept,
+            sigma2=sigma2,
+            aic=aic,
+            nobs=int(working.size),
+            residuals=residuals,
+        )
+
+    def _fit_hannan_rissanen(self, working: np.ndarray) -> ARIMAFit:
+        p, d, q = self.order
+        n = working.size
+        # Stage 1: long autoregression to estimate the innovations.  The AR
+        # order grows slowly with the series length but never exceeds what
+        # the data can support.
+        long_order = min(max(p + q, int(round(math.log(max(n, 2)) * 2)), 1), max(n // 2, 1))
+        innovations = self._long_ar_residuals(working, long_order)
+        # Stage 2: regress x_t on its own lags and lagged innovations.
+        start = max(p, q)
+        rows = n - start
+        if rows < p + q + 1:
+            # Not enough rows for the regression: degrade to a pure AR fit of
+            # reduced order, or to the mean.
+            return self._fit_reduced(working)
+        design = np.ones((rows, 1 + p + q))
+        target = working[start:]
+        for lag in range(1, p + 1):
+            design[:, lag] = working[start - lag : n - lag]
+        for lag in range(1, q + 1):
+            design[:, p + lag] = innovations[start - lag : n - lag]
+        coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
+        intercept = float(coefficients[0])
+        ar = np.asarray(coefficients[1 : 1 + p], dtype=float)
+        ma = np.asarray(coefficients[1 + p :], dtype=float)
+        residuals = target - design @ coefficients
+        sigma2 = float(np.mean(residuals**2)) if residuals.size else 0.0
+        aic = self._aic(sigma2, nobs=rows, k=1 + p + q)
+        return ARIMAFit(
+            order=self.order,
+            ar_coefficients=ar,
+            ma_coefficients=ma,
+            intercept=intercept,
+            sigma2=sigma2,
+            aic=aic,
+            nobs=rows,
+            residuals=residuals,
+        )
+
+    def _fit_reduced(self, working: np.ndarray) -> ARIMAFit:
+        """Fallback when the requested order is too rich for the data."""
+        intercept = float(np.mean(working))
+        residuals = working - intercept
+        sigma2 = float(np.mean(residuals**2)) if residuals.size else 0.0
+        aic = self._aic(sigma2, nobs=working.size, k=1)
+        p, _, q = self.order
+        return ARIMAFit(
+            order=self.order,
+            ar_coefficients=np.zeros(p),
+            ma_coefficients=np.zeros(q),
+            intercept=intercept,
+            sigma2=sigma2,
+            aic=aic,
+            nobs=int(working.size),
+            residuals=residuals,
+        )
+
+    @staticmethod
+    def _long_ar_residuals(working: np.ndarray, long_order: int) -> np.ndarray:
+        """Residuals of a long AR fit, used as innovation estimates."""
+        n = working.size
+        if long_order >= n:
+            long_order = max(n - 1, 1)
+        rows = n - long_order
+        if rows < 1:
+            return np.zeros(n)
+        design = np.ones((rows, 1 + long_order))
+        for lag in range(1, long_order + 1):
+            design[:, lag] = working[long_order - lag : n - lag]
+        target = working[long_order:]
+        coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
+        residuals_tail = target - design @ coefficients
+        innovations = np.zeros(n)
+        innovations[long_order:] = residuals_tail
+        return innovations
+
+    @staticmethod
+    def _aic(sigma2: float, *, nobs: int, k: int) -> float:
+        """Akaike information criterion for a Gaussian likelihood."""
+        if nobs <= 0:
+            return float("inf")
+        safe_sigma2 = max(sigma2, 1e-12)
+        log_likelihood = -0.5 * nobs * (math.log(2 * math.pi * safe_sigma2) + 1.0)
+        return 2.0 * k - 2.0 * log_likelihood
+
+    # ------------------------------------------------------------------ #
+    # Forecasting
+    # ------------------------------------------------------------------ #
+    def forecast(self, series: Sequence[float], steps: int = 1) -> np.ndarray:
+        """Forecast ``steps`` values ahead of the end of ``series``.
+
+        The model must have been fitted first (usually on the same series).
+        Forecasts are produced in the differenced domain with the fitted
+        ARMA recursion and re-integrated back to the original scale.
+        """
+        if steps < 1:
+            raise ValueError("steps must be at least 1")
+        if self._fit is None:
+            raise RuntimeError("call fit() before forecast()")
+        fit = self._fit
+        p, d, q = self.order
+        raw = np.asarray(series, dtype=float)
+        working = difference(raw, d)
+        history = list(working)
+        innovations = list(fit.residuals[-max(q, 1) :]) if q > 0 else []
+        forecasts_diff: list[float] = []
+        for _ in range(steps):
+            value = fit.intercept
+            for lag in range(1, p + 1):
+                if len(history) >= lag:
+                    value += fit.ar_coefficients[lag - 1] * history[-lag]
+            for lag in range(1, q + 1):
+                if len(innovations) >= lag:
+                    value += fit.ma_coefficients[lag - 1] * innovations[-lag]
+            forecasts_diff.append(value)
+            history.append(value)
+            if q > 0:
+                innovations.append(0.0)
+        # Re-integrate each step against a history extended with the
+        # previously forecast values.
+        results: list[float] = []
+        extended = np.asarray(raw, dtype=float)
+        for value in forecasts_diff:
+            restored = undifference(value, extended, d)
+            results.append(restored)
+            extended = np.append(extended, restored)
+        return np.asarray(results)
+
+    def fit_forecast(self, series: Sequence[float], steps: int = 1) -> np.ndarray:
+        """Convenience wrapper: fit on ``series`` then forecast ``steps`` ahead."""
+        self.fit(series)
+        return self.forecast(series, steps=steps)
+
+
+def auto_arima(
+    series: Sequence[float],
+    *,
+    max_p: int = 2,
+    max_d: int = 1,
+    max_q: int = 2,
+    candidates: Iterable[tuple[int, int, int]] | None = None,
+) -> ARIMA:
+    """Select and fit the ARIMA order with the lowest AIC.
+
+    This mirrors the role of ``pmdarima.auto_arima`` in the paper: it
+    searches a small grid of ``(p, d, q)`` orders, fits each candidate with
+    :class:`ARIMA`, and returns the fitted model with the lowest AIC.
+    Orders that cannot be fitted on the (possibly very short) series are
+    skipped; if nothing fits, an ARIMA(0, 0, 0) mean model is returned.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot fit ARIMA on an empty series")
+    if candidates is None:
+        candidates = [
+            (p, d, q)
+            for d in range(max_d + 1)
+            for p in range(max_p + 1)
+            for q in range(max_q + 1)
+        ]
+    best_model: ARIMA | None = None
+    best_aic = float("inf")
+    for order in candidates:
+        model = ARIMA(order)
+        try:
+            fit = model.fit(values)
+        except (ValueError, np.linalg.LinAlgError):
+            continue
+        if not math.isfinite(fit.aic):
+            continue
+        if fit.aic < best_aic:
+            best_aic = fit.aic
+            best_model = model
+    if best_model is None:
+        fallback = ARIMA((0, 0, 0))
+        if values.size == 1:
+            # A single observation: fabricate a degenerate fit by repeating it.
+            fallback.fit(np.asarray([values[0], values[0]]))
+        else:
+            fallback.fit(values)
+        return fallback
+    return best_model

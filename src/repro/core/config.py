@@ -1,0 +1,154 @@
+"""Configuration for the hybrid histogram policy.
+
+Default values follow Section 4.2 and Section 5.2 of the paper:
+
+* 1-minute histogram bins over a 4-hour range (240 bins, 960 bytes of
+  metadata per application in the production implementation);
+* head cutoff at the 5th percentile, tail cutoff at the 99th percentile;
+* a 10% margin applied to the pre-warming (shrunk) and keep-alive
+  (grown) windows;
+* a CV-of-bin-counts representativeness threshold of 2;
+* ARIMA fallback when the share of out-of-bounds idle times exceeds a
+  threshold, with a 15% forecast margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class HybridPolicyConfig:
+    """Tunable parameters of :class:`repro.core.hybrid.HybridHistogramPolicy`.
+
+    Attributes:
+        histogram_range_minutes: Range of the idle-time histogram; idle
+            times beyond this are counted as out of bounds (OOB).  The
+            paper evaluates 1-, 2-, 3- and 4-hour ranges (Figure 15) and
+            defaults to 4 hours.
+        bin_width_minutes: Width of one histogram bin.  The paper uses
+            1-minute bins.
+        head_percentile: Percentile of the idle-time distribution used for
+            the pre-warming window (default 5).
+        tail_percentile: Percentile used for the keep-alive window
+            (default 99).
+        prewarm_margin: Fractional safety margin subtracted from the
+            pre-warming window (default 0.10).
+        keepalive_margin: Fractional safety margin added to the keep-alive
+            window (default 0.10).
+        cv_threshold: Minimum coefficient of variation of the histogram
+            bin counts for the histogram to be considered representative
+            (default 2, per Figure 18).
+        min_observations: Minimum number of in-bounds idle times before
+            the histogram may be used at all.
+        oob_fraction_threshold: When the fraction of out-of-bounds idle
+            times exceeds this value the policy switches to the time-series
+            (ARIMA) component.
+        oob_min_observations: Minimum number of idle-time observations
+            before the OOB fraction is trusted.
+        arima_margin: Fractional margin applied around the ARIMA point
+            forecast (default 0.15): the pre-warming window is the forecast
+            minus the margin and the keep-alive window spans the margin on
+            both sides of the forecast.
+        arima_max_history: Maximum number of recent idle times retained for
+            fitting the ARIMA model.
+        enable_prewarming: When False the policy never unloads after an
+            execution (pre-warming window forced to 0); used for the
+            "Hybrid No PW" configuration of Figure 17.
+        enable_arima: When False the policy never uses the time-series
+            component; used for the "Hybrid without ARIMA" bar of
+            Figure 19.
+    """
+
+    histogram_range_minutes: float = 240.0
+    bin_width_minutes: float = 1.0
+    head_percentile: float = 5.0
+    tail_percentile: float = 99.0
+    prewarm_margin: float = 0.10
+    keepalive_margin: float = 0.10
+    cv_threshold: float = 2.0
+    min_observations: int = 5
+    oob_fraction_threshold: float = 0.5
+    oob_min_observations: int = 5
+    arima_margin: float = 0.15
+    arima_max_history: int = 64
+    enable_prewarming: bool = True
+    enable_arima: bool = True
+
+    def __post_init__(self) -> None:
+        if self.histogram_range_minutes <= 0:
+            raise ValueError("histogram range must be positive")
+        if self.bin_width_minutes <= 0:
+            raise ValueError("bin width must be positive")
+        if self.histogram_range_minutes < self.bin_width_minutes:
+            raise ValueError("histogram range must cover at least one bin")
+        if not 0 <= self.head_percentile <= 100:
+            raise ValueError("head percentile must be within [0, 100]")
+        if not 0 <= self.tail_percentile <= 100:
+            raise ValueError("tail percentile must be within [0, 100]")
+        if self.head_percentile > self.tail_percentile:
+            raise ValueError("head percentile must not exceed tail percentile")
+        if not 0 <= self.prewarm_margin < 1:
+            raise ValueError("pre-warm margin must be in [0, 1)")
+        if self.keepalive_margin < 0:
+            raise ValueError("keep-alive margin must be non-negative")
+        if self.cv_threshold < 0:
+            raise ValueError("CV threshold must be non-negative")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be at least 1")
+        if not 0 < self.oob_fraction_threshold <= 1:
+            raise ValueError("OOB fraction threshold must be in (0, 1]")
+        if not 0 <= self.arima_margin < 1:
+            raise ValueError("ARIMA margin must be in [0, 1)")
+        if self.arima_max_history < 4:
+            raise ValueError("ARIMA history must keep at least 4 observations")
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins in the idle-time histogram."""
+        return int(round(self.histogram_range_minutes / self.bin_width_minutes))
+
+    def with_range_hours(self, hours: float) -> "HybridPolicyConfig":
+        """Return a copy with the histogram range set to ``hours`` hours."""
+        return replace(self, histogram_range_minutes=hours * 60.0)
+
+    def with_cutoffs(self, head: float, tail: float) -> "HybridPolicyConfig":
+        """Return a copy with the given head/tail percentiles (Figure 16)."""
+        return replace(self, head_percentile=head, tail_percentile=tail)
+
+    def with_overrides(self, **overrides: Any) -> "HybridPolicyConfig":
+        """Return a copy with arbitrary field overrides."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the configuration to a plain dictionary."""
+        return {
+            "histogram_range_minutes": self.histogram_range_minutes,
+            "bin_width_minutes": self.bin_width_minutes,
+            "head_percentile": self.head_percentile,
+            "tail_percentile": self.tail_percentile,
+            "prewarm_margin": self.prewarm_margin,
+            "keepalive_margin": self.keepalive_margin,
+            "cv_threshold": self.cv_threshold,
+            "min_observations": self.min_observations,
+            "oob_fraction_threshold": self.oob_fraction_threshold,
+            "oob_min_observations": self.oob_min_observations,
+            "arima_margin": self.arima_margin,
+            "arima_max_history": self.arima_max_history,
+            "enable_prewarming": self.enable_prewarming,
+            "enable_arima": self.enable_arima,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HybridPolicyConfig":
+        """Build a configuration from a mapping produced by :meth:`to_dict`."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C401 - explicit
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown configuration keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+DEFAULT_CONFIG = HybridPolicyConfig()
+"""The paper's default configuration: 4-hour range, [5, 99] cutoffs, CV=2."""

@@ -1,0 +1,141 @@
+"""Welford's online algorithm for running mean, variance, and CV.
+
+The paper tracks the coefficient of variation (CV) of the histogram bin
+counts to decide whether the histogram is representative of an
+application's idle-time behaviour, and cites Welford's algorithm [45] as
+the way to maintain the statistic incrementally without re-scanning the
+data.  This module provides that primitive; it is also used by the
+characterization code to compute per-application IAT variability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass
+class Welford:
+    """Numerically stable running mean / variance / CV accumulator.
+
+    The accumulator supports adding single observations, merging two
+    accumulators (parallel aggregation), and removing observations (needed
+    when a histogram bin count changes and the bin-count statistics must be
+    updated in place).
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Include ``value`` in the running statistics."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        delta2 = value - self.mean
+        self.m2 += delta * delta2
+
+    def remove(self, value: float) -> None:
+        """Remove a previously added ``value`` from the running statistics.
+
+        Removal is the algebraic inverse of :meth:`add`.  Removing a value
+        that was never added produces undefined statistics, exactly as with
+        any inverse-update scheme.
+        """
+        if self.count == 0:
+            raise ValueError("cannot remove a value from an empty accumulator")
+        if self.count == 1:
+            self.count = 0
+            self.mean = 0.0
+            self.m2 = 0.0
+            return
+        old_count = self.count
+        self.count -= 1
+        old_mean = (old_count * self.mean - value) / self.count
+        self.m2 -= (value - self.mean) * (value - old_mean)
+        self.mean = old_mean
+        if self.m2 < 0.0:
+            # Guard against tiny negative residue from floating point error.
+            self.m2 = 0.0
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Add every value in ``values``."""
+        for value in values:
+            self.add(value)
+
+    def replace(self, old_value: float, new_value: float) -> None:
+        """Replace one observation with another in a single call."""
+        self.remove(old_value)
+        self.add(new_value)
+
+    def merge(self, other: "Welford") -> "Welford":
+        """Return a new accumulator equivalent to both inputs combined."""
+        if self.count == 0:
+            return Welford(other.count, other.mean, other.m2)
+        if other.count == 0:
+            return Welford(self.count, self.mean, self.m2)
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / count
+        m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / count
+        return Welford(count, mean, m2)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return float("nan")
+        return self.m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (Bessel-corrected)."""
+        if self.count < 2:
+            return float("nan")
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        variance = self.variance
+        if math.isnan(variance):
+            return float("nan")
+        return math.sqrt(variance)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (population std divided by mean).
+
+        Returns ``0.0`` when the mean is zero and the variance is zero
+        (an all-zero stream is perfectly regular), ``inf`` when the mean is
+        zero but the variance is not, and ``nan`` for an empty stream.
+        """
+        if self.count == 0:
+            return float("nan")
+        if self.mean == 0.0:
+            return 0.0 if self.m2 == 0.0 else float("inf")
+        return self.std / abs(self.mean)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.mean
+        yield self.variance
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Welford":
+        """Build an accumulator from an iterable of observations."""
+        acc = cls()
+        acc.update_many(values)
+        return acc
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """One-shot CV of an iterable, via :class:`Welford`.
+
+    Matches the paper's definition: standard deviation divided by the mean.
+    """
+    return Welford.from_values(values).cv

@@ -1,0 +1,100 @@
+"""Policy decision records: pre-warming and keep-alive windows.
+
+Section 4 of the paper defines a *policy* as a set of rules governing two
+per-application parameters after every function execution:
+
+* **Pre-warming window** — how long to wait, after the execution ends,
+  before re-loading the application image in anticipation of the next
+  invocation.  A pre-warming window of zero means the application is never
+  unloaded after the execution; the keep-alive window then starts at the
+  end of the execution.
+* **Keep-alive window** — how long to keep the image loaded once it has
+  been (re)loaded.
+
+Both are expressed in minutes, the canonical time unit of the simulator
+and of the paper's 1-minute histogram bins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """The (pre-warming window, keep-alive window) pair for one application.
+
+    Attributes:
+        prewarm_minutes: Minutes to wait after the execution before
+            re-loading the application.  ``0`` keeps the application loaded.
+        keepalive_minutes: Minutes the application stays loaded once loaded
+            (after the pre-warm point, or after the execution when
+            ``prewarm_minutes`` is zero).  ``math.inf`` models a
+            no-unloading policy.
+    """
+
+    prewarm_minutes: float
+    keepalive_minutes: float
+
+    def __post_init__(self) -> None:
+        if self.prewarm_minutes < 0:
+            raise ValueError(
+                f"pre-warming window must be non-negative, got {self.prewarm_minutes}"
+            )
+        if self.keepalive_minutes < 0:
+            raise ValueError(
+                f"keep-alive window must be non-negative, got {self.keepalive_minutes}"
+            )
+        if math.isinf(self.prewarm_minutes):
+            raise ValueError("pre-warming window must be finite")
+
+    @property
+    def unloads_after_execution(self) -> bool:
+        """True when the policy unloads the image right after execution."""
+        return self.prewarm_minutes > 0
+
+    @property
+    def keeps_forever(self) -> bool:
+        """True for a no-unloading decision (infinite keep-alive)."""
+        return math.isinf(self.keepalive_minutes)
+
+    def loaded_interval(self, execution_end_minutes: float) -> tuple[float, float]:
+        """Absolute ``[start, end)`` interval the image is scheduled to be loaded.
+
+        Args:
+            execution_end_minutes: Absolute time (minutes) at which the
+                function execution that produced this decision ended.
+
+        Returns:
+            A ``(load_start, load_end)`` pair in absolute minutes.  For a
+            zero pre-warming window the interval starts immediately at the
+            end of the execution.
+        """
+        load_start = execution_end_minutes + self.prewarm_minutes
+        load_end = load_start + self.keepalive_minutes
+        return load_start, load_end
+
+    def covers(self, execution_end_minutes: float, arrival_minutes: float) -> bool:
+        """Whether an arrival at ``arrival_minutes`` would be a warm start.
+
+        The arrival is warm if it falls inside the scheduled loaded
+        interval.  An arrival before the pre-warm point, or after the
+        keep-alive window has elapsed, is a cold start.
+        """
+        load_start, load_end = self.loaded_interval(execution_end_minutes)
+        if self.prewarm_minutes == 0:
+            # Image never unloaded: warm up to (and including) the keep-alive
+            # expiry instant.
+            return arrival_minutes <= load_end
+        return load_start <= arrival_minutes <= load_end
+
+    @classmethod
+    def no_unloading(cls) -> "PolicyDecision":
+        """Decision used by the no-unloading policy: always loaded."""
+        return cls(prewarm_minutes=0.0, keepalive_minutes=math.inf)
+
+    @classmethod
+    def fixed(cls, keepalive_minutes: float) -> "PolicyDecision":
+        """Decision used by a fixed keep-alive policy."""
+        return cls(prewarm_minutes=0.0, keepalive_minutes=keepalive_minutes)

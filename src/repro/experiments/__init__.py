@@ -1,0 +1,29 @@
+"""Per-figure experiment drivers (see DESIGN.md for the index).
+
+Importing this package registers every experiment with the registry in
+:mod:`repro.experiments.common`; use :func:`run_experiment` /
+:func:`run_all_experiments` to execute them.
+"""
+
+from repro.experiments import characterization_figs as _characterization_figs  # noqa: F401
+from repro.experiments import platform_figs as _platform_figs  # noqa: F401
+from repro.experiments import policy_figs as _policy_figs  # noqa: F401
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentScale,
+    experiment_ids,
+    get_experiment,
+    run_all_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "ExperimentScale",
+    "experiment_ids",
+    "get_experiment",
+    "run_all_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,242 @@
+"""Experiment drivers for the characterization figures (Figures 1–8).
+
+Each driver reproduces the data series behind one Section 3 figure from
+the (synthetic) workload and records the paper's headline statistic next
+to the measured one, so EXPERIMENTS.md can track how close the synthetic
+trace is to the published characterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization.iat import (
+    SUBSET_ALL,
+    SUBSET_AT_LEAST_ONE_TIMER,
+    SUBSET_NO_TIMERS,
+    SUBSET_ONLY_TIMERS,
+)
+from repro.characterization.report import CharacterizationReport
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    register_experiment,
+)
+
+
+@register_experiment("fig1")
+def functions_per_app(context: ExperimentContext) -> ExperimentResult:
+    """Figure 1: CDF of the number of functions per application."""
+    report = CharacterizationReport(context.workload)
+    analysis = report.functions_per_app
+    app_cdf = analysis.app_cdf()
+    invocation_cdf = analysis.invocation_weighted_cdf()
+    function_cdf = analysis.function_weighted_cdf()
+    thresholds = [1, 2, 3, 5, 10, 20, 50, 100]
+    rows = [
+        {
+            "functions_per_app": threshold,
+            "pct_apps": 100.0 * float(app_cdf(threshold)[0]),
+            "pct_invocations": 100.0 * float(invocation_cdf(threshold)[0]),
+            "pct_functions": 100.0 * float(function_cdf(threshold)[0]),
+        }
+        for threshold in thresholds
+    ]
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Distribution of the number of functions per application",
+        rows=rows,
+        series={
+            "apps_cdf": app_cdf.as_series(),
+            "invocations_cdf": invocation_cdf.as_series(),
+            "functions_cdf": function_cdf.as_series(),
+        },
+        notes=[
+            "paper: 54% of apps have one function, 95% have at most 10; "
+            f"measured: {100 * analysis.fraction_single_function_apps:.1f}% and "
+            f"{100 * analysis.fraction_apps_at_most_10_functions:.1f}%",
+        ],
+    )
+
+
+@register_experiment("fig2")
+def trigger_shares(context: ExperimentContext) -> ExperimentResult:
+    """Figure 2: percentage of functions and invocations per trigger type."""
+    report = CharacterizationReport(context.workload)
+    rows = report.trigger_shares.rows()
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Functions and invocations per trigger type",
+        rows=rows,
+        notes=[
+            "paper: HTTP 55.0% of functions / 35.9% of invocations, "
+            "Queue 15.2%/33.5%, Event 2.2%/24.7%, Timer 15.6%/2.0%",
+        ],
+    )
+
+
+@register_experiment("fig3")
+def trigger_combinations(context: ExperimentContext) -> ExperimentResult:
+    """Figure 3: per-application trigger presence and combinations."""
+    report = CharacterizationReport(context.workload)
+    combos = report.trigger_combinations
+    rows = combos.top_combinations(count=12)
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Trigger types and combinations per application",
+        rows=rows,
+        series={"presence": combos.presence_rows()},
+        notes=[
+            "paper: 43.3% of apps have only HTTP triggers, 13.4% only timers; "
+            f"measured: H {100 * combos.combination_share.get('H', 0.0):.1f}%, "
+            f"T {100 * combos.timer_only_share:.1f}%",
+            f"apps with timers plus other triggers: "
+            f"{100 * combos.timer_mixed_share:.1f}% (paper: 15.8%)",
+        ],
+    )
+
+
+@register_experiment("fig4")
+def diurnal_load(context: ExperimentContext) -> ExperimentResult:
+    """Figure 4: platform-wide invocations per hour, normalized to the peak."""
+    report = CharacterizationReport(context.workload)
+    load = report.hourly_load
+    rows = [
+        {"hour": hour, "relative_invocations": float(value)}
+        for hour, value in enumerate(load.tolist())
+    ]
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Invocations per hour, normalized to the peak",
+        rows=rows[:48],  # first two days are enough for the tabular view
+        series={"hourly_load": load},
+        notes=[
+            "paper: clear diurnal and weekly pattern over a ~50% constant baseline; "
+            f"measured trough/peak ratio: {report.diurnal_baseline_fraction:.2f}",
+        ],
+    )
+
+
+@register_experiment("fig5")
+def invocation_skew(context: ExperimentContext) -> ExperimentResult:
+    """Figure 5: daily invocation rates and the popularity skew."""
+    report = CharacterizationReport(context.workload)
+    popularity = report.popularity
+    app_fraction, invocation_fraction = popularity.app_popularity_curve()
+    skew_rows = []
+    for top_pct in (0.01, 0.1, 1.0, 10.0, 18.6, 50.0, 100.0):
+        index = max(int(np.ceil(top_pct / 100.0 * app_fraction.size)) - 1, 0)
+        skew_rows.append(
+            {
+                "top_pct_apps": top_pct,
+                "pct_invocations": 100.0 * float(invocation_fraction[index]),
+            }
+        )
+    summary = popularity.summary()
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Invocations per application: rate CDF and popularity skew",
+        rows=skew_rows,
+        series={
+            "app_rate_cdf": popularity.app_rate_cdf().as_series(),
+            "function_rate_cdf": popularity.function_rate_cdf().as_series(),
+        },
+        notes=[
+            "paper: 45% of apps are invoked at most hourly, 81% at most once a minute; "
+            f"measured: {100 * summary['fraction_apps_at_most_hourly']:.1f}% and "
+            f"{100 * summary['fraction_apps_at_most_minutely']:.1f}%",
+            "paper: the 18.6% most popular apps produce 99.6% of invocations; "
+            f"measured share from apps invoked at least once a minute: "
+            f"{100 * summary['invocation_share_of_popular_apps']:.1f}%",
+            f"measured rate range: {summary['rate_orders_of_magnitude']:.1f} orders of magnitude",
+        ],
+    )
+
+
+@register_experiment("fig6")
+def iat_variability(context: ExperimentContext) -> ExperimentResult:
+    """Figure 6: CV of inter-arrival times for subsets of applications."""
+    report = CharacterizationReport(context.workload)
+    analysis = report.iat_variability
+    thresholds = (0.05, 0.5, 1.0, 2.0, 4.0, 8.0)
+    rows = []
+    for subset in (SUBSET_ALL, SUBSET_ONLY_TIMERS, SUBSET_AT_LEAST_ONE_TIMER, SUBSET_NO_TIMERS):
+        values = analysis.cvs_for(subset)
+        row: dict[str, object] = {"subset": subset, "num_apps": int(values.size)}
+        for threshold in thresholds:
+            row[f"cdf_at_cv_{threshold:g}"] = (
+                float(np.mean(values <= threshold)) if values.size else 0.0
+            )
+        rows.append(row)
+    summary = analysis.summary()
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="CV of the IATs for subsets of applications",
+        rows=rows,
+        notes=[
+            "paper: ~50% of timer-only apps have CV 0, ~20% of all apps have CV ~0, "
+            "~40% of apps have CV > 1; measured: "
+            f"{100 * summary['periodic_only_timers']:.0f}%, "
+            f"{100 * summary['periodic_all']:.0f}%, "
+            f"{100 * summary['highly_variable_all']:.0f}%",
+        ],
+    )
+
+
+@register_experiment("fig7")
+def execution_times(context: ExperimentContext) -> ExperimentResult:
+    """Figure 7: distribution of function execution times and log-normal fit."""
+    report = CharacterizationReport(context.workload)
+    analysis = report.execution_times
+    percentiles = (10, 25, 50, 75, 90, 96, 99)
+    rows = [
+        {
+            "percentile": percentile,
+            "average_execution_seconds": analysis.percentile_of_average(percentile),
+        }
+        for percentile in percentiles
+    ]
+    fit = analysis.lognormal_fit
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Distribution of average function execution times",
+        rows=rows,
+        series={"average_cdf": analysis.average_cdf().as_series()},
+        notes=[
+            "paper log-normal fit: log-mean -0.38, sigma 2.36; "
+            f"measured fit: log-mean {fit.log_mean:.2f}, sigma {fit.log_sigma:.2f} "
+            f"(KS distance {fit.ks_statistic:.3f})",
+            "paper: 50% of functions average under 1 s; measured: "
+            f"{100 * analysis.fraction_average_below_1s:.0f}%",
+        ],
+    )
+
+
+@register_experiment("fig8")
+def allocated_memory(context: ExperimentContext) -> ExperimentResult:
+    """Figure 8: distribution of allocated memory per application and Burr fit."""
+    report = CharacterizationReport(context.workload)
+    analysis = report.memory
+    percentiles = (10, 25, 50, 75, 90, 99)
+    rows = [
+        {
+            "percentile": percentile,
+            "average_allocated_mb": float(np.percentile(analysis.average_mb, percentile)),
+            "maximum_allocated_mb": float(np.percentile(analysis.maximum_mb, percentile)),
+        }
+        for percentile in percentiles
+    ]
+    fit = analysis.burr_fit
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Distribution of allocated memory per application",
+        rows=rows,
+        series={"average_cdf": analysis.average_cdf().as_series()},
+        notes=[
+            "paper Burr fit: c=11.652, k=0.221, lambda=107.083; "
+            f"measured fit: c={fit.c:.2f}, k={fit.k:.2f}, lambda={fit.scale:.1f}",
+            "paper: 50% of apps allocate at most 170 MB, 90% stay under 400 MB; "
+            f"measured maxima: median {analysis.median_maximum_mb:.0f} MB, "
+            f"p90 {analysis.p90_maximum_mb:.0f} MB",
+        ],
+    )

@@ -1,0 +1,148 @@
+"""Experiment drivers for the platform (OpenWhisk) results of Section 5.3.
+
+``fig20`` replays a scaled-down, mid-range-popularity workload on the
+discrete-event FaaS cluster under the default 10-minute fixed keep-alive
+policy and under the hybrid policy (4-hour histogram range), reproducing
+the cold-start CDF comparison of Figure 20 plus the memory and latency
+deltas quoted in the text.  ``tbl-overhead`` measures the policy's own
+decision cost, the analogue of the paper's controller-overhead numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.arima import auto_arima
+from repro.core.config import HybridPolicyConfig
+from repro.core.hybrid import HybridHistogramPolicy
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    register_experiment,
+)
+from repro.platform.cluster import ClusterConfig
+from repro.platform.replay import ReplayConfig, compare_policies_on_platform
+from repro.policies.registry import fixed_keepalive_factory, hybrid_factory
+from repro.trace.sampling import sample_mid_range_apps
+
+
+@register_experiment("fig20")
+def openwhisk_comparison(context: ExperimentContext) -> ExperimentResult:
+    """Figure 20: hybrid vs 10-minute fixed keep-alive on the platform."""
+    workload = context.workload
+    num_apps = min(68, max(workload.num_apps // 3, 8))
+    replay_minutes = min(480.0, workload.duration_minutes)
+    subset = sample_mid_range_apps(workload, num_apps=num_apps, seed=context.scale.seed)
+    results = compare_policies_on_platform(
+        subset,
+        [fixed_keepalive_factory(10.0), hybrid_factory(HybridPolicyConfig())],
+        replay_config=ReplayConfig(duration_minutes=replay_minutes, seed=context.scale.seed),
+        cluster_config=ClusterConfig(num_invokers=18),
+    )
+    rows = []
+    for name, result in results.items():
+        summary = result.summary()
+        rows.append(
+            {
+                "policy": name,
+                "invocations": summary["total_invocations"],
+                "cold_start_pct": summary["cold_start_pct"],
+                "third_quartile_app_cold_start_pct": summary[
+                    "third_quartile_app_cold_start_pct"
+                ],
+                "average_memory_mb": summary["average_memory_mb"],
+                "average_latency_s": summary["average_latency_seconds"],
+                "p99_latency_s": summary["p99_latency_seconds"],
+                "prewarm_loads": summary["prewarm_loads"],
+            }
+        )
+    fixed = results["fixed-10min"]
+    hybrid = next(result for name, result in results.items() if name.startswith("hybrid"))
+    memory_delta = _relative_change(
+        fixed.metrics.average_memory_mb(), hybrid.metrics.average_memory_mb()
+    )
+    latency_delta = _relative_change(
+        fixed.metrics.average_latency_seconds(), hybrid.metrics.average_latency_seconds()
+    )
+    p99_delta = _relative_change(
+        fixed.metrics.p99_latency_seconds(), hybrid.metrics.p99_latency_seconds()
+    )
+    cold_delta = _relative_change(
+        fixed.metrics.third_quartile_cold_start_percentage(),
+        hybrid.metrics.third_quartile_cold_start_percentage(),
+    )
+    return ExperimentResult(
+        experiment_id="fig20",
+        title="Cold-start behaviour of fixed vs hybrid policies on the FaaS platform",
+        rows=rows,
+        series={
+            "fixed_cdf": fixed.metrics.cold_start_cdf(),
+            "hybrid_cdf": hybrid.metrics.cold_start_cdf(),
+        },
+        notes=[
+            "paper: the hybrid policy cuts cold starts substantially, reduces worker "
+            "memory by 15.6% and average/99th-percentile execution time by "
+            "32.5%/82.4% on the 8-hour OpenWhisk replay",
+            f"measured: 3rd-quartile cold starts change {cold_delta:+.1f}%, "
+            f"memory {memory_delta:+.1f}%, average latency {latency_delta:+.1f}%, "
+            f"p99 latency {p99_delta:+.1f}%",
+            f"replayed {int(rows[0]['invocations'])} invocations from "
+            f"{subset.num_apps} mid-range-popularity applications",
+        ],
+    )
+
+
+def _relative_change(baseline: float, value: float) -> float:
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (value - baseline) / baseline
+
+
+@register_experiment("tbl-overhead")
+def policy_overhead(context: ExperimentContext) -> ExperimentResult:
+    """Section 5.3 policy-overhead table: decision latency and ARIMA cost."""
+    del context  # micro-benchmark; independent of the workload
+    rng = np.random.default_rng(42)
+
+    # Hybrid decision latency over a steady stream of invocations.
+    policy = HybridHistogramPolicy()
+    now = 0.0
+    samples = []
+    for index in range(2000):
+        now += float(rng.exponential(7.0))
+        start = time.perf_counter()
+        policy.on_invocation(now, cold=index == 0)
+        samples.append(time.perf_counter() - start)
+    decision_us = 1e6 * float(np.mean(samples))
+    decision_p99_us = 1e6 * float(np.percentile(samples, 99))
+
+    # ARIMA: initial fit vs subsequent forecasts on a sparse idle-time series.
+    series = rng.lognormal(5.5, 0.4, size=32)
+    start = time.perf_counter()
+    model = auto_arima(series)
+    initial_fit_ms = 1e3 * (time.perf_counter() - start)
+    start = time.perf_counter()
+    for _ in range(50):
+        model.forecast(series, steps=1)
+    forecast_ms = 1e3 * (time.perf_counter() - start) / 50.0
+
+    rows = [
+        {"metric": "hybrid decision latency (mean)", "value_us": decision_us},
+        {"metric": "hybrid decision latency (p99)", "value_us": decision_p99_us},
+        {"metric": "ARIMA initial fit", "value_us": 1e3 * initial_fit_ms},
+        {"metric": "ARIMA subsequent forecast", "value_us": 1e3 * forecast_ms},
+    ]
+    return ExperimentResult(
+        experiment_id="tbl-overhead",
+        title="Policy overhead micro-benchmarks",
+        rows=rows,
+        notes=[
+            "paper: the Scala implementation adds 835.7 us per invocation on average; "
+            "ARIMA takes 26.9 ms for the initial fit and 5.3 ms per later forecast",
+            "expected shape: per-invocation decision cost is negligible next to cold-start "
+            "latencies (O(100 ms)); ARIMA is orders of magnitude costlier than a histogram "
+            "decision, which is why it is reserved for out-of-bounds applications",
+        ],
+    )

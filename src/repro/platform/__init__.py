@@ -1,0 +1,46 @@
+"""OpenWhisk-like FaaS platform substrate (Sections 4.3 and 5.3)."""
+
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.container import Container, ContainerState
+from repro.platform.controller import Controller, ControllerStats
+from repro.platform.events import EventHandle, EventLoop
+from repro.platform.invoker import ColdStartModel, Invoker
+from repro.platform.loadbalancer import LoadBalancer, PlacementDecision
+from repro.platform.messages import (
+    ActivationMessage,
+    CompletionMessage,
+    ContainerUnloadNotice,
+    PrewarmMessage,
+)
+from repro.platform.metrics import AppInvocationStats, PlatformMetrics
+from repro.platform.replay import (
+    ReplayConfig,
+    ReplayResult,
+    TraceReplayer,
+    compare_policies_on_platform,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "FaasCluster",
+    "Container",
+    "ContainerState",
+    "Controller",
+    "ControllerStats",
+    "EventHandle",
+    "EventLoop",
+    "ColdStartModel",
+    "Invoker",
+    "LoadBalancer",
+    "PlacementDecision",
+    "ActivationMessage",
+    "CompletionMessage",
+    "ContainerUnloadNotice",
+    "PrewarmMessage",
+    "AppInvocationStats",
+    "PlatformMetrics",
+    "ReplayConfig",
+    "ReplayResult",
+    "TraceReplayer",
+    "compare_policies_on_platform",
+]

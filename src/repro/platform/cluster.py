@@ -1,0 +1,101 @@
+"""Cluster assembly: wire the event loop, invokers, balancer, and controller.
+
+The default configuration mirrors the paper's OpenWhisk deployment
+(Section 5.1): one controller plus 18 invoker VMs, each with a few GB of
+memory for worker containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.controller import Controller
+from repro.platform.events import EventLoop
+from repro.platform.invoker import ColdStartModel, Invoker
+from repro.platform.loadbalancer import LoadBalancer
+from repro.platform.metrics import PlatformMetrics
+from repro.policies.registry import PolicyFactory
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Sizing and latency parameters of the simulated FaaS cluster.
+
+    Attributes:
+        num_invokers: Number of invoker VMs (18 in the paper's experiment).
+        invoker_memory_mb: Container memory budget per invoker (the paper's
+            invoker VMs have 4 GB; a slice is reserved for the system).
+        container_start_mean_seconds: Mean container cold-start latency.
+        runtime_bootstrap_seconds: Extra execution time paid by cold
+            invocations for language-runtime start-up.
+        overload_threshold: Memory-load fraction above which the balancer
+            skips an invoker.
+        seed: Seed for the latency-sampling random generator.
+    """
+
+    num_invokers: int = 18
+    invoker_memory_mb: float = 3584.0
+    container_start_mean_seconds: float = 1.2
+    runtime_bootstrap_seconds: float = 0.35
+    overload_threshold: float = 0.9
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_invokers < 1:
+            raise ValueError("cluster needs at least one invoker")
+        if self.invoker_memory_mb <= 0:
+            raise ValueError("invoker memory must be positive")
+        if self.container_start_mean_seconds <= 0:
+            raise ValueError("container start latency must be positive")
+        if self.runtime_bootstrap_seconds < 0:
+            raise ValueError("runtime bootstrap latency must be non-negative")
+
+
+class FaasCluster:
+    """A fully wired FaaS platform instance for one experiment run."""
+
+    def __init__(self, policy_factory: PolicyFactory, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.loop = EventLoop()
+        self.metrics = PlatformMetrics()
+        cold_start_model = ColdStartModel(
+            container_start_mean_seconds=self.config.container_start_mean_seconds,
+            runtime_bootstrap_seconds=self.config.runtime_bootstrap_seconds,
+        )
+        rng = np.random.default_rng(self.config.seed)
+        self.invokers = [
+            Invoker(
+                invoker_id=index,
+                memory_capacity_mb=self.config.invoker_memory_mb,
+                loop=self.loop,
+                metrics=self.metrics,
+                cold_start_model=cold_start_model,
+                rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
+            )
+            for index in range(self.config.num_invokers)
+        ]
+        self.load_balancer = LoadBalancer(
+            self.invokers, overload_threshold=self.config.overload_threshold
+        )
+        self.controller = Controller(
+            loop=self.loop,
+            load_balancer=self.load_balancer,
+            metrics=self.metrics,
+            policy_factory=policy_factory,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_memory_mb(self) -> float:
+        return self.config.num_invokers * self.config.invoker_memory_mb
+
+    def run(self, until_seconds: float | None = None) -> PlatformMetrics:
+        """Run the event loop to completion (or a horizon) and finalize metrics."""
+        end = self.loop.run(until_seconds)
+        self.controller.drain()
+        # Draining may schedule nothing, but unloads are immediate; record the
+        # observation window end for memory averaging.
+        self.metrics.finish(end)
+        return self.metrics

@@ -1,0 +1,125 @@
+"""Application containers hosted by invokers.
+
+A container corresponds to a loaded application image (the unit of
+keep-alive in the paper).  Its lifecycle mirrors OpenWhisk's
+``ContainerProxy``: created cold (paying a start-up latency), it serves
+invocations, goes idle, and is unloaded when its keep-alive window —
+carried on each :class:`~repro.platform.messages.ActivationMessage` —
+expires, or when the invoker needs to reclaim memory, or when the policy
+unloads it eagerly to pre-warm later.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle states of an application container."""
+
+    STARTING = "starting"
+    IDLE = "idle"
+    BUSY = "busy"
+    UNLOADED = "unloaded"
+
+
+@dataclass
+class Container:
+    """One loaded application image on one invoker.
+
+    Attributes:
+        app_id: Application the container hosts.
+        memory_mb: Resident memory while loaded.
+        created_at_seconds: Time the container started loading.
+        warm_at_seconds: Time the container finished loading (end of the
+            cold-start latency); invocations arriving earlier queue behind
+            the start-up.
+        concurrency_limit: Maximum simultaneous in-flight invocations the
+            container accepts (Azure Functions warms the whole application,
+            and per the paper capacity-induced cold starts affect <1% of
+            applications, so the default is generous).
+    """
+
+    app_id: str
+    memory_mb: float
+    created_at_seconds: float
+    warm_at_seconds: float
+    concurrency_limit: int = 64
+    state: ContainerState = ContainerState.STARTING
+    in_flight: int = 0
+    last_idle_at_seconds: float = field(default=0.0)
+    total_invocations: int = 0
+    unloaded_at_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError("container memory must be positive")
+        if self.warm_at_seconds < self.created_at_seconds:
+            raise ValueError("container cannot become warm before it is created")
+        if self.concurrency_limit < 1:
+            raise ValueError("concurrency limit must be at least 1")
+        self.last_idle_at_seconds = self.warm_at_seconds
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_loaded(self) -> bool:
+        return self.state is not ContainerState.UNLOADED
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state is ContainerState.IDLE
+
+    def has_capacity(self) -> bool:
+        """Whether the container can accept one more concurrent invocation."""
+        return self.is_loaded and self.in_flight < self.concurrency_limit
+
+    # ------------------------------------------------------------------ #
+    def mark_warm(self, now_seconds: float) -> None:
+        """Transition from STARTING to IDLE once the start-up completes."""
+        if self.state is not ContainerState.STARTING:
+            return
+        self.state = ContainerState.IDLE if self.in_flight == 0 else ContainerState.BUSY
+        self.last_idle_at_seconds = now_seconds
+
+    def begin_invocation(self, now_seconds: float) -> None:
+        """Account for one invocation starting on this container."""
+        if not self.is_loaded:
+            raise RuntimeError(f"container for {self.app_id} is unloaded")
+        if not self.has_capacity():
+            raise RuntimeError(f"container for {self.app_id} is at its concurrency limit")
+        self.in_flight += 1
+        self.total_invocations += 1
+        if self.state is not ContainerState.STARTING:
+            self.state = ContainerState.BUSY
+        del now_seconds
+
+    def end_invocation(self, now_seconds: float) -> None:
+        """Account for one invocation finishing on this container."""
+        if self.in_flight <= 0:
+            raise RuntimeError(f"container for {self.app_id} has no in-flight invocations")
+        self.in_flight -= 1
+        if self.in_flight == 0 and self.state is ContainerState.BUSY:
+            self.state = ContainerState.IDLE
+            self.last_idle_at_seconds = now_seconds
+
+    def unload(self, now_seconds: float) -> float:
+        """Unload the container and return the loaded duration in seconds."""
+        if self.state is ContainerState.UNLOADED:
+            return 0.0
+        if self.in_flight > 0:
+            raise RuntimeError(f"cannot unload busy container for {self.app_id}")
+        self.state = ContainerState.UNLOADED
+        self.unloaded_at_seconds = now_seconds
+        return max(now_seconds - self.created_at_seconds, 0.0)
+
+    def loaded_seconds(self, now_seconds: float) -> float:
+        """Time the container has been loaded so far."""
+        end = self.unloaded_at_seconds if self.unloaded_at_seconds is not None else now_seconds
+        return max(end - self.created_at_seconds, 0.0)
+
+    def idle_seconds(self, now_seconds: float) -> float:
+        """How long the container has currently been idle (0 when busy)."""
+        if self.state is not ContainerState.IDLE:
+            return 0.0
+        return max(now_seconds - self.last_idle_at_seconds, 0.0)

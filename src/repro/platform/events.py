@@ -1,0 +1,129 @@
+"""Discrete-event simulation engine for the FaaS platform substrate.
+
+A minimal, deterministic event loop: events are ``(time, sequence,
+callback)`` triples ordered by time with FIFO tie-breaking, and the
+simulation advances by popping the earliest event.  All platform
+components (controller, invokers, containers) schedule their work through
+one :class:`EventLoop` instance, which makes the whole platform
+reproducible and easy to unit-test.
+
+Times are in **seconds** inside the platform substrate (container starts
+and function executions are sub-minute); the trace replayer converts from
+the trace's minutes at the boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event's callback never runs."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventLoop:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    def schedule(self, delay_seconds: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay_seconds`` from now."""
+        if delay_seconds < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self.schedule_at(self._now + delay_seconds, callback)
+
+    def schedule_at(self, time_seconds: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time_seconds < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_seconds} before current time {self._now}"
+            )
+        event = _ScheduledEvent(
+            time=float(time_seconds), sequence=next(self._sequence), callback=callback
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(self, until_seconds: Optional[float] = None) -> float:
+        """Run until the queue drains or the horizon is reached.
+
+        Args:
+            until_seconds: Optional horizon; events scheduled after it stay
+                in the queue and the clock stops at the horizon.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if until_seconds is not None and event.time > until_seconds:
+                self._now = until_seconds
+                return self._now
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+        if until_seconds is not None:
+            self._now = max(self._now, until_seconds)
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one (non-cancelled) event; returns False when empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False

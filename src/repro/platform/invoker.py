@@ -1,0 +1,268 @@
+"""Invokers: worker nodes that host application containers.
+
+Each invoker mirrors an OpenWhisk invoker VM: it owns a memory budget,
+creates Docker-like containers on demand (paying a cold-start latency),
+runs function executions inside them, and unloads containers when the
+keep-alive window received with the activation message expires — the
+paper's modification to OpenWhisk's ``ContainerProxy``.  When memory runs
+short the invoker evicts the least-recently-used idle container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.platform.container import Container, ContainerState
+from repro.platform.events import EventHandle, EventLoop
+from repro.platform.messages import ActivationMessage, CompletionMessage, ContainerUnloadNotice
+from repro.platform.metrics import PlatformMetrics
+
+
+@dataclass(frozen=True)
+class ColdStartModel:
+    """Latency model for container creation and runtime bootstrap.
+
+    The paper reports container initiation of O(100 ms)–seconds and an
+    in-memory language-runtime initiation of O(10 ms); the runtime
+    bootstrap is additionally paid *inside* the measured execution time of
+    cold invocations, which is why eliminating cold starts also shortened
+    the observed execution times in Section 5.3.
+    """
+
+    container_start_mean_seconds: float = 1.2
+    container_start_sigma: float = 0.35
+    runtime_bootstrap_seconds: float = 0.35
+    warm_start_overhead_seconds: float = 0.01
+
+    def sample_container_start(self, rng: np.random.Generator) -> float:
+        draw = rng.lognormal(mean=np.log(self.container_start_mean_seconds), sigma=self.container_start_sigma)
+        return float(max(draw, 0.05))
+
+
+class Invoker:
+    """One worker VM hosting containers for many applications.
+
+    Args:
+        invoker_id: Index of this invoker in the cluster.
+        memory_capacity_mb: Total memory available for containers (the
+            paper's experiment uses 18 invoker VMs with 4 GB each).
+        loop: Shared event loop.
+        metrics: Shared metrics collector.
+        cold_start_model: Container-start latency model.
+        rng: Random generator for latency sampling.
+        on_completion: Callback invoked with every CompletionMessage (the
+            controller wires itself here).
+        on_unload: Optional callback for container unload notices.
+    """
+
+    def __init__(
+        self,
+        invoker_id: int,
+        memory_capacity_mb: float,
+        *,
+        loop: EventLoop,
+        metrics: PlatformMetrics,
+        cold_start_model: ColdStartModel | None = None,
+        rng: np.random.Generator | None = None,
+        on_completion: Callable[[CompletionMessage], None] | None = None,
+        on_unload: Callable[[ContainerUnloadNotice], None] | None = None,
+    ) -> None:
+        if memory_capacity_mb <= 0:
+            raise ValueError("invoker memory capacity must be positive")
+        self.invoker_id = invoker_id
+        self.memory_capacity_mb = float(memory_capacity_mb)
+        self.loop = loop
+        self.metrics = metrics
+        self.cold_start_model = cold_start_model or ColdStartModel()
+        self.rng = rng or np.random.default_rng(invoker_id)
+        self.on_completion = on_completion
+        self.on_unload = on_unload
+        self._containers: dict[str, Container] = {}
+        self._keepalive_handles: dict[str, EventHandle] = {}
+        self._activation_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Capacity accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def used_memory_mb(self) -> float:
+        return sum(c.memory_mb for c in self._containers.values() if c.is_loaded)
+
+    @property
+    def free_memory_mb(self) -> float:
+        return self.memory_capacity_mb - self.used_memory_mb
+
+    @property
+    def load_fraction(self) -> float:
+        """Memory utilization in [0, 1+]; the load balancer keys off this."""
+        return self.used_memory_mb / self.memory_capacity_mb
+
+    def container_for(self, app_id: str) -> Optional[Container]:
+        container = self._containers.get(app_id)
+        if container is not None and container.is_loaded:
+            return container
+        return None
+
+    def loaded_app_ids(self) -> list[str]:
+        return [app_id for app_id, c in self._containers.items() if c.is_loaded]
+
+    # ------------------------------------------------------------------ #
+    # Activation handling
+    # ------------------------------------------------------------------ #
+    def handle_activation(self, message: ActivationMessage) -> None:
+        """Execute one activation, creating a container if needed."""
+        now = self.loop.now
+        container = self.container_for(message.app_id)
+        cold = container is None
+        if cold:
+            container = self._create_container(message.app_id, message.memory_mb)
+            startup = max(container.warm_at_seconds - now, 0.0)
+            startup += self.cold_start_model.runtime_bootstrap_seconds
+        else:
+            startup = self.cold_start_model.warm_start_overhead_seconds
+        self._cancel_keepalive(message.app_id)
+        container.begin_invocation(now)
+        queued = max(now - message.arrival_time_seconds, 0.0)
+        finish_delay = startup + message.execution_seconds
+
+        def _finish() -> None:
+            self._finish_activation(message, container, cold, queued, startup)
+
+        self.loop.schedule(finish_delay, _finish)
+
+    def _finish_activation(
+        self,
+        message: ActivationMessage,
+        container: Container,
+        cold: bool,
+        queued: float,
+        startup: float,
+    ) -> None:
+        now = self.loop.now
+        container.mark_warm(now)
+        container.end_invocation(now)
+        completion = CompletionMessage(
+            activation_id=message.activation_id,
+            app_id=message.app_id,
+            function_id=message.function_id,
+            invoker_id=self.invoker_id,
+            cold_start=cold,
+            queued_seconds=queued,
+            startup_seconds=startup,
+            execution_seconds=message.execution_seconds,
+        )
+        self.metrics.record_completion(completion)
+        if container.in_flight == 0:
+            self._apply_post_execution_policy(message, container)
+        if self.on_completion is not None:
+            self.on_completion(completion)
+
+    def _apply_post_execution_policy(
+        self, message: ActivationMessage, container: Container
+    ) -> None:
+        """Apply the activation's keep-alive / pre-warm directives."""
+        if message.prewarm_seconds > 0:
+            # Policy wants the image unloaded right away; the controller
+            # schedules the pre-warm load separately.
+            self._unload(message.app_id, reason="policy-unload")
+            return
+        self._schedule_keepalive(message.app_id, message.keepalive_seconds)
+
+    # ------------------------------------------------------------------ #
+    # Pre-warming
+    # ------------------------------------------------------------------ #
+    def prewarm(self, app_id: str, memory_mb: float, keepalive_seconds: float) -> bool:
+        """Load a container ahead of an expected invocation.
+
+        Returns True when a container is (now) loaded for the application.
+        """
+        if self.container_for(app_id) is not None:
+            self._schedule_keepalive(app_id, keepalive_seconds)
+            return True
+        container = self._create_container(app_id, memory_mb)
+        if container is None:
+            return False
+        self.metrics.record_prewarm_load()
+        self._schedule_keepalive(app_id, keepalive_seconds)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Container lifecycle
+    # ------------------------------------------------------------------ #
+    def _create_container(self, app_id: str, memory_mb: float) -> Container:
+        self._ensure_capacity(memory_mb)
+        now = self.loop.now
+        startup = self.cold_start_model.sample_container_start(self.rng)
+        container = Container(
+            app_id=app_id,
+            memory_mb=memory_mb,
+            created_at_seconds=now,
+            warm_at_seconds=now + startup,
+        )
+        self._containers[app_id] = container
+        self.loop.schedule(startup, lambda: container.mark_warm(self.loop.now))
+        return container
+
+    def _ensure_capacity(self, needed_mb: float) -> None:
+        """Evict least-recently-used idle containers until memory fits."""
+        guard = len(self._containers) + 1
+        while self.free_memory_mb < needed_mb and guard > 0:
+            guard -= 1
+            idle = [
+                c
+                for c in self._containers.values()
+                if c.is_loaded and c.state is ContainerState.IDLE and c.in_flight == 0
+            ]
+            if not idle:
+                break
+            victim = min(idle, key=lambda c: c.last_idle_at_seconds)
+            self.metrics.record_eviction()
+            self._unload(victim.app_id, reason="memory-pressure")
+
+    def _schedule_keepalive(self, app_id: str, keepalive_seconds: float) -> None:
+        self._cancel_keepalive(app_id)
+        if keepalive_seconds == float("inf"):
+            return
+
+        def _expire() -> None:
+            container = self.container_for(app_id)
+            if container is None or container.in_flight > 0:
+                return
+            self._unload(app_id, reason="keepalive-expired")
+
+        self._keepalive_handles[app_id] = self.loop.schedule(
+            max(keepalive_seconds, 0.0), _expire
+        )
+
+    def _cancel_keepalive(self, app_id: str) -> None:
+        handle = self._keepalive_handles.pop(app_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _unload(self, app_id: str, *, reason: str) -> None:
+        container = self._containers.get(app_id)
+        if container is None or not container.is_loaded:
+            return
+        self._cancel_keepalive(app_id)
+        loaded = container.unload(self.loop.now)
+        self.metrics.record_container_unload(self.invoker_id, container.memory_mb, loaded)
+        del self._containers[app_id]
+        if self.on_unload is not None:
+            self.on_unload(
+                ContainerUnloadNotice(
+                    app_id=app_id,
+                    invoker_id=self.invoker_id,
+                    time_seconds=self.loop.now,
+                    reason=reason,
+                )
+            )
+
+    def flush(self) -> None:
+        """Unload every idle container (end of the experiment) for accounting."""
+        for app_id in list(self._containers):
+            container = self._containers[app_id]
+            if container.is_loaded and container.in_flight == 0:
+                self._unload(app_id, reason="experiment-end")

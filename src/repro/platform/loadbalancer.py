@@ -1,0 +1,109 @@
+"""Load balancer: chooses an invoker for every activation.
+
+Mirrors OpenWhisk's sharding container-pool balancer in spirit: every
+application has a *home invoker* (a stable hash of the application id);
+if the home invoker already hosts a warm container for the application it
+is always preferred (container affinity is what makes keep-alive useful),
+otherwise the balancer walks the ring with a co-prime step until it finds
+an invoker with enough free memory, falling back to the least-loaded
+invoker when every node is saturated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.platform.invoker import Invoker
+
+
+def _stable_hash(app_id: str) -> int:
+    """Deterministic hash of an application id (stable across processes)."""
+    digest = hashlib.blake2b(app_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _coprime_step(num_invokers: int, app_hash: int) -> int:
+    """A step size co-prime with the ring size, derived from the app hash."""
+    if num_invokers <= 1:
+        return 1
+    candidate = (app_hash % (num_invokers - 1)) + 1
+    while math.gcd(candidate, num_invokers) != 1:
+        candidate = candidate % num_invokers + 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of one scheduling decision."""
+
+    invoker: Invoker
+    home_invoker_id: int
+    hops: int
+    had_warm_container: bool
+
+
+class LoadBalancer:
+    """Chooses invokers with home-node affinity and memory awareness."""
+
+    def __init__(self, invokers: Sequence[Invoker], *, overload_threshold: float = 0.9) -> None:
+        if not invokers:
+            raise ValueError("load balancer needs at least one invoker")
+        if not 0 < overload_threshold <= 1.0:
+            raise ValueError("overload threshold must be in (0, 1]")
+        self._invokers = list(invokers)
+        self.overload_threshold = overload_threshold
+
+    @property
+    def invokers(self) -> list[Invoker]:
+        return list(self._invokers)
+
+    def home_invoker(self, app_id: str) -> Invoker:
+        return self._invokers[_stable_hash(app_id) % len(self._invokers)]
+
+    def place(self, app_id: str, memory_mb: float) -> PlacementDecision:
+        """Pick the invoker that should run the next activation of an app."""
+        app_hash = _stable_hash(app_id)
+        count = len(self._invokers)
+        home_index = app_hash % count
+        step = _coprime_step(count, app_hash)
+
+        # First pass: prefer any invoker that already holds a warm container
+        # for the application, starting from the home node.
+        index = home_index
+        for hops in range(count):
+            invoker = self._invokers[index]
+            if invoker.container_for(app_id) is not None:
+                return PlacementDecision(
+                    invoker=invoker,
+                    home_invoker_id=home_index,
+                    hops=hops,
+                    had_warm_container=True,
+                )
+            index = (index + step) % count
+
+        # Second pass: first invoker (starting at home) with room to spare.
+        index = home_index
+        for hops in range(count):
+            invoker = self._invokers[index]
+            fits = invoker.free_memory_mb >= memory_mb
+            not_overloaded = invoker.load_fraction < self.overload_threshold
+            if fits and not_overloaded:
+                return PlacementDecision(
+                    invoker=invoker,
+                    home_invoker_id=home_index,
+                    hops=hops,
+                    had_warm_container=False,
+                )
+            index = (index + step) % count
+
+        # Saturated cluster: pick the least-loaded invoker and let it evict.
+        least_loaded = min(self._invokers, key=lambda inv: inv.load_fraction)
+        return PlacementDecision(
+            invoker=least_loaded,
+            home_invoker_id=home_index,
+            hops=count,
+            had_warm_container=False,
+        )

@@ -1,0 +1,81 @@
+"""Messages exchanged between the platform components.
+
+Mirrors the OpenWhisk message flow described in Section 4.3: the
+controller forwards an *activation message* to the chosen invoker for
+every invocation.  The paper's modification adds a per-application
+keep-alive duration field to the ``ActivationMessage`` so the invoker can
+apply the policy's decision when the container goes idle; the pre-warming
+message is the second addition, published by the load balancer when a
+pre-warm is scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ActivationMessage:
+    """Request to execute one function invocation on an invoker.
+
+    Attributes:
+        activation_id: Unique id of this invocation.
+        app_id: Application the function belongs to (unit of keep-alive).
+        function_id: Function to execute.
+        arrival_time_seconds: Time the invocation entered the controller.
+        execution_seconds: Execution duration to simulate.
+        memory_mb: Application memory footprint for container sizing.
+        keepalive_seconds: Keep-alive window the invoker must apply to the
+            container once this execution finishes (the paper's new field).
+        prewarm_seconds: Pre-warming window; the invoker unloads the
+            container right after execution when this is positive, and the
+            controller schedules a pre-warm message for later.
+    """
+
+    activation_id: int
+    app_id: str
+    function_id: str
+    arrival_time_seconds: float
+    execution_seconds: float
+    memory_mb: float
+    keepalive_seconds: float
+    prewarm_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class PrewarmMessage:
+    """Request to load an application container ahead of an expected invocation."""
+
+    app_id: str
+    target_time_seconds: float
+    keepalive_seconds: float
+    memory_mb: float
+
+
+@dataclass(frozen=True)
+class CompletionMessage:
+    """Reported by an invoker to the controller when an activation finishes."""
+
+    activation_id: int
+    app_id: str
+    function_id: str
+    invoker_id: int
+    cold_start: bool
+    queued_seconds: float
+    startup_seconds: float
+    execution_seconds: float
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        """Latency from arrival at the controller to completion."""
+        return self.queued_seconds + self.startup_seconds + self.execution_seconds
+
+
+@dataclass(frozen=True)
+class ContainerUnloadNotice:
+    """Sent by an invoker when it unloads an application container."""
+
+    app_id: str
+    invoker_id: int
+    time_seconds: float
+    reason: str = "keepalive-expired"

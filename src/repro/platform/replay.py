@@ -1,0 +1,151 @@
+"""Trace replay onto the FaaS platform (the FaaSProfiler stand-in).
+
+The paper drives its OpenWhisk deployment with FaaSProfiler, replaying a
+scaled-down trace (68 mid-popularity applications, 8 hours) and collecting
+cold-start and latency results.  :class:`TraceReplayer` plays a
+:class:`~repro.trace.schema.Workload` into a :class:`FaasCluster`: every
+invocation becomes a ``controller.submit`` at its trace timestamp, with an
+execution duration drawn from the function's execution profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.metrics import PlatformMetrics
+from repro.policies.registry import PolicyFactory
+from repro.trace.schema import Workload
+
+SECONDS_PER_MINUTE = 60.0
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Parameters of a platform replay experiment.
+
+    Attributes:
+        duration_minutes: Portion of the workload to replay (the paper's
+            OpenWhisk runs last 8 hours = 480 minutes).
+        seed: Seed for execution-time sampling.
+        max_execution_seconds: Safety cap on sampled execution durations so
+            a single extreme log-normal draw cannot occupy a container for
+            the whole experiment.
+    """
+
+    duration_minutes: float = 480.0
+    seed: int = 7
+    max_execution_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes <= 0:
+            raise ValueError("replay duration must be positive")
+        if self.max_execution_seconds <= 0:
+            raise ValueError("execution cap must be positive")
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one policy on the platform."""
+
+    policy_name: str
+    metrics: PlatformMetrics
+    controller_overhead_microseconds: float
+    prewarm_messages: int
+
+    def summary(self) -> dict[str, float]:
+        data = self.metrics.summary()
+        data["controller_overhead_us"] = self.controller_overhead_microseconds
+        data["prewarm_messages"] = float(self.prewarm_messages)
+        return data
+
+
+class TraceReplayer:
+    """Replays a workload against a cluster running one policy."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        replay_config: ReplayConfig | None = None,
+        cluster_config: ClusterConfig | None = None,
+    ) -> None:
+        self.workload = workload
+        self.replay_config = replay_config or ReplayConfig()
+        self.cluster_config = cluster_config or ClusterConfig()
+
+    def run(self, policy_factory: PolicyFactory) -> ReplayResult:
+        """Replay the workload under one policy and collect platform metrics."""
+        config = self.replay_config
+        cluster = FaasCluster(policy_factory, self.cluster_config)
+        rng = np.random.default_rng(config.seed)
+        horizon_seconds = config.duration_minutes * SECONDS_PER_MINUTE
+
+        submissions = 0
+        for app in self.workload.apps:
+            memory_mb = app.memory.average_mb
+            for function in app.functions:
+                times = self.workload.function_invocations(function.function_id)
+                times = times[times < config.duration_minutes]
+                if times.size == 0:
+                    continue
+                durations = function.execution.sample_seconds(rng, size=times.size)
+                durations = np.minimum(durations, config.max_execution_seconds)
+                for timestamp, duration in zip(times, durations):
+                    self._schedule_submission(
+                        cluster,
+                        arrival_seconds=float(timestamp) * SECONDS_PER_MINUTE,
+                        app_id=app.app_id,
+                        function_id=function.function_id,
+                        execution_seconds=float(duration),
+                        memory_mb=memory_mb,
+                    )
+                    submissions += 1
+
+        # Let in-flight work finish: run past the horizon until quiescent.
+        metrics = cluster.run()
+        metrics.finish(max(horizon_seconds, cluster.loop.now))
+        return ReplayResult(
+            policy_name=policy_factory.name,
+            metrics=metrics,
+            controller_overhead_microseconds=(
+                cluster.controller.stats.average_policy_update_microseconds
+            ),
+            prewarm_messages=cluster.controller.stats.prewarm_messages,
+        )
+
+    @staticmethod
+    def _schedule_submission(
+        cluster: FaasCluster,
+        *,
+        arrival_seconds: float,
+        app_id: str,
+        function_id: str,
+        execution_seconds: float,
+        memory_mb: float,
+    ) -> None:
+        cluster.loop.schedule_at(
+            arrival_seconds,
+            lambda: cluster.controller.submit(
+                app_id,
+                function_id,
+                execution_seconds=execution_seconds,
+                memory_mb=memory_mb,
+            ),
+        )
+
+
+def compare_policies_on_platform(
+    workload: Workload,
+    policy_factories: list[PolicyFactory],
+    *,
+    replay_config: ReplayConfig | None = None,
+    cluster_config: ClusterConfig | None = None,
+) -> dict[str, ReplayResult]:
+    """Replay the same workload under several policies (Figure 20)."""
+    replayer = TraceReplayer(
+        workload, replay_config=replay_config, cluster_config=cluster_config
+    )
+    return {factory.name: replayer.run(factory) for factory in policy_factories}

@@ -1,0 +1,26 @@
+"""Keep-alive policies: the shared interface, baselines, and factories."""
+
+from repro.policies.base import KeepAlivePolicy
+from repro.policies.fixed import FIGURE_14_KEEPALIVE_MINUTES, FixedKeepAlivePolicy
+from repro.policies.no_unload import NoUnloadingPolicy
+from repro.policies.registry import (
+    PolicyFactory,
+    fixed_keepalive_factory,
+    hybrid_factory,
+    no_unloading_factory,
+    parse_policy_spec,
+    standard_policy_suite,
+)
+
+__all__ = [
+    "KeepAlivePolicy",
+    "FixedKeepAlivePolicy",
+    "FIGURE_14_KEEPALIVE_MINUTES",
+    "NoUnloadingPolicy",
+    "PolicyFactory",
+    "fixed_keepalive_factory",
+    "hybrid_factory",
+    "no_unloading_factory",
+    "parse_policy_spec",
+    "standard_policy_suite",
+]

@@ -1,0 +1,65 @@
+"""Keep-alive policy interface shared by baselines and the hybrid policy.
+
+A *policy instance* manages a single application.  The simulator (and the
+platform controller) calls :meth:`KeepAlivePolicy.on_invocation` once per
+invocation of that application, at the instant the invocation's execution
+ends, and receives back the :class:`~repro.core.windows.PolicyDecision`
+(pre-warming window, keep-alive window) that governs the application's
+image until the next invocation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.core.windows import PolicyDecision
+
+
+class KeepAlivePolicy(abc.ABC):
+    """Per-application cold-start management policy.
+
+    One instance tracks one application; create a fresh instance per
+    application (see :class:`PolicyFactory` in :mod:`repro.policies.registry`).
+    """
+
+    #: Human-readable policy name used in reports and experiment labels.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def on_invocation(self, now_minutes: float, *, cold: bool) -> PolicyDecision:
+        """Process one invocation and return the windows until the next one.
+
+        Args:
+            now_minutes: Absolute time, in minutes, at which the invocation's
+                execution ended (the simulator uses zero execution times, so
+                this is also the arrival time).
+            cold: Whether the invocation was a cold start, as determined by
+                the caller from the previous decision.
+
+        Returns:
+            The pre-warming and keep-alive windows to apply from
+            ``now_minutes`` until the next invocation.
+        """
+
+    def reset(self) -> None:
+        """Forget all per-application state (default: nothing to forget)."""
+
+    def describe(self) -> dict[str, object]:
+        """Introspection hook used by reports; override to add detail."""
+        return {"name": self.name}
+
+    def replay(self, invocation_times_minutes: Iterable[float]) -> list[PolicyDecision]:
+        """Feed a whole series of invocation times and collect the decisions.
+
+        This mirrors what the cold-start simulator does, but without
+        computing cold/warm outcomes: every invocation after the first is
+        reported as warm.  Useful for unit tests and offline inspection of
+        how a policy's windows evolve.
+        """
+        decisions: list[PolicyDecision] = []
+        first = True
+        for timestamp in invocation_times_minutes:
+            decisions.append(self.on_invocation(float(timestamp), cold=first))
+            first = False
+        return decisions

@@ -1,0 +1,132 @@
+"""Policy factories and a small string-spec registry.
+
+The simulator creates one policy instance per application.  A
+:class:`PolicyFactory` captures "which policy, with which parameters" and
+produces fresh instances on demand.  Factories can also be parsed from
+compact string specs (used by the CLI and the experiment drivers), e.g.::
+
+    "fixed:10"          a 10-minute fixed keep-alive policy
+    "no-unloading"      the infinite keep-alive baseline
+    "hybrid:240"        the hybrid policy with a 4-hour histogram range
+    "hybrid:240:5:99"   ... with explicit head/tail cutoff percentiles
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.policies.base import KeepAlivePolicy
+from repro.policies.fixed import FixedKeepAlivePolicy
+from repro.policies.no_unload import NoUnloadingPolicy
+
+
+@dataclass(frozen=True)
+class PolicyFactory:
+    """Creates fresh per-application policy instances.
+
+    Attributes:
+        name: Label used in experiment output.
+        builder: Zero-argument callable returning a new policy instance.
+    """
+
+    name: str
+    builder: Callable[[], KeepAlivePolicy]
+
+    def __call__(self) -> KeepAlivePolicy:
+        return self.builder()
+
+    def create(self) -> KeepAlivePolicy:
+        """Alias of calling the factory."""
+        return self.builder()
+
+
+def fixed_keepalive_factory(keepalive_minutes: float) -> PolicyFactory:
+    """Factory for :class:`FixedKeepAlivePolicy` with the given window."""
+    minutes = float(keepalive_minutes)
+    return PolicyFactory(
+        name=f"fixed-{minutes:g}min",
+        builder=lambda: FixedKeepAlivePolicy(minutes),
+    )
+
+
+def no_unloading_factory() -> PolicyFactory:
+    """Factory for :class:`NoUnloadingPolicy`."""
+    return PolicyFactory(name="no-unloading", builder=NoUnloadingPolicy)
+
+
+def hybrid_factory(config: Any | None = None, **overrides: Any) -> PolicyFactory:
+    """Factory for the hybrid histogram policy.
+
+    Args:
+        config: An optional :class:`repro.core.config.HybridPolicyConfig`.
+        **overrides: Field overrides applied on top of ``config`` (or on top
+            of the default configuration when ``config`` is None).
+    """
+    # Imported lazily to avoid a circular import at package-initialization
+    # time (repro.core.hybrid itself imports repro.policies.base).
+    from repro.core.config import HybridPolicyConfig
+    from repro.core.hybrid import HybridHistogramPolicy
+
+    base = config or HybridPolicyConfig()
+    if overrides:
+        base = base.with_overrides(**overrides)
+    name = f"hybrid-{base.histogram_range_minutes / 60:g}h"
+    if (base.head_percentile, base.tail_percentile) != (5.0, 99.0):
+        name += f"[{base.head_percentile:g},{base.tail_percentile:g}]"
+    if not base.enable_arima:
+        name += "-noarima"
+    if not base.enable_prewarming:
+        name += "-nopw"
+    return PolicyFactory(name=name, builder=lambda: HybridHistogramPolicy(base))
+
+
+def parse_policy_spec(spec: str) -> PolicyFactory:
+    """Parse a compact string spec into a :class:`PolicyFactory`.
+
+    Supported forms::
+
+        no-unloading
+        fixed:<minutes>
+        hybrid[:<range minutes>[:<head pct>:<tail pct>]]
+    """
+    parts = [part.strip() for part in spec.strip().lower().split(":")]
+    kind = parts[0]
+    if kind in ("no-unloading", "no_unloading", "nounload", "infinite"):
+        return no_unloading_factory()
+    if kind == "fixed":
+        if len(parts) != 2:
+            raise ValueError(f"fixed policy spec must be 'fixed:<minutes>', got {spec!r}")
+        return fixed_keepalive_factory(float(parts[1]))
+    if kind == "hybrid":
+        from repro.core.config import HybridPolicyConfig
+
+        config = HybridPolicyConfig()
+        if len(parts) >= 2 and parts[1]:
+            config = config.with_overrides(histogram_range_minutes=float(parts[1]))
+        if len(parts) == 4:
+            config = config.with_cutoffs(float(parts[2]), float(parts[3]))
+        elif len(parts) not in (1, 2):
+            raise ValueError(
+                "hybrid policy spec must be 'hybrid[:<range>[:<head>:<tail>]]', "
+                f"got {spec!r}"
+            )
+        return hybrid_factory(config)
+    raise ValueError(f"unknown policy kind {kind!r} in spec {spec!r}")
+
+
+def standard_policy_suite(
+    *,
+    fixed_minutes: tuple[float, ...] = (5, 10, 20, 30, 45, 60, 90, 120),
+    hybrid_range_hours: tuple[float, ...] = (1, 2, 3, 4),
+    include_no_unloading: bool = True,
+) -> list[PolicyFactory]:
+    """The full set of policies evaluated in Figures 14 and 15."""
+    factories: list[PolicyFactory] = []
+    if include_no_unloading:
+        factories.append(no_unloading_factory())
+    factories.extend(fixed_keepalive_factory(m) for m in fixed_minutes)
+    factories.extend(
+        hybrid_factory(histogram_range_minutes=hours * 60.0) for hours in hybrid_range_hours
+    )
+    return factories

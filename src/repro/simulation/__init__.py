@@ -1,0 +1,71 @@
+"""Trace-driven cold-start simulation (Section 5.1 methodology)."""
+
+from repro.simulation.coldstart import (
+    AppSimulationTrace,
+    ColdStartSimulator,
+    InvocationOutcome,
+    simulate_application,
+)
+from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
+from repro.simulation.pareto import (
+    FrontierComparison,
+    TradeOffPoint,
+    compare_frontiers,
+    interpolate_cold_start_at_memory,
+    interpolate_memory_at_cold_start,
+    pareto_frontier,
+    trade_off_points,
+)
+from repro.simulation.runner import (
+    PolicyComparison,
+    RunnerOptions,
+    WorkloadRunner,
+    run_policy_over_workload,
+)
+from repro.simulation.sweep import (
+    AlwaysColdComparison,
+    FIGURE_15_HYBRID_RANGE_HOURS,
+    FIGURE_16_CUTOFFS,
+    FIGURE_18_CV_THRESHOLDS,
+    SweepResult,
+    sweep_arima_contribution,
+    sweep_cutoffs,
+    sweep_cv_threshold,
+    sweep_fixed_and_hybrid,
+    sweep_fixed_keepalive,
+    sweep_hybrid_ranges,
+    sweep_prewarming,
+)
+
+__all__ = [
+    "AppSimulationTrace",
+    "ColdStartSimulator",
+    "InvocationOutcome",
+    "simulate_application",
+    "AggregateResult",
+    "AppSimResult",
+    "merge_results",
+    "FrontierComparison",
+    "TradeOffPoint",
+    "compare_frontiers",
+    "interpolate_cold_start_at_memory",
+    "interpolate_memory_at_cold_start",
+    "pareto_frontier",
+    "trade_off_points",
+    "PolicyComparison",
+    "RunnerOptions",
+    "WorkloadRunner",
+    "run_policy_over_workload",
+    "AlwaysColdComparison",
+    "FIGURE_15_HYBRID_RANGE_HOURS",
+    "FIGURE_16_CUTOFFS",
+    "FIGURE_18_CV_THRESHOLDS",
+    "SweepResult",
+    "sweep_arima_contribution",
+    "sweep_cutoffs",
+    "sweep_cv_threshold",
+    "sweep_fixed_and_hybrid",
+    "sweep_fixed_keepalive",
+    "sweep_hybrid_ranges",
+    "sweep_prewarming",
+]

@@ -1,0 +1,192 @@
+"""Metrics produced by the cold-start simulator.
+
+The paper evaluates policies along two axes:
+
+* the distribution of per-application **cold-start percentages** (the CDFs
+  of Figures 14, 16, 17, 18 and 20), usually summarized by the
+  **3rd-quartile (75th-percentile) application cold-start percentage**;
+* the **wasted memory time** — the total time application images sit in
+  memory without executing anything — normalized to the 10-minute fixed
+  keep-alive baseline (Figures 15–18).
+
+This module defines the per-application and aggregate result records and
+the helpers that compute those summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AppSimResult:
+    """Outcome of simulating one policy over one application's trace."""
+
+    app_id: str
+    invocations: int
+    cold_starts: int
+    wasted_memory_minutes: float
+    memory_mb: float = 1.0
+    mode_counts: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.invocations < 0 or self.cold_starts < 0:
+            raise ValueError("counts must be non-negative")
+        if self.cold_starts > self.invocations:
+            raise ValueError("cold starts cannot exceed invocations")
+        if self.wasted_memory_minutes < 0:
+            raise ValueError("wasted memory time must be non-negative")
+
+    @property
+    def warm_starts(self) -> int:
+        return self.invocations - self.cold_starts
+
+    @property
+    def cold_start_percentage(self) -> float:
+        """Percentage of this application's invocations that were cold."""
+        if self.invocations == 0:
+            return 0.0
+        return 100.0 * self.cold_starts / self.invocations
+
+    @property
+    def always_cold(self) -> bool:
+        """True when every invocation of the application was a cold start."""
+        return self.invocations > 0 and self.cold_starts == self.invocations
+
+    @property
+    def wasted_memory_mb_minutes(self) -> float:
+        """Memory-weighted waste (MB·minutes)."""
+        return self.wasted_memory_minutes * self.memory_mb
+
+
+@dataclass
+class AggregateResult:
+    """Aggregate of one policy's results over a whole workload."""
+
+    policy_name: str
+    app_results: tuple[AppSimResult, ...]
+
+    @property
+    def num_apps(self) -> int:
+        return len(self.app_results)
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(result.invocations for result in self.app_results)
+
+    @property
+    def total_cold_starts(self) -> int:
+        return sum(result.cold_starts for result in self.app_results)
+
+    @property
+    def overall_cold_start_percentage(self) -> float:
+        """Cold-start percentage over all invocations (not per-app)."""
+        total = self.total_invocations
+        if total == 0:
+            return 0.0
+        return 100.0 * self.total_cold_starts / total
+
+    @property
+    def total_wasted_memory_minutes(self) -> float:
+        return sum(result.wasted_memory_minutes for result in self.app_results)
+
+    @property
+    def total_wasted_memory_mb_minutes(self) -> float:
+        return sum(result.wasted_memory_mb_minutes for result in self.app_results)
+
+    def cold_start_percentages(self) -> np.ndarray:
+        """Per-application cold-start percentages (the CDF raw data)."""
+        return np.asarray(
+            [result.cold_start_percentage for result in self.app_results], dtype=float
+        )
+
+    def app_cold_start_percentile(self, percentile: float) -> float:
+        """Percentile of the per-app cold-start distribution.
+
+        The paper reports the 75th percentile ("3rd-quartile app cold
+        start"); lower percentiles are available for completeness.
+        """
+        values = self.cold_start_percentages()
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, percentile))
+
+    @property
+    def third_quartile_cold_start_percentage(self) -> float:
+        return self.app_cold_start_percentile(75.0)
+
+    @property
+    def always_cold_fraction(self) -> float:
+        """Fraction of applications that experienced only cold starts (Fig. 19)."""
+        if not self.app_results:
+            return 0.0
+        always = sum(1 for result in self.app_results if result.always_cold)
+        return always / len(self.app_results)
+
+    def always_cold_fraction_excluding_single(self) -> float:
+        """Always-cold fraction excluding single-invocation applications.
+
+        Applications with a single invocation in the trace can never avoid
+        their one cold start; the paper reports the ARIMA benefit both with
+        and without them.
+        """
+        eligible = [result for result in self.app_results if result.invocations > 1]
+        if not eligible:
+            return 0.0
+        always = sum(1 for result in eligible if result.always_cold)
+        return always / len(self.app_results)
+
+    @property
+    def single_invocation_fraction(self) -> float:
+        """Fraction of applications invoked exactly once over the trace."""
+        if not self.app_results:
+            return 0.0
+        singles = sum(1 for result in self.app_results if result.invocations == 1)
+        return singles / len(self.app_results)
+
+    def normalized_wasted_memory(self, baseline: "AggregateResult") -> float:
+        """Wasted memory time as a percentage of a baseline policy's.
+
+        The paper normalizes to the 10-minute fixed keep-alive policy.
+        """
+        denominator = baseline.total_wasted_memory_minutes
+        if denominator == 0:
+            return 0.0 if self.total_wasted_memory_minutes == 0 else math.inf
+        return 100.0 * self.total_wasted_memory_minutes / denominator
+
+    def cold_start_cdf(self, grid: Sequence[float] | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF of per-app cold-start percentages.
+
+        Returns ``(x, F(x))`` where ``x`` spans 0..100 (percent).
+        """
+        values = np.sort(self.cold_start_percentages())
+        if grid is None:
+            grid_array = np.linspace(0.0, 100.0, 101)
+        else:
+            grid_array = np.asarray(grid, dtype=float)
+        if values.size == 0:
+            return grid_array, np.zeros_like(grid_array)
+        fractions = np.searchsorted(values, grid_array, side="right") / values.size
+        return grid_array, fractions
+
+    def summary(self) -> dict[str, float]:
+        """Key metrics as a flat dictionary (used by reports and the CLI)."""
+        return {
+            "num_apps": float(self.num_apps),
+            "total_invocations": float(self.total_invocations),
+            "total_cold_starts": float(self.total_cold_starts),
+            "overall_cold_start_pct": self.overall_cold_start_percentage,
+            "third_quartile_app_cold_start_pct": self.third_quartile_cold_start_percentage,
+            "always_cold_fraction": self.always_cold_fraction,
+            "wasted_memory_minutes": self.total_wasted_memory_minutes,
+            "wasted_memory_mb_minutes": self.total_wasted_memory_mb_minutes,
+        }
+
+
+def merge_results(policy_name: str, results: Iterable[AppSimResult]) -> AggregateResult:
+    """Build an :class:`AggregateResult` from per-app results."""
+    return AggregateResult(policy_name=policy_name, app_results=tuple(results))

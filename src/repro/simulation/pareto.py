@@ -1,0 +1,151 @@
+"""Pareto-frontier analysis of the cold-start vs. memory trade-off.
+
+Figure 15 (and Figure 18, right) plot every policy configuration as a
+point in the plane (3rd-quartile application cold-start percentage,
+normalized wasted memory time) and compare the *Pareto frontiers* traced
+by the fixed keep-alive family and the hybrid-policy family.  This module
+extracts those frontiers and quantifies how much one family dominates the
+other (the "~2.5× fewer cold starts at equal memory" and "~50% less memory
+at equal cold starts" headline numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.simulation.metrics import AggregateResult
+
+
+@dataclass(frozen=True)
+class TradeOffPoint:
+    """One policy configuration in the cold-start/memory plane."""
+
+    policy: str
+    cold_start_percentage: float
+    normalized_wasted_memory: float
+
+    def dominates(self, other: "TradeOffPoint") -> bool:
+        """True when this point is at least as good on both axes and better on one."""
+        not_worse = (
+            self.cold_start_percentage <= other.cold_start_percentage
+            and self.normalized_wasted_memory <= other.normalized_wasted_memory
+        )
+        strictly_better = (
+            self.cold_start_percentage < other.cold_start_percentage
+            or self.normalized_wasted_memory < other.normalized_wasted_memory
+        )
+        return not_worse and strictly_better
+
+
+def trade_off_points(
+    results: Mapping[str, AggregateResult], baseline: AggregateResult
+) -> list[TradeOffPoint]:
+    """Build trade-off points from aggregate results, normalizing to a baseline."""
+    points = []
+    for name, result in results.items():
+        points.append(
+            TradeOffPoint(
+                policy=name,
+                cold_start_percentage=result.third_quartile_cold_start_percentage,
+                normalized_wasted_memory=result.normalized_wasted_memory(baseline),
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: Iterable[TradeOffPoint]) -> list[TradeOffPoint]:
+    """Non-dominated subset, sorted by ascending cold-start percentage."""
+    point_list = list(points)
+    frontier = [
+        candidate
+        for candidate in point_list
+        if not any(other.dominates(candidate) for other in point_list)
+    ]
+    return sorted(frontier, key=lambda p: (p.cold_start_percentage, p.normalized_wasted_memory))
+
+
+def interpolate_memory_at_cold_start(
+    frontier: Sequence[TradeOffPoint], cold_start_percentage: float
+) -> float:
+    """Wasted memory of a frontier at a given cold-start level (linear interp)."""
+    if not frontier:
+        raise ValueError("frontier is empty")
+    xs = np.asarray([p.cold_start_percentage for p in frontier], dtype=float)
+    ys = np.asarray([p.normalized_wasted_memory for p in frontier], dtype=float)
+    order = np.argsort(xs)
+    return float(np.interp(cold_start_percentage, xs[order], ys[order]))
+
+
+def interpolate_cold_start_at_memory(
+    frontier: Sequence[TradeOffPoint], normalized_memory: float
+) -> float:
+    """Cold-start level of a frontier at a given memory budget (linear interp)."""
+    if not frontier:
+        raise ValueError("frontier is empty")
+    xs = np.asarray([p.normalized_wasted_memory for p in frontier], dtype=float)
+    ys = np.asarray([p.cold_start_percentage for p in frontier], dtype=float)
+    order = np.argsort(xs)
+    return float(np.interp(normalized_memory, xs[order], ys[order]))
+
+
+@dataclass(frozen=True)
+class FrontierComparison:
+    """How much one policy family improves on another (Figure 15 headline)."""
+
+    cold_start_ratio_at_equal_memory: float
+    memory_ratio_at_equal_cold_start: float
+
+    def describe(self) -> str:
+        return (
+            f"at equal memory the baseline frontier has "
+            f"{self.cold_start_ratio_at_equal_memory:.2f}x the cold starts; "
+            f"at equal cold starts it spends "
+            f"{self.memory_ratio_at_equal_cold_start:.2f}x the memory"
+        )
+
+
+def compare_frontiers(
+    better: Sequence[TradeOffPoint],
+    baseline: Sequence[TradeOffPoint],
+    *,
+    reference_point: TradeOffPoint | None = None,
+) -> FrontierComparison:
+    """Quantify the gap between two frontiers.
+
+    Args:
+        better: The frontier expected to dominate (hybrid policies).
+        baseline: The frontier being compared against (fixed policies).
+        reference_point: The point at which the comparison is anchored;
+            defaults to the last point of ``better`` (the largest-range
+            hybrid configuration, which is how the paper frames it:
+            "the 10-minute fixed policy has ~2.5× more cold starts at the
+            same memory as the 4-hour-range hybrid").
+    """
+    better_frontier = pareto_frontier(better)
+    baseline_frontier = pareto_frontier(baseline)
+    if not better_frontier or not baseline_frontier:
+        raise ValueError("both frontiers must be non-empty")
+    anchor = reference_point or better_frontier[0]
+    baseline_cold_at_memory = interpolate_cold_start_at_memory(
+        baseline_frontier, anchor.normalized_wasted_memory
+    )
+    baseline_memory_at_cold = interpolate_memory_at_cold_start(
+        baseline_frontier, anchor.cold_start_percentage
+    )
+    cold_ratio = (
+        baseline_cold_at_memory / anchor.cold_start_percentage
+        if anchor.cold_start_percentage > 0
+        else float("inf")
+    )
+    memory_ratio = (
+        baseline_memory_at_cold / anchor.normalized_wasted_memory
+        if anchor.normalized_wasted_memory > 0
+        else float("inf")
+    )
+    return FrontierComparison(
+        cold_start_ratio_at_equal_memory=cold_ratio,
+        memory_ratio_at_equal_cold_start=memory_ratio,
+    )

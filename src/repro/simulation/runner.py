@@ -1,0 +1,178 @@
+"""Run keep-alive policies over whole workloads.
+
+The runner couples the per-application :class:`ColdStartSimulator` with a
+:class:`~repro.policies.registry.PolicyFactory`: every application gets a
+fresh policy instance (policies are stateful and per-application by
+design) and the per-app results are aggregated into an
+:class:`~repro.simulation.metrics.AggregateResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.policies.registry import PolicyFactory
+from repro.simulation.coldstart import ColdStartSimulator
+from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
+from repro.trace.schema import Workload
+
+
+@dataclass(frozen=True)
+class RunnerOptions:
+    """Options shared by all policy runs over a workload.
+
+    Attributes:
+        use_memory_weights: Weight each application's wasted memory time by
+            its average allocated memory.  The paper's simulator assumes
+            equal footprints (False), because memory data is not available
+            for every application; enabling this gives MB-weighted waste.
+        min_invocations: Applications with fewer invocations than this are
+            skipped entirely (0 keeps every application, including those
+            never invoked, which simply produce empty results).
+    """
+
+    use_memory_weights: bool = False
+    min_invocations: int = 1
+
+
+class WorkloadRunner:
+    """Evaluates policies over every application of a workload."""
+
+    def __init__(self, workload: Workload, options: RunnerOptions | None = None) -> None:
+        self.workload = workload
+        self.options = options or RunnerOptions()
+        self._simulator = ColdStartSimulator(horizon_minutes=workload.duration_minutes)
+
+    # ------------------------------------------------------------------ #
+    def run_policy(
+        self,
+        factory: PolicyFactory,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> AggregateResult:
+        """Simulate one policy (fresh instance per application) over the workload.
+
+        Args:
+            factory: Policy factory; called once per application.
+            progress: Optional callback ``(done, total)`` for long runs.
+        """
+        results: list[AppSimResult] = []
+        apps = self.workload.apps
+        total = len(apps)
+        for index, app in enumerate(apps):
+            times = self.workload.app_invocations(app.app_id)
+            if times.size < self.options.min_invocations:
+                continue
+            memory_mb = app.memory.average_mb if self.options.use_memory_weights else 1.0
+            policy = factory.create()
+            result = self._simulator.simulate_app(
+                app.app_id, times, policy, memory_mb=memory_mb
+            )
+            assert isinstance(result, AppSimResult)
+            results.append(result)
+            if progress is not None:
+                progress(index + 1, total)
+        return merge_results(factory.name, results)
+
+    def run_policies(
+        self,
+        factories: Sequence[PolicyFactory],
+        *,
+        progress: Callable[[str, int, int], None] | None = None,
+    ) -> dict[str, AggregateResult]:
+        """Simulate several policies and return results keyed by policy name."""
+        results: dict[str, AggregateResult] = {}
+        for factory in factories:
+            per_policy_progress = None
+            if progress is not None:
+                per_policy_progress = lambda done, total, name=factory.name: progress(
+                    name, done, total
+                )
+            results[factory.name] = self.run_policy(factory, progress=per_policy_progress)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        factories: Sequence[PolicyFactory],
+        *,
+        baseline_name: str | None = None,
+    ) -> "PolicyComparison":
+        """Run several policies and build a comparison table.
+
+        Args:
+            factories: Policies to evaluate.
+            baseline_name: Name of the policy used to normalize wasted
+                memory time; defaults to a 10-minute fixed policy if one is
+                present, otherwise the first policy.
+        """
+        results = self.run_policies(factories)
+        if baseline_name is None:
+            baseline_name = next(
+                (name for name in results if name == "fixed-10min"), next(iter(results))
+            )
+        if baseline_name not in results:
+            raise ValueError(f"baseline policy {baseline_name!r} was not evaluated")
+        return PolicyComparison(results=results, baseline_name=baseline_name)
+
+
+@dataclass
+class PolicyComparison:
+    """Results of several policies over the same workload, with a baseline."""
+
+    results: Mapping[str, AggregateResult]
+    baseline_name: str
+
+    @property
+    def baseline(self) -> AggregateResult:
+        return self.results[self.baseline_name]
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """One row per policy: the numbers behind Figures 14–18."""
+        baseline = self.baseline
+        rows: list[dict[str, float | str]] = []
+        for name, result in self.results.items():
+            rows.append(
+                {
+                    "policy": name,
+                    "third_quartile_app_cold_start_pct": (
+                        result.third_quartile_cold_start_percentage
+                    ),
+                    "overall_cold_start_pct": result.overall_cold_start_percentage,
+                    "normalized_wasted_memory_pct": result.normalized_wasted_memory(baseline),
+                    "always_cold_fraction": result.always_cold_fraction,
+                    "num_apps": result.num_apps,
+                }
+            )
+        return rows
+
+    def as_text_table(self) -> str:
+        """Plain-text rendering of :meth:`rows` (used by the CLI and benches)."""
+        rows = self.rows()
+        header = (
+            f"{'policy':<24} {'3Q cold start %':>16} {'overall cold %':>15} "
+            f"{'norm. wasted mem %':>19} {'always-cold %':>14}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            lines.append(
+                f"{row['policy']:<24} "
+                f"{row['third_quartile_app_cold_start_pct']:>16.2f} "
+                f"{row['overall_cold_start_pct']:>15.2f} "
+                f"{row['normalized_wasted_memory_pct']:>19.2f} "
+                f"{100.0 * float(row['always_cold_fraction']):>14.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_policy_over_workload(
+    workload: Workload,
+    factory: PolicyFactory,
+    *,
+    options: RunnerOptions | None = None,
+) -> AggregateResult:
+    """Convenience wrapper: evaluate one policy over a workload."""
+    return WorkloadRunner(workload, options).run_policy(factory)

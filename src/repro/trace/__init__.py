@@ -1,0 +1,62 @@
+"""Azure-Functions-like trace substrate: schema, generator, I/O, sampling."""
+
+from repro.trace.arrival import (
+    ArrivalProcess,
+    CompositeArrival,
+    DiurnalPoissonArrival,
+    OnOffArrival,
+    PoissonArrival,
+    SparseArrival,
+    TimerArrival,
+    iat_coefficient_of_variation,
+    interarrival_times,
+)
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator, generate_workload
+from repro.trace.loader import load_dataset, parse_trigger
+from repro.trace.sampling import (
+    MID_RANGE_POPULARITY,
+    PopularityBand,
+    representative_sample,
+    sample_mid_range_apps,
+    sample_random_apps,
+    select_popularity_band,
+)
+from repro.trace.schema import (
+    AppSpec,
+    ExecutionProfile,
+    FunctionSpec,
+    MemoryProfile,
+    TriggerType,
+    Workload,
+)
+from repro.trace.writer import write_dataset
+
+__all__ = [
+    "ArrivalProcess",
+    "CompositeArrival",
+    "DiurnalPoissonArrival",
+    "OnOffArrival",
+    "PoissonArrival",
+    "SparseArrival",
+    "TimerArrival",
+    "iat_coefficient_of_variation",
+    "interarrival_times",
+    "GeneratorConfig",
+    "WorkloadGenerator",
+    "generate_workload",
+    "load_dataset",
+    "parse_trigger",
+    "MID_RANGE_POPULARITY",
+    "PopularityBand",
+    "representative_sample",
+    "sample_mid_range_apps",
+    "sample_random_apps",
+    "select_popularity_band",
+    "AppSpec",
+    "ExecutionProfile",
+    "FunctionSpec",
+    "MemoryProfile",
+    "TriggerType",
+    "Workload",
+    "write_dataset",
+]

@@ -1,0 +1,345 @@
+"""Arrival processes used to synthesize per-application invocation times.
+
+Section 3.3 of the paper shows that real applications exhibit a wide mix
+of inter-arrival-time (IAT) behaviours: timer-driven applications are
+periodic (CV ≈ 0), human-driven traffic is roughly Poisson (CV ≈ 1) with
+diurnal and weekly modulation (Figure 4), and a large fraction of
+applications have CV > 1 (bursty, ON/OFF behaviour).  Each class below
+models one of those behaviours; :class:`CompositeArrival` unions several
+processes for multi-trigger applications.
+
+All processes generate timestamps in **minutes** over ``[0, duration)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+MINUTES_PER_DAY = 1440.0
+MINUTES_PER_WEEK = 7.0 * MINUTES_PER_DAY
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates invocation timestamps for one function or application."""
+
+    @abc.abstractmethod
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        """Return sorted timestamps (minutes) in ``[0, duration_minutes)``."""
+
+    @abc.abstractmethod
+    def expected_rate_per_minute(self) -> float:
+        """Long-run average invocation rate (per minute)."""
+
+    def expected_count(self, duration_minutes: float) -> float:
+        """Expected number of invocations over the given horizon."""
+        return self.expected_rate_per_minute() * duration_minutes
+
+
+@dataclass(frozen=True)
+class TimerArrival(ArrivalProcess):
+    """Strictly periodic arrivals (timer trigger), optional phase and jitter.
+
+    Args:
+        period_minutes: Interval between invocations.
+        phase_minutes: Offset of the first invocation.
+        jitter_minutes: Uniform jitter applied to each firing (0 = exact).
+    """
+
+    period_minutes: float
+    phase_minutes: float = 0.0
+    jitter_minutes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_minutes <= 0:
+            raise ValueError("timer period must be positive")
+        if self.phase_minutes < 0:
+            raise ValueError("timer phase must be non-negative")
+        if self.jitter_minutes < 0:
+            raise ValueError("timer jitter must be non-negative")
+
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        count = int(math.floor((duration_minutes - self.phase_minutes) / self.period_minutes)) + 1
+        if count <= 0 or self.phase_minutes >= duration_minutes:
+            return np.empty(0)
+        times = self.phase_minutes + np.arange(count) * self.period_minutes
+        if self.jitter_minutes > 0:
+            times = times + rng.uniform(-self.jitter_minutes, self.jitter_minutes, size=count)
+            times = np.clip(times, 0.0, np.nextafter(duration_minutes, 0.0))
+            times.sort()
+        return times[times < duration_minutes]
+
+    def expected_rate_per_minute(self) -> float:
+        return 1.0 / self.period_minutes
+
+
+@dataclass(frozen=True)
+class PoissonArrival(ArrivalProcess):
+    """Homogeneous Poisson arrivals (memoryless, CV of IATs = 1)."""
+
+    rate_per_minute: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_minute < 0:
+            raise ValueError("arrival rate must be non-negative")
+
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        if self.rate_per_minute == 0:
+            return np.empty(0)
+        expected = self.rate_per_minute * duration_minutes
+        count = rng.poisson(expected)
+        if count == 0:
+            return np.empty(0)
+        return np.sort(rng.uniform(0.0, duration_minutes, size=count))
+
+    def expected_rate_per_minute(self) -> float:
+        return self.rate_per_minute
+
+
+@dataclass(frozen=True)
+class SparseArrival(ArrivalProcess):
+    """Very infrequent arrivals with heavy-tailed (log-normal) IATs.
+
+    Models the long tail of applications invoked a handful of times per
+    week; ``iat_cv`` controls how irregular the gaps are.
+    """
+
+    mean_iat_minutes: float
+    iat_cv: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.mean_iat_minutes <= 0:
+            raise ValueError("mean inter-arrival time must be positive")
+        if self.iat_cv <= 0:
+            raise ValueError("IAT coefficient of variation must be positive")
+
+    def _lognormal_params(self) -> tuple[float, float]:
+        sigma2 = math.log(1.0 + self.iat_cv**2)
+        mu = math.log(self.mean_iat_minutes) - sigma2 / 2.0
+        return mu, math.sqrt(sigma2)
+
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        mu, sigma = self._lognormal_params()
+        times: list[float] = []
+        # Random start so the first invocation is not pinned to t=0.
+        current = rng.uniform(0.0, min(self.mean_iat_minutes, duration_minutes))
+        # Bound the loop: even extremely small IAT draws cannot run away.
+        max_events = int(duration_minutes / max(self.mean_iat_minutes, 1e-3) * 20) + 10
+        while current < duration_minutes and len(times) < max_events:
+            times.append(current)
+            current += rng.lognormal(mu, sigma)
+        return np.asarray(times)
+
+    def expected_rate_per_minute(self) -> float:
+        return 1.0 / self.mean_iat_minutes
+
+
+@dataclass(frozen=True)
+class BurstArrival(ArrivalProcess):
+    """Clumped arrivals: short bursts separated by long, irregular gaps.
+
+    Many infrequently invoked applications in the trace are not uniformly
+    sparse: their invocations arrive in small clusters (a user session, a
+    batch of queue messages, a retry storm) separated by hours of silence.
+    This yields many *short* idle times even when the mean inter-arrival
+    time is large — which is exactly the regime in which a fixed keep-alive
+    still catches a fair share of warm starts and a histogram shows a
+    strong concentration near zero.
+
+    Args:
+        mean_gap_minutes: Mean silence between bursts (exponential).
+        burst_size_mean: Mean number of invocations per burst (geometric,
+            at least 1).
+        intra_burst_gap_minutes: Mean spacing of invocations inside a burst
+            (exponential).
+    """
+
+    mean_gap_minutes: float
+    burst_size_mean: float = 3.0
+    intra_burst_gap_minutes: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_gap_minutes <= 0:
+            raise ValueError("mean gap between bursts must be positive")
+        if self.burst_size_mean < 1:
+            raise ValueError("mean burst size must be at least 1")
+        if self.intra_burst_gap_minutes <= 0:
+            raise ValueError("intra-burst gap must be positive")
+
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        times: list[float] = []
+        current = rng.exponential(self.mean_gap_minutes / 2.0)
+        geometric_p = 1.0 / self.burst_size_mean
+        max_events = int(duration_minutes / self.mean_gap_minutes * self.burst_size_mean * 30) + 50
+        while current < duration_minutes and len(times) < max_events:
+            burst_size = int(rng.geometric(geometric_p))
+            event_time = current
+            for _ in range(burst_size):
+                if event_time >= duration_minutes or len(times) >= max_events:
+                    break
+                times.append(event_time)
+                event_time += rng.exponential(self.intra_burst_gap_minutes)
+            current = max(event_time, current) + rng.exponential(self.mean_gap_minutes)
+        return np.asarray(times)
+
+    def expected_rate_per_minute(self) -> float:
+        cycle = self.mean_gap_minutes + self.burst_size_mean * self.intra_burst_gap_minutes
+        return self.burst_size_mean / cycle
+
+
+@dataclass(frozen=True)
+class OnOffArrival(ArrivalProcess):
+    """Bursty ON/OFF arrivals (CV of IATs well above 1).
+
+    The process alternates between exponentially distributed ON periods,
+    during which arrivals are Poisson at ``on_rate_per_minute``, and OFF
+    periods with no arrivals.  Queue- and event-triggered applications that
+    drain batches of messages look like this.
+    """
+
+    on_rate_per_minute: float
+    mean_on_minutes: float
+    mean_off_minutes: float
+
+    def __post_init__(self) -> None:
+        if self.on_rate_per_minute <= 0:
+            raise ValueError("ON arrival rate must be positive")
+        if self.mean_on_minutes <= 0 or self.mean_off_minutes <= 0:
+            raise ValueError("ON/OFF durations must be positive")
+
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        times: list[np.ndarray] = []
+        current = 0.0
+        on_phase = rng.random() < self.mean_on_minutes / (
+            self.mean_on_minutes + self.mean_off_minutes
+        )
+        while current < duration_minutes:
+            if on_phase:
+                length = rng.exponential(self.mean_on_minutes)
+                end = min(current + length, duration_minutes)
+                expected = self.on_rate_per_minute * (end - current)
+                count = rng.poisson(expected)
+                if count:
+                    times.append(np.sort(rng.uniform(current, end, size=count)))
+            else:
+                length = rng.exponential(self.mean_off_minutes)
+                end = min(current + length, duration_minutes)
+            current = end
+            on_phase = not on_phase
+        if not times:
+            return np.empty(0)
+        return np.sort(np.concatenate(times))
+
+    def expected_rate_per_minute(self) -> float:
+        duty_cycle = self.mean_on_minutes / (self.mean_on_minutes + self.mean_off_minutes)
+        return self.on_rate_per_minute * duty_cycle
+
+
+@dataclass(frozen=True)
+class DiurnalPoissonArrival(ArrivalProcess):
+    """Non-homogeneous Poisson arrivals with diurnal and weekly modulation.
+
+    Reproduces the shape of Figure 4: a constant baseline of roughly half
+    the peak load, a daily sinusoidal swing, and a weekend dip.
+    """
+
+    mean_rate_per_minute: float
+    daily_amplitude: float = 0.4
+    weekend_dip: float = 0.3
+    peak_minute_of_day: float = 14.0 * 60.0
+    trace_start_weekday: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_rate_per_minute < 0:
+            raise ValueError("mean rate must be non-negative")
+        if not 0 <= self.daily_amplitude < 1:
+            raise ValueError("daily amplitude must be in [0, 1)")
+        if not 0 <= self.weekend_dip < 1:
+            raise ValueError("weekend dip must be in [0, 1)")
+        if not 0 <= self.trace_start_weekday <= 6:
+            raise ValueError("trace start weekday must be in [0, 6]")
+
+    def intensity(self, minute: np.ndarray | float) -> np.ndarray:
+        """Instantaneous arrival rate at absolute minute(s) from trace start."""
+        minute = np.atleast_1d(np.asarray(minute, dtype=float))
+        minute_of_day = np.mod(minute, MINUTES_PER_DAY)
+        phase = 2.0 * math.pi * (minute_of_day - self.peak_minute_of_day) / MINUTES_PER_DAY
+        diurnal = 1.0 + self.daily_amplitude * np.cos(phase)
+        day_index = (np.floor(minute / MINUTES_PER_DAY).astype(int) + self.trace_start_weekday) % 7
+        weekend = np.where(day_index >= 5, 1.0 - self.weekend_dip, 1.0)
+        return self.mean_rate_per_minute * diurnal * weekend
+
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        if self.mean_rate_per_minute == 0:
+            return np.empty(0)
+        # Thinning: generate a homogeneous process at the peak rate, then
+        # accept each point with probability intensity/peak.
+        peak_rate = self.mean_rate_per_minute * (1.0 + self.daily_amplitude)
+        expected = peak_rate * duration_minutes
+        count = rng.poisson(expected)
+        if count == 0:
+            return np.empty(0)
+        candidates = np.sort(rng.uniform(0.0, duration_minutes, size=count))
+        accept_probability = self.intensity(candidates) / peak_rate
+        keep = rng.random(count) < accept_probability
+        return candidates[keep]
+
+    def expected_rate_per_minute(self) -> float:
+        # The diurnal term averages out; the weekend dip removes a fraction
+        # of two days out of seven.
+        weekend_factor = (5.0 + 2.0 * (1.0 - self.weekend_dip)) / 7.0
+        return self.mean_rate_per_minute * weekend_factor
+
+
+@dataclass(frozen=True)
+class CompositeArrival(ArrivalProcess):
+    """Union of several arrival processes (multi-trigger applications)."""
+
+    components: tuple[ArrivalProcess, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("composite arrival needs at least one component")
+
+    def generate(self, rng: np.random.Generator, duration_minutes: float) -> np.ndarray:
+        pieces = [component.generate(rng, duration_minutes) for component in self.components]
+        non_empty = [piece for piece in pieces if piece.size]
+        if not non_empty:
+            return np.empty(0)
+        return np.sort(np.concatenate(non_empty))
+
+    def expected_rate_per_minute(self) -> float:
+        return sum(component.expected_rate_per_minute() for component in self.components)
+
+    def generate_per_component(
+        self, rng: np.random.Generator, duration_minutes: float
+    ) -> list[np.ndarray]:
+        """Timestamps per component, used to assign arrivals to functions."""
+        return [component.generate(rng, duration_minutes) for component in self.components]
+
+
+def interarrival_times(timestamps: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Inter-arrival times of a sorted timestamp sequence."""
+    array = np.asarray(timestamps, dtype=float)
+    if array.size < 2:
+        return np.empty(0)
+    return np.diff(array)
+
+
+def iat_coefficient_of_variation(timestamps: Sequence[float] | np.ndarray) -> float:
+    """CV of the inter-arrival times of a timestamp sequence (Figure 6).
+
+    Returns ``nan`` for fewer than three invocations (fewer than two IATs),
+    matching how the characterization excludes apps with too few arrivals.
+    """
+    iats = interarrival_times(timestamps)
+    if iats.size < 2:
+        return float("nan")
+    mean = float(np.mean(iats))
+    if mean == 0:
+        return 0.0
+    return float(np.std(iats) / mean)

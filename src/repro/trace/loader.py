@@ -1,0 +1,264 @@
+"""Load workloads from the AzurePublicDataset CSV schema.
+
+The loader reads the three file families written by
+:mod:`repro.trace.writer` (which follow the released Azure Functions trace
+schema) and reconstructs a :class:`~repro.trace.schema.Workload`.  Because
+the public dataset only records per-minute invocation *counts*, exact
+sub-minute arrival times are not recoverable; the loader spreads each
+minute's invocations inside the minute either uniformly at random or at
+deterministic evenly-spaced offsets.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.trace.schema import (
+    AppSpec,
+    ExecutionProfile,
+    FunctionSpec,
+    MemoryProfile,
+    TriggerType,
+    Workload,
+)
+from repro.trace.writer import (
+    DURATIONS_PREFIX,
+    INVOCATIONS_PREFIX,
+    MEMORY_PREFIX,
+    MINUTES_PER_DAY,
+)
+
+_DAY_PATTERN = re.compile(r"\.d(\d+)\.csv$")
+
+#: Trigger names seen in the public dataset mapped onto the paper's classes.
+_TRIGGER_ALIASES: Mapping[str, TriggerType] = {
+    "http": TriggerType.HTTP,
+    "queue": TriggerType.QUEUE,
+    "event": TriggerType.EVENT,
+    "eventhub": TriggerType.EVENT,
+    "eventgrid": TriggerType.EVENT,
+    "orchestration": TriggerType.ORCHESTRATION,
+    "durable": TriggerType.ORCHESTRATION,
+    "timer": TriggerType.TIMER,
+    "storage": TriggerType.STORAGE,
+    "blob": TriggerType.STORAGE,
+    "others": TriggerType.OTHERS,
+    "other": TriggerType.OTHERS,
+}
+
+
+def parse_trigger(name: str) -> TriggerType:
+    """Map a trigger label from the dataset onto one of the 7 classes."""
+    key = name.strip().lower()
+    if key in _TRIGGER_ALIASES:
+        return _TRIGGER_ALIASES[key]
+    return TriggerType.OTHERS
+
+
+@dataclass
+class _FunctionAccumulator:
+    owner_id: str
+    app_id: str
+    function_id: str
+    trigger: TriggerType
+    per_day_counts: dict[int, np.ndarray]
+    average_ms: float = 1000.0
+    minimum_ms: float = 100.0
+    maximum_ms: float = 10_000.0
+
+
+def _find_day_files(directory: Path, prefix: str) -> dict[int, Path]:
+    files: dict[int, Path] = {}
+    for path in sorted(Path(directory).glob(f"{prefix}*.csv")):
+        match = _DAY_PATTERN.search(path.name)
+        if match:
+            files[int(match.group(1))] = path
+    return files
+
+
+def load_dataset(
+    directory: Path,
+    *,
+    sub_minute_placement: str = "uniform",
+    seed: int = 0,
+    max_days: int | None = None,
+) -> Workload:
+    """Load a workload from a directory of AzurePublicDataset-schema CSVs.
+
+    Args:
+        directory: Directory holding the CSV files.
+        sub_minute_placement: ``"uniform"`` places each invocation at a
+            uniformly random offset within its minute (seeded), ``"start"``
+            places them at the start of the minute, ``"spread"`` spaces them
+            evenly within the minute.
+        seed: Seed used for the ``"uniform"`` placement.
+        max_days: Only load the first ``max_days`` trace days.
+    """
+    if sub_minute_placement not in ("uniform", "start", "spread"):
+        raise ValueError(f"unknown sub-minute placement {sub_minute_placement!r}")
+    directory = Path(directory)
+    invocation_files = _find_day_files(directory, INVOCATIONS_PREFIX)
+    if not invocation_files:
+        raise FileNotFoundError(f"no {INVOCATIONS_PREFIX}*.csv files under {directory}")
+    days = sorted(invocation_files)
+    if max_days is not None:
+        days = days[:max_days]
+    functions: dict[str, _FunctionAccumulator] = {}
+    for day in days:
+        _read_invocation_file(invocation_files[day], day, functions)
+    duration_files = _find_day_files(directory, DURATIONS_PREFIX)
+    for day in days:
+        if day in duration_files:
+            _read_duration_file(duration_files[day], functions)
+    memory_files = _find_day_files(directory, MEMORY_PREFIX)
+    app_memory: dict[str, MemoryProfile] = {}
+    for day in days:
+        if day in memory_files:
+            _read_memory_file(memory_files[day], app_memory)
+
+    duration_minutes = float(len(days) * MINUTES_PER_DAY)
+    rng = np.random.default_rng(seed)
+    apps = _assemble_apps(functions, app_memory)
+    invocations = {
+        accumulator.function_id: _expand_counts(
+            accumulator, days, sub_minute_placement, rng
+        )
+        for accumulator in functions.values()
+    }
+    return Workload(apps, invocations, duration_minutes)
+
+
+def _read_invocation_file(
+    path: Path, day: int, functions: dict[str, _FunctionAccumulator]
+) -> None:
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            function_id = row["HashFunction"]
+            counts = np.asarray(
+                [int(float(row.get(str(minute), 0) or 0)) for minute in range(1, MINUTES_PER_DAY + 1)],
+                dtype=np.int64,
+            )
+            accumulator = functions.get(function_id)
+            if accumulator is None:
+                accumulator = _FunctionAccumulator(
+                    owner_id=row["HashOwner"],
+                    app_id=row["HashApp"],
+                    function_id=function_id,
+                    trigger=parse_trigger(row.get("Trigger", "others")),
+                    per_day_counts={},
+                )
+                functions[function_id] = accumulator
+            accumulator.per_day_counts[day] = counts
+
+
+def _read_duration_file(path: Path, functions: dict[str, _FunctionAccumulator]) -> None:
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            accumulator = functions.get(row["HashFunction"])
+            if accumulator is None:
+                continue
+            accumulator.average_ms = float(row.get("Average", accumulator.average_ms) or 0.0)
+            accumulator.minimum_ms = float(row.get("Minimum", accumulator.minimum_ms) or 0.0)
+            accumulator.maximum_ms = float(row.get("Maximum", accumulator.maximum_ms) or 0.0)
+
+
+def _read_memory_file(path: Path, app_memory: dict[str, MemoryProfile]) -> None:
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            app_id = row["HashApp"]
+            average = float(row.get("AverageAllocatedMb", 0.0) or 0.0)
+            if average <= 0:
+                continue
+            first_pct = float(row.get("AverageAllocatedMb_pct1", average) or average)
+            maximum = float(row.get("AverageAllocatedMb_pct100", average) or average)
+            app_memory[app_id] = MemoryProfile(
+                average_mb=average,
+                first_percentile_mb=min(first_pct, maximum),
+                maximum_mb=max(maximum, average),
+            )
+
+
+def _assemble_apps(
+    functions: dict[str, _FunctionAccumulator], app_memory: dict[str, MemoryProfile]
+) -> list[AppSpec]:
+    by_app: dict[str, list[_FunctionAccumulator]] = {}
+    for accumulator in functions.values():
+        by_app.setdefault(accumulator.app_id, []).append(accumulator)
+    apps = []
+    for app_id, members in sorted(by_app.items()):
+        function_specs = []
+        for member in sorted(members, key=lambda m: m.function_id):
+            average_s = max(member.average_ms / 1000.0, 1e-3)
+            minimum_s = max(member.minimum_ms / 1000.0, 0.0)
+            maximum_s = max(member.maximum_ms / 1000.0, average_s)
+            sigma = 0.5
+            mu = math.log(average_s) - sigma**2 / 2.0
+            function_specs.append(
+                FunctionSpec(
+                    function_id=member.function_id,
+                    app_id=app_id,
+                    owner_id=member.owner_id,
+                    trigger=member.trigger,
+                    execution=ExecutionProfile(
+                        average_seconds=average_s,
+                        minimum_seconds=min(minimum_s, maximum_s),
+                        maximum_seconds=maximum_s,
+                        lognormal_mu=mu,
+                        lognormal_sigma=sigma,
+                    ),
+                )
+            )
+        memory = app_memory.get(
+            app_id,
+            MemoryProfile(average_mb=170.0, first_percentile_mb=100.0, maximum_mb=400.0),
+        )
+        apps.append(
+            AppSpec(
+                app_id=app_id,
+                owner_id=function_specs[0].owner_id,
+                functions=tuple(function_specs),
+                memory=memory,
+            )
+        )
+    return apps
+
+
+def _expand_counts(
+    accumulator: _FunctionAccumulator,
+    days: Iterable[int],
+    sub_minute_placement: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Turn per-minute counts into individual timestamps."""
+    pieces: list[np.ndarray] = []
+    for position, day in enumerate(sorted(days)):
+        counts = accumulator.per_day_counts.get(day)
+        if counts is None or counts.sum() == 0:
+            continue
+        day_offset = position * MINUTES_PER_DAY
+        minute_indices = np.repeat(np.arange(MINUTES_PER_DAY), counts)
+        if sub_minute_placement == "start":
+            offsets = np.zeros(minute_indices.size)
+        elif sub_minute_placement == "uniform":
+            offsets = rng.random(minute_indices.size)
+        else:  # spread
+            offsets = np.concatenate(
+                [
+                    (np.arange(count) + 0.5) / count if count else np.empty(0)
+                    for count in counts
+                ]
+            )
+        pieces.append(day_offset + minute_indices + offsets)
+    if not pieces:
+        return np.empty(0)
+    return np.sort(np.concatenate(pieces))

@@ -1,0 +1,332 @@
+"""Workload schema: functions, applications, and invocation traces.
+
+The records mirror the entities of the paper and of the released
+`AzurePublicDataset` trace:
+
+* a **function** is the unit of invocation and has a trigger type and an
+  execution-time profile;
+* an **application** groups functions and is the unit of memory allocation
+  and of scheduling/keep-alive decisions;
+* a **workload** couples the static application/function population with
+  the dynamic invocation timestamps over a trace horizon.
+
+Timestamps are minutes from the start of the trace (floats), matching the
+1-minute resolution of the Azure dataset and of the policy histograms.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+class TriggerType(str, enum.Enum):
+    """The seven trigger classes used throughout the paper (Section 2)."""
+
+    HTTP = "http"
+    QUEUE = "queue"
+    EVENT = "event"
+    ORCHESTRATION = "orchestration"
+    TIMER = "timer"
+    STORAGE = "storage"
+    OTHERS = "others"
+
+    @property
+    def short_code(self) -> str:
+        """One-letter code used in Figure 3(b) of the paper."""
+        return _TRIGGER_SHORT_CODES[self]
+
+    @classmethod
+    def from_short_code(cls, code: str) -> "TriggerType":
+        """Inverse of :attr:`short_code`."""
+        for trigger, short in _TRIGGER_SHORT_CODES.items():
+            if short == code:
+                return trigger
+        raise ValueError(f"unknown trigger short code: {code!r}")
+
+
+_TRIGGER_SHORT_CODES: dict[TriggerType, str] = {
+    TriggerType.HTTP: "H",
+    TriggerType.TIMER: "T",
+    TriggerType.QUEUE: "Q",
+    TriggerType.STORAGE: "S",
+    TriggerType.EVENT: "E",
+    TriggerType.ORCHESTRATION: "O",
+    TriggerType.OTHERS: "o",
+}
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """Execution-time profile of one function, in seconds.
+
+    The Azure dataset reports the average, minimum and maximum execution
+    time per function (per 30-second interval, aggregated); we keep the
+    same three summary statistics plus the log-normal parameters used to
+    draw individual execution times when the platform substrate needs them.
+    """
+
+    average_seconds: float
+    minimum_seconds: float
+    maximum_seconds: float
+    lognormal_mu: float = 0.0
+    lognormal_sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.average_seconds < 0 or self.minimum_seconds < 0 or self.maximum_seconds < 0:
+            raise ValueError("execution times must be non-negative")
+        if self.minimum_seconds > self.maximum_seconds:
+            raise ValueError("minimum execution time exceeds maximum")
+
+    def sample_seconds(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw execution times clipped to the [minimum, maximum] range."""
+        draws = rng.lognormal(self.lognormal_mu, self.lognormal_sigma, size=size)
+        return np.clip(draws, self.minimum_seconds, max(self.maximum_seconds, 1e-6))
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Static description of one function."""
+
+    function_id: str
+    app_id: str
+    owner_id: str
+    trigger: TriggerType
+    execution: ExecutionProfile
+
+    @property
+    def qualified_name(self) -> str:
+        """Owner/app/function identifier, unique across the workload."""
+        return f"{self.owner_id}/{self.app_id}/{self.function_id}"
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Allocated-memory profile of an application, in MB."""
+
+    average_mb: float
+    first_percentile_mb: float
+    maximum_mb: float
+
+    def __post_init__(self) -> None:
+        if self.average_mb <= 0:
+            raise ValueError("average allocated memory must be positive")
+        if self.first_percentile_mb < 0 or self.maximum_mb < 0:
+            raise ValueError("memory percentiles must be non-negative")
+        if self.first_percentile_mb > self.maximum_mb:
+            raise ValueError("1st percentile memory exceeds maximum")
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Static description of one application (the unit of keep-alive)."""
+
+    app_id: str
+    owner_id: str
+    functions: tuple[FunctionSpec, ...]
+    memory: MemoryProfile
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ValueError("an application must contain at least one function")
+        for function in self.functions:
+            if function.app_id != self.app_id:
+                raise ValueError(
+                    f"function {function.function_id} belongs to app "
+                    f"{function.app_id}, not {self.app_id}"
+                )
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+    @property
+    def trigger_types(self) -> frozenset[TriggerType]:
+        """Set of trigger types present in the application."""
+        return frozenset(function.trigger for function in self.functions)
+
+    @property
+    def trigger_combination(self) -> str:
+        """Canonical short-code combination string, e.g. ``"HT"`` (Figure 3b)."""
+        order = "HTQSEOo"
+        codes = {trigger.short_code for trigger in self.trigger_types}
+        return "".join(code for code in order if code in codes)
+
+    def function_ids(self) -> list[str]:
+        return [function.function_id for function in self.functions]
+
+
+class Workload:
+    """A population of applications plus their invocation timestamps.
+
+    Args:
+        apps: Application specifications.
+        invocations: Mapping from *function id* to a sorted numpy array of
+            invocation timestamps in minutes from the trace start.
+        duration_minutes: Trace horizon.  Invocations beyond the horizon are
+            rejected.
+    """
+
+    def __init__(
+        self,
+        apps: Sequence[AppSpec],
+        invocations: Mapping[str, np.ndarray],
+        duration_minutes: float,
+    ) -> None:
+        if duration_minutes <= 0:
+            raise ValueError("trace duration must be positive")
+        self._apps: tuple[AppSpec, ...] = tuple(apps)
+        self._apps_by_id: Dict[str, AppSpec] = {}
+        self._functions_by_id: Dict[str, FunctionSpec] = {}
+        for app in self._apps:
+            if app.app_id in self._apps_by_id:
+                raise ValueError(f"duplicate application id: {app.app_id}")
+            self._apps_by_id[app.app_id] = app
+            for function in app.functions:
+                if function.function_id in self._functions_by_id:
+                    raise ValueError(f"duplicate function id: {function.function_id}")
+                self._functions_by_id[function.function_id] = function
+        self.duration_minutes = float(duration_minutes)
+        self._invocations: Dict[str, np.ndarray] = {}
+        for function_id, times in invocations.items():
+            if function_id not in self._functions_by_id:
+                raise ValueError(f"invocations refer to unknown function {function_id}")
+            array = np.sort(np.asarray(times, dtype=float))
+            if array.size and (array[0] < 0 or array[-1] > self.duration_minutes):
+                raise ValueError(
+                    f"invocation timestamps for {function_id} fall outside the trace "
+                    f"horizon [0, {self.duration_minutes}]"
+                )
+            self._invocations[function_id] = array
+        self._app_invocation_cache: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Static population
+    # ------------------------------------------------------------------ #
+    @property
+    def apps(self) -> tuple[AppSpec, ...]:
+        return self._apps
+
+    @property
+    def num_apps(self) -> int:
+        return len(self._apps)
+
+    @property
+    def num_functions(self) -> int:
+        return len(self._functions_by_id)
+
+    @property
+    def duration_days(self) -> float:
+        return self.duration_minutes / 1440.0
+
+    def app(self, app_id: str) -> AppSpec:
+        return self._apps_by_id[app_id]
+
+    def function(self, function_id: str) -> FunctionSpec:
+        return self._functions_by_id[function_id]
+
+    def functions(self) -> Iterator[FunctionSpec]:
+        yield from self._functions_by_id.values()
+
+    def __contains__(self, app_id: str) -> bool:
+        return app_id in self._apps_by_id
+
+    def __iter__(self) -> Iterator[AppSpec]:
+        return iter(self._apps)
+
+    def __len__(self) -> int:
+        return len(self._apps)
+
+    # ------------------------------------------------------------------ #
+    # Dynamic invocations
+    # ------------------------------------------------------------------ #
+    def function_invocations(self, function_id: str) -> np.ndarray:
+        """Sorted invocation timestamps (minutes) of a function."""
+        if function_id not in self._functions_by_id:
+            raise KeyError(function_id)
+        return self._invocations.get(function_id, np.empty(0))
+
+    def app_invocations(self, app_id: str) -> np.ndarray:
+        """Sorted invocation timestamps (minutes) of all functions of an app."""
+        cached = self._app_invocation_cache.get(app_id)
+        if cached is not None:
+            return cached
+        app = self._apps_by_id[app_id]
+        pieces = [self.function_invocations(f.function_id) for f in app.functions]
+        merged = np.sort(np.concatenate(pieces)) if pieces else np.empty(0)
+        self._app_invocation_cache[app_id] = merged
+        return merged
+
+    @property
+    def total_invocations(self) -> int:
+        """Total number of invocations across all functions."""
+        return int(sum(array.size for array in self._invocations.values()))
+
+    def invocation_counts_per_function(self) -> dict[str, int]:
+        """Number of invocations of every function."""
+        return {
+            function_id: int(self._invocations.get(function_id, np.empty(0)).size)
+            for function_id in self._functions_by_id
+        }
+
+    def invocation_counts_per_app(self) -> dict[str, int]:
+        """Number of invocations of every application."""
+        return {app.app_id: int(self.app_invocations(app.app_id).size) for app in self._apps}
+
+    def per_minute_counts(self, function_id: str) -> np.ndarray:
+        """Per-minute invocation counts, the Azure-dataset representation."""
+        num_minutes = int(math.ceil(self.duration_minutes))
+        counts = np.zeros(num_minutes, dtype=np.int64)
+        times = self.function_invocations(function_id)
+        if times.size:
+            bins = np.clip(times.astype(int), 0, num_minutes - 1)
+            np.add.at(counts, bins, 1)
+        return counts
+
+    def hourly_invocation_totals(self) -> np.ndarray:
+        """Platform-wide invocations per hour (Figure 4)."""
+        num_hours = int(math.ceil(self.duration_minutes / 60.0))
+        totals = np.zeros(num_hours, dtype=np.int64)
+        for times in self._invocations.values():
+            if times.size:
+                bins = np.clip((times / 60.0).astype(int), 0, num_hours - 1)
+                np.add.at(totals, bins, 1)
+        return totals
+
+    def subset(self, app_ids: Iterable[str]) -> "Workload":
+        """A new workload containing only the given applications."""
+        wanted = set(app_ids)
+        missing = wanted - set(self._apps_by_id)
+        if missing:
+            raise KeyError(f"unknown application ids: {sorted(missing)}")
+        apps = [app for app in self._apps if app.app_id in wanted]
+        invocations = {
+            function.function_id: self.function_invocations(function.function_id)
+            for app in apps
+            for function in app.functions
+        }
+        return Workload(apps, invocations, self.duration_minutes)
+
+    def truncated(self, duration_minutes: float) -> "Workload":
+        """A new workload cut to the first ``duration_minutes`` minutes."""
+        if duration_minutes <= 0 or duration_minutes > self.duration_minutes:
+            raise ValueError("truncated duration must be within (0, duration]")
+        invocations = {
+            function_id: times[times < duration_minutes]
+            for function_id, times in self._invocations.items()
+        }
+        return Workload(self._apps, invocations, duration_minutes)
+
+    def summary(self) -> dict[str, float]:
+        """High-level workload description used by reports and the CLI."""
+        return {
+            "num_apps": float(self.num_apps),
+            "num_functions": float(self.num_functions),
+            "total_invocations": float(self.total_invocations),
+            "duration_days": self.duration_days,
+            "invocations_per_day": self.total_invocations / max(self.duration_days, 1e-9),
+        }

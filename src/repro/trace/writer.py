@@ -1,0 +1,217 @@
+"""Write workloads in the AzurePublicDataset CSV schema.
+
+The released Azure Functions trace ships three file families per day:
+
+* ``invocations_per_function_md.anon.d<DD>.csv`` — one row per function
+  with its owner/app/function hashes, trigger, and 1440 per-minute
+  invocation counts;
+* ``function_durations_percentiles.anon.d<DD>.csv`` — execution-time
+  summary per function (average, count, minimum, maximum, percentiles of
+  the per-worker averages);
+* ``app_memory_percentiles.anon.d<DD>.csv`` — allocated-memory summary per
+  application.
+
+This module writes a :class:`~repro.trace.schema.Workload` out in that
+schema so downstream tooling built for the public dataset can consume the
+synthetic traces, and so the :mod:`repro.trace.loader` round-trips.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.trace.schema import Workload
+
+MINUTES_PER_DAY = 1440
+
+INVOCATIONS_PREFIX = "invocations_per_function_md.anon.d"
+DURATIONS_PREFIX = "function_durations_percentiles.anon.d"
+MEMORY_PREFIX = "app_memory_percentiles.anon.d"
+
+DURATION_PERCENTILE_LABELS = (0, 1, 25, 50, 75, 99, 100)
+MEMORY_PERCENTILE_LABELS = (1, 5, 25, 50, 75, 95, 99, 100)
+
+
+def _day_filename(prefix: str, day: int) -> str:
+    return f"{prefix}{day:02d}.csv"
+
+
+def write_invocation_counts(workload: Workload, directory: Path, day: int) -> Path:
+    """Write the per-minute invocation-count CSV for one trace day (1-based)."""
+    if day < 1:
+        raise ValueError("day is 1-based")
+    start_minute = (day - 1) * MINUTES_PER_DAY
+    if start_minute >= workload.duration_minutes:
+        raise ValueError(f"day {day} lies beyond the trace horizon")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _day_filename(INVOCATIONS_PREFIX, day)
+    minute_columns = [str(i) for i in range(1, MINUTES_PER_DAY + 1)]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["HashOwner", "HashApp", "HashFunction", "Trigger", *minute_columns])
+        for app in workload.apps:
+            for function in app.functions:
+                counts = _per_minute_counts_for_day(workload, function.function_id, day)
+                writer.writerow(
+                    [
+                        function.owner_id,
+                        function.app_id,
+                        function.function_id,
+                        function.trigger.value,
+                        *counts.tolist(),
+                    ]
+                )
+    return path
+
+
+def _per_minute_counts_for_day(workload: Workload, function_id: str, day: int) -> np.ndarray:
+    start = (day - 1) * MINUTES_PER_DAY
+    end = start + MINUTES_PER_DAY
+    times = workload.function_invocations(function_id)
+    counts = np.zeros(MINUTES_PER_DAY, dtype=np.int64)
+    in_day = times[(times >= start) & (times < end)]
+    if in_day.size:
+        bins = np.clip((in_day - start).astype(int), 0, MINUTES_PER_DAY - 1)
+        np.add.at(counts, bins, 1)
+    return counts
+
+
+def write_function_durations(workload: Workload, directory: Path, day: int) -> Path:
+    """Write the execution-time percentile CSV for one trace day."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _day_filename(DURATIONS_PREFIX, day)
+    percentile_headers = [f"percentile_Average_{p}" for p in DURATION_PERCENTILE_LABELS]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "HashOwner",
+                "HashApp",
+                "HashFunction",
+                "Average",
+                "Count",
+                "Minimum",
+                "Maximum",
+                *percentile_headers,
+            ]
+        )
+        for app in workload.apps:
+            for function in app.functions:
+                count = int(workload.function_invocations(function.function_id).size)
+                profile = function.execution
+                average_ms = profile.average_seconds * 1000.0
+                minimum_ms = profile.minimum_seconds * 1000.0
+                maximum_ms = profile.maximum_seconds * 1000.0
+                # Percentiles of the (log-normal) execution-time profile.
+                sigma = profile.lognormal_sigma
+                mu = profile.lognormal_mu
+                percentiles = [
+                    float(np.exp(mu + sigma * _normal_quantile(p / 100.0))) * 1000.0
+                    for p in DURATION_PERCENTILE_LABELS
+                ]
+                percentiles[0] = minimum_ms
+                percentiles[-1] = maximum_ms
+                writer.writerow(
+                    [
+                        function.owner_id,
+                        function.app_id,
+                        function.function_id,
+                        f"{average_ms:.3f}",
+                        count,
+                        f"{minimum_ms:.3f}",
+                        f"{maximum_ms:.3f}",
+                        *[f"{value:.3f}" for value in percentiles],
+                    ]
+                )
+    return path
+
+
+def write_app_memory(workload: Workload, directory: Path, day: int) -> Path:
+    """Write the allocated-memory percentile CSV for one trace day."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _day_filename(MEMORY_PREFIX, day)
+    percentile_headers = [f"AverageAllocatedMb_pct{p}" for p in MEMORY_PERCENTILE_LABELS]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb", *percentile_headers]
+        )
+        for app in workload.apps:
+            sample_count = max(int(workload.app_invocations(app.app_id).size), 1)
+            low = app.memory.first_percentile_mb
+            high = app.memory.maximum_mb
+            average = app.memory.average_mb
+            percentiles = []
+            for p in MEMORY_PERCENTILE_LABELS:
+                fraction = p / 100.0
+                if fraction <= 0.5:
+                    value = low + (average - low) * (fraction / 0.5)
+                else:
+                    value = average + (high - average) * ((fraction - 0.5) / 0.5)
+                percentiles.append(value)
+            writer.writerow(
+                [
+                    app.owner_id,
+                    app.app_id,
+                    sample_count,
+                    f"{average:.3f}",
+                    *[f"{value:.3f}" for value in percentiles],
+                ]
+            )
+    return path
+
+
+def write_dataset(workload: Workload, directory: Path) -> list[Path]:
+    """Write the full dataset (all three file families, every trace day)."""
+    num_days = int(math.ceil(workload.duration_minutes / MINUTES_PER_DAY))
+    paths: list[Path] = []
+    for day in range(1, num_days + 1):
+        paths.append(write_invocation_counts(workload, directory, day))
+        paths.append(write_function_durations(workload, directory, day))
+        paths.append(write_app_memory(workload, directory, day))
+    return paths
+
+
+def _normal_quantile(probability: float) -> float:
+    """Standard-normal quantile via the Acklam rational approximation.
+
+    Kept dependency-light (avoids importing scipy in the writer hot path);
+    accurate to ~1e-9 over (0, 1).
+    """
+    if probability <= 0.0:
+        return -8.0
+    if probability >= 1.0:
+        return 8.0
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if probability < p_low:
+        q = math.sqrt(-2.0 * math.log(probability))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if probability > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - probability))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = probability - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )

@@ -1,0 +1,96 @@
+"""Tests for the full characterization report (Figures 1–8 in one pass)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.report import CharacterizationReport, characterize
+from tests.conftest import make_workload
+
+
+class TestFunctionsPerApp:
+    def test_counts_and_quantiles(self, small_workload):
+        report = CharacterizationReport(small_workload)
+        analysis = report.functions_per_app
+        assert analysis.functions_per_app.size == small_workload.num_apps
+        assert 0.3 < analysis.fraction_single_function_apps < 0.8
+        assert analysis.fraction_apps_at_most_10_functions > 0.85
+
+    def test_weighted_cdfs_lag_the_app_cdf(self, small_workload):
+        # Apps with more functions carry more functions/invocations, so the
+        # function-weighted CDF at a small threshold is below the app CDF.
+        report = CharacterizationReport(small_workload)
+        analysis = report.functions_per_app
+        threshold = 2.0
+        assert float(analysis.function_weighted_cdf()(threshold)[0]) <= float(
+            analysis.app_cdf()(threshold)[0]
+        ) + 1e-9
+
+
+class TestHourlyLoad:
+    def test_hourly_load_normalized_to_peak(self, small_workload):
+        report = CharacterizationReport(small_workload)
+        load = report.hourly_load
+        assert load.max() == pytest.approx(1.0)
+        assert load.min() >= 0.0
+        assert load.size == int(np.ceil(small_workload.duration_minutes / 60))
+
+    def test_diurnal_baseline_between_zero_and_one(self, small_workload):
+        report = CharacterizationReport(small_workload)
+        assert 0.0 <= report.diurnal_baseline_fraction <= 1.0
+
+
+class TestExecutionTimes:
+    def test_only_invoked_functions_counted(self):
+        workload = make_workload({"a": [1.0, 2.0], "b": []})
+        report = CharacterizationReport(workload)
+        assert report.execution_times.average_seconds.size == 1
+
+    def test_raises_on_fully_idle_workload(self):
+        workload = make_workload({"a": []})
+        with pytest.raises(ValueError):
+            _ = CharacterizationReport(workload).execution_times
+
+    def test_lognormal_fit_close_to_generator_parameters(self, medium_workload):
+        report = CharacterizationReport(medium_workload)
+        fit = report.execution_times.lognormal_fit
+        # The generator draws per-function averages from lognormal(-0.38, 2.36)
+        # with per-trigger tweaks; the weighted fit must stay in that family's
+        # neighbourhood.
+        assert -2.5 < fit.log_mean < 2.0
+        assert 1.0 < fit.log_sigma < 3.5
+
+
+class TestMemory:
+    def test_burr_fit_and_quantiles(self, medium_workload):
+        report = CharacterizationReport(medium_workload)
+        memory = report.memory
+        assert memory.burr_fit.scale > 0
+        assert memory.median_maximum_mb < memory.p90_maximum_mb
+        assert memory.average_mb.min() > 0
+
+
+class TestHeadlines:
+    def test_headline_numbers_complete_and_finite(self, medium_workload):
+        report = characterize(medium_workload)
+        headlines = report.headline_numbers()
+        expected_keys = {
+            "fraction_single_function_apps",
+            "fraction_apps_at_most_hourly",
+            "fraction_apps_at_most_minutely",
+            "invocation_share_of_popular_apps",
+            "fraction_periodic_timer_only_apps",
+            "fraction_highly_variable_apps",
+            "execution_lognormal_log_mean",
+            "memory_burr_c",
+            "diurnal_baseline_fraction",
+        }
+        assert expected_keys <= set(headlines)
+        for key, value in headlines.items():
+            assert np.isfinite(value), key
+
+    def test_report_caches_analyses(self, small_workload):
+        report = CharacterizationReport(small_workload)
+        assert report.popularity is report.popularity
+        assert report.trigger_shares is report.trigger_shares

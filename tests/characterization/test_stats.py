@@ -1,0 +1,139 @@
+"""Tests for the statistical primitives (weighted percentiles, CDFs, skew)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.stats import (
+    average_interval_minutes_from_daily_rate,
+    coefficient_of_variation,
+    daily_rate_from_count,
+    empirical_cdf,
+    fraction_at_or_below,
+    lorenz_curve,
+    weighted_percentile,
+)
+
+
+class TestWeightedPercentile:
+    def test_unweighted_matches_numpy(self):
+        values = np.asarray([1.0, 5.0, 2.0, 9.0, 7.0])
+        for q in (10, 25, 50, 75, 90):
+            assert weighted_percentile(values, q)[0] == pytest.approx(
+                np.percentile(values, q), abs=1.5
+            )
+
+    def test_weights_replicate_samples(self):
+        # 100 ms with weight 45 behaves like 45 copies of 100 ms (the paper's
+        # weighted-percentile construction).
+        values = np.asarray([100.0, 1000.0])
+        weights = np.asarray([45.0, 5.0])
+        median = weighted_percentile(values, 50, weights)[0]
+        replicated = np.repeat(values, [45, 5])
+        assert median == pytest.approx(np.percentile(replicated, 50), rel=0.1)
+
+    def test_extreme_percentiles(self):
+        values = np.asarray([3.0, 1.0, 2.0])
+        assert weighted_percentile(values, 0)[0] == pytest.approx(1.0)
+        assert weighted_percentile(values, 100)[0] == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_percentile([], 50)
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0], 150)
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0, 2.0], 50, weights=[1.0])
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0, 2.0], 50, weights=[-1.0, 1.0])
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0, 2.0], 50, weights=[0.0, 0.0])
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=2, max_size=100),
+        st.floats(min_value=1, max_value=99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_within_sample_range(self, values, q):
+        result = weighted_percentile(values, q)[0]
+        assert min(values) <= result <= max(values)
+
+
+class TestEmpiricalCdf:
+    def test_cdf_values(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5)[0] == 0.0
+        assert cdf(2.0)[0] == pytest.approx(0.5)
+        assert cdf(4.0)[0] == pytest.approx(1.0)
+        assert cdf(10.0)[0] == 1.0
+
+    def test_weighted_cdf(self):
+        cdf = empirical_cdf([1.0, 10.0], weights=[9.0, 1.0])
+        assert cdf(1.0)[0] == pytest.approx(0.9)
+
+    def test_quantile_and_percentile(self):
+        cdf = empirical_cdf(np.arange(1, 101, dtype=float))
+        assert cdf.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert cdf.quantile(1.0)[0] == 100.0
+
+    def test_as_series_returns_copies(self):
+        cdf = empirical_cdf([1.0, 2.0])
+        xs, ys = cdf.as_series()
+        xs[0] = 99.0
+        assert cdf.values[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestRatesAndFractions:
+    def test_daily_rate_from_count(self):
+        assert daily_rate_from_count(100, 1440.0) == pytest.approx(100.0)
+        assert daily_rate_from_count(100, 2880.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            daily_rate_from_count(1, 0)
+
+    def test_average_interval(self):
+        assert average_interval_minutes_from_daily_rate(1440.0) == pytest.approx(1.0)
+        assert average_interval_minutes_from_daily_rate(0.0) == float("inf")
+
+    def test_fraction_at_or_below(self):
+        assert fraction_at_or_below([1, 2, 3, 4], 2) == pytest.approx(0.5)
+        assert fraction_at_or_below([], 2) == 0.0
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+        assert np.isnan(coefficient_of_variation([]))
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+
+class TestLorenzCurve:
+    def test_uniform_counts_give_diagonal(self):
+        top, share = lorenz_curve([10.0, 10.0, 10.0, 10.0])
+        np.testing.assert_allclose(share, top)
+
+    def test_skewed_counts_concentrate(self):
+        top, share = lorenz_curve([1000.0, 1.0, 1.0, 1.0])
+        assert share[0] > 0.99
+        assert top[0] == pytest.approx(0.25)
+
+    def test_zero_totals_handled(self):
+        top, share = lorenz_curve([0.0, 0.0])
+        assert share.tolist() == [0.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([])
+        with pytest.raises(ValueError):
+            lorenz_curve([-1.0])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_curve_is_monotone_and_bounded(self, counts):
+        top, share = lorenz_curve(counts)
+        assert np.all(np.diff(share) >= -1e-12)
+        assert np.all(share <= 1.0 + 1e-12)

@@ -1,0 +1,147 @@
+"""Tests for the trigger, popularity and IAT analyses (Figures 2, 3, 5, 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.iat import (
+    SUBSET_ALL,
+    SUBSET_AT_LEAST_ONE_TIMER,
+    SUBSET_NO_TIMERS,
+    SUBSET_ONLY_TIMERS,
+    analyze_iat_variability,
+)
+from repro.characterization.popularity import analyze_popularity
+from repro.characterization.triggers import trigger_combinations, trigger_shares
+from repro.trace.schema import TriggerType
+from tests.conftest import make_workload
+
+
+@pytest.fixture()
+def mixed_workload():
+    """Deterministic workload with known triggers and invocation patterns."""
+    periodic = list(np.arange(0.0, 1440.0, 30.0))      # timer-only, CV 0
+    poissonish = [1.0, 4.0, 5.0, 11.0, 30.0, 31.0, 70.0, 200.0, 201.0, 500.0]
+    bursty = [10.0, 10.5, 11.0, 400.0, 400.5, 401.0, 1200.0, 1200.5]
+    http_heavy = list(np.linspace(0.0, 1400.0, 200))
+    return make_workload(
+        {
+            "timeronly": periodic,
+            "httponly": poissonish,
+            "queueapp": bursty,
+            "mixed": http_heavy,
+        },
+        triggers={
+            "timeronly": (TriggerType.TIMER,),
+            "httponly": (TriggerType.HTTP,),
+            "queueapp": (TriggerType.QUEUE,),
+            "mixed": (TriggerType.HTTP, TriggerType.TIMER),
+        },
+    )
+
+
+class TestTriggerShares:
+    def test_function_shares_sum_to_one(self, mixed_workload):
+        shares = trigger_shares(mixed_workload)
+        assert sum(shares.function_share.values()) == pytest.approx(1.0)
+        assert sum(shares.invocation_share.values()) == pytest.approx(1.0)
+
+    def test_invocation_share_reflects_counts(self, mixed_workload):
+        shares = trigger_shares(mixed_workload)
+        # The HTTP functions carry the two biggest traces (poissonish + mixed).
+        assert shares.invocation_share[TriggerType.HTTP] > 0.5
+        assert shares.invocation_share[TriggerType.QUEUE] < 0.1
+
+    def test_rows_cover_all_triggers(self, mixed_workload):
+        rows = trigger_shares(mixed_workload).rows()
+        assert len(rows) == len(list(TriggerType))
+
+    def test_synthetic_workload_matches_figure2(self, medium_workload):
+        shares = trigger_shares(medium_workload)
+        # HTTP should be the most common trigger by function count, as in the
+        # paper (55%).
+        assert max(shares.function_share, key=shares.function_share.get) is TriggerType.HTTP
+        assert shares.function_share[TriggerType.HTTP] == pytest.approx(0.55, abs=0.12)
+
+
+class TestTriggerCombinations:
+    def test_presence_counts(self, mixed_workload):
+        combos = trigger_combinations(mixed_workload)
+        assert combos.app_share_per_trigger[TriggerType.HTTP] == pytest.approx(0.5)
+        assert combos.app_share_per_trigger[TriggerType.TIMER] == pytest.approx(0.5)
+
+    def test_combination_shares(self, mixed_workload):
+        combos = trigger_combinations(mixed_workload)
+        assert combos.combination_share["T"] == pytest.approx(0.25)
+        assert combos.combination_share["HT"] == pytest.approx(0.25)
+        assert combos.timer_only_share == pytest.approx(0.25)
+        assert combos.timer_mixed_share == pytest.approx(0.25)
+
+    def test_top_combinations_cumulative(self, mixed_workload):
+        rows = trigger_combinations(mixed_workload).top_combinations()
+        cumulative = [row["cumulative_pct"] for row in rows]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == pytest.approx(100.0, abs=1e-6)
+
+
+class TestPopularity:
+    def test_rate_computation(self, mixed_workload):
+        popularity = analyze_popularity(mixed_workload)
+        # 'mixed' has 200 invocations over one day.
+        assert popularity.app_daily_rates.max() == pytest.approx(200.0)
+
+    def test_hourly_and_minutely_fractions(self, mixed_workload):
+        popularity = analyze_popularity(mixed_workload)
+        assert popularity.fraction_apps_at_most_hourly == pytest.approx(0.5)
+        assert popularity.fraction_apps_at_most_minutely == 1.0
+
+    def test_popularity_curve_is_monotone(self, medium_workload):
+        popularity = analyze_popularity(medium_workload)
+        top, share = popularity.app_popularity_curve()
+        assert np.all(np.diff(share) >= -1e-12)
+        assert share[-1] == pytest.approx(1.0)
+
+    def test_synthetic_workload_rate_spread(self, medium_workload):
+        popularity = analyze_popularity(medium_workload)
+        assert popularity.rate_orders_of_magnitude > 2.0
+        summary = popularity.summary()
+        assert 0.0 < summary["fraction_apps_at_most_minutely"] <= 1.0
+
+
+class TestIatVariability:
+    def test_subsets_partition_apps(self, mixed_workload):
+        analysis = analyze_iat_variability(mixed_workload)
+        all_apps = set(analysis.subsets[SUBSET_ALL])
+        with_timer = set(analysis.subsets[SUBSET_AT_LEAST_ONE_TIMER])
+        without = set(analysis.subsets[SUBSET_NO_TIMERS])
+        assert with_timer | without == all_apps
+        assert with_timer & without == set()
+        assert set(analysis.subsets[SUBSET_ONLY_TIMERS]) <= with_timer
+
+    def test_periodic_app_has_zero_cv(self, mixed_workload):
+        analysis = analyze_iat_variability(mixed_workload)
+        assert analysis.cv_by_app["timeronly"] == pytest.approx(0.0, abs=1e-9)
+        assert analysis.fraction_periodic(SUBSET_ONLY_TIMERS) == 1.0
+
+    def test_bursty_app_has_high_cv(self, mixed_workload):
+        analysis = analyze_iat_variability(mixed_workload)
+        assert analysis.cv_by_app["queueapp"] > 1.0
+
+    def test_min_invocations_filter(self):
+        workload = make_workload({"rare": [1.0, 2.0], "busy": list(range(100))})
+        analysis = analyze_iat_variability(workload, min_invocations=3)
+        assert "rare" not in analysis.cv_by_app
+        assert "busy" in analysis.cv_by_app
+
+    def test_unknown_subset_rejected(self, mixed_workload):
+        with pytest.raises(KeyError):
+            analyze_iat_variability(mixed_workload).cvs_for("bogus")
+
+    def test_synthetic_workload_has_cv_mix(self, medium_workload):
+        analysis = analyze_iat_variability(medium_workload)
+        summary = analysis.summary()
+        # The synthetic workload must contain periodic, Poisson-like and
+        # highly variable applications, as in Figure 6.
+        assert summary["highly_variable_all"] > 0.1
+        assert analysis.fraction_with_cv_below(SUBSET_ALL, 1.5) > 0.3

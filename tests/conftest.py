@@ -1,0 +1,130 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (synthetic workloads) are session-scoped so the
+whole suite builds them once; tests that need isolation construct their
+own small workloads instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+from repro.trace.schema import (
+    AppSpec,
+    ExecutionProfile,
+    FunctionSpec,
+    MemoryProfile,
+    TriggerType,
+    Workload,
+)
+
+MINUTES_PER_DAY = 1440.0
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> Workload:
+    """A small but fully featured synthetic workload (2 days, 60 apps)."""
+    config = GeneratorConfig(
+        num_apps=60,
+        duration_minutes=2 * MINUTES_PER_DAY,
+        seed=123,
+        max_daily_rate=1200.0,
+    )
+    return WorkloadGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def medium_workload() -> Workload:
+    """A slightly larger workload used by the simulation/experiment tests."""
+    config = GeneratorConfig(
+        num_apps=120,
+        duration_minutes=3 * MINUTES_PER_DAY,
+        seed=2020,
+        max_daily_rate=2000.0,
+    )
+    return WorkloadGenerator(config).generate()
+
+
+def make_function(
+    function_id: str = "fn0",
+    app_id: str = "app0",
+    owner_id: str = "owner0",
+    trigger: TriggerType = TriggerType.HTTP,
+    average_seconds: float = 0.5,
+) -> FunctionSpec:
+    """Hand-rolled function spec used by schema-level unit tests."""
+    return FunctionSpec(
+        function_id=function_id,
+        app_id=app_id,
+        owner_id=owner_id,
+        trigger=trigger,
+        execution=ExecutionProfile(
+            average_seconds=average_seconds,
+            minimum_seconds=average_seconds / 2,
+            maximum_seconds=average_seconds * 4,
+            lognormal_mu=float(np.log(average_seconds)),
+            lognormal_sigma=0.3,
+        ),
+    )
+
+
+def make_app(
+    app_id: str = "app0",
+    owner_id: str = "owner0",
+    triggers: tuple[TriggerType, ...] = (TriggerType.HTTP,),
+    memory_mb: float = 170.0,
+) -> AppSpec:
+    """Hand-rolled application spec with one function per trigger."""
+    functions = tuple(
+        make_function(
+            function_id=f"{app_id}-fn{i}", app_id=app_id, owner_id=owner_id, trigger=trigger
+        )
+        for i, trigger in enumerate(triggers)
+    )
+    return AppSpec(
+        app_id=app_id,
+        owner_id=owner_id,
+        functions=functions,
+        memory=MemoryProfile(
+            average_mb=memory_mb,
+            first_percentile_mb=memory_mb * 0.7,
+            maximum_mb=memory_mb * 1.8,
+        ),
+    )
+
+
+def make_workload(
+    invocation_times: dict[str, list[float]],
+    *,
+    duration_minutes: float = 1440.0,
+    triggers: dict[str, tuple[TriggerType, ...]] | None = None,
+) -> Workload:
+    """Build a workload with one single-function app per entry.
+
+    Args:
+        invocation_times: Mapping app id -> invocation timestamps (minutes).
+        duration_minutes: Trace horizon.
+        triggers: Optional per-app trigger tuples (default: one HTTP
+            function per app).
+    """
+    triggers = triggers or {}
+    apps = []
+    invocations = {}
+    for app_id, times in invocation_times.items():
+        app = make_app(app_id=app_id, triggers=triggers.get(app_id, (TriggerType.HTTP,)))
+        apps.append(app)
+        per_function = {f.function_id: np.empty(0) for f in app.functions}
+        first_function = app.functions[0].function_id
+        per_function[first_function] = np.asarray(times, dtype=float)
+        invocations.update(per_function)
+    return Workload(apps, invocations, duration_minutes)
+
+
+@pytest.fixture()
+def two_app_workload() -> Workload:
+    """Two deterministic apps: one periodic every 30 min, one sparse."""
+    periodic = list(np.arange(0.0, 1440.0, 30.0))
+    sparse = [100.0, 500.0, 900.0, 1300.0]
+    return make_workload({"periodic": periodic, "sparse": sparse})

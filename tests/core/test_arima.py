@@ -1,0 +1,147 @@
+"""Tests for the dependency-free ARIMA implementation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arima import ARIMA, auto_arima, difference, undifference
+
+
+class TestDifferencing:
+    def test_difference_orders(self):
+        series = np.asarray([1.0, 3.0, 6.0, 10.0])
+        assert np.allclose(difference(series, 0), series)
+        assert np.allclose(difference(series, 1), [2.0, 3.0, 4.0])
+        assert np.allclose(difference(series, 2), [1.0, 1.0])
+
+    def test_difference_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            difference(np.asarray([1.0]), -1)
+
+    def test_undifference_inverts_one_step(self):
+        series = np.asarray([1.0, 3.0, 6.0, 10.0])
+        diffed = difference(series, 1)
+        # Forecasting the next first-difference of 5 should give 15.
+        assert undifference(5.0, series, 1) == pytest.approx(15.0)
+
+    def test_undifference_order_zero_is_identity(self):
+        assert undifference(42.0, np.asarray([1.0, 2.0]), 0) == 42.0
+
+
+class TestFitting:
+    def test_constant_series_forecasts_constant(self):
+        series = np.full(20, 7.5)
+        model = ARIMA((1, 0, 0))
+        model.fit(series)
+        forecast = model.forecast(series, steps=3)
+        assert np.allclose(forecast, 7.5, atol=1e-6)
+
+    def test_mean_model_forecasts_mean(self):
+        series = np.asarray([2.0, 4.0, 6.0, 8.0, 10.0, 2.0, 4.0, 6.0])
+        model = ARIMA((0, 0, 0))
+        fit = model.fit(series)
+        assert fit.intercept == pytest.approx(series.mean())
+        assert model.forecast(series)[0] == pytest.approx(series.mean())
+
+    def test_linear_trend_with_differencing(self):
+        series = np.arange(1.0, 21.0)  # 1, 2, ..., 20
+        model = ARIMA((0, 1, 0))
+        model.fit(series)
+        forecast = model.forecast(series, steps=2)
+        assert forecast[0] == pytest.approx(21.0, rel=0.01)
+        assert forecast[1] == pytest.approx(22.0, rel=0.02)
+
+    def test_ar1_recovers_coefficient(self):
+        rng = np.random.default_rng(3)
+        phi = 0.7
+        values = [0.0]
+        for _ in range(500):
+            values.append(phi * values[-1] + rng.normal(0, 0.5))
+        model = ARIMA((1, 0, 0))
+        fit = model.fit(np.asarray(values))
+        assert fit.ar_coefficients[0] == pytest.approx(phi, abs=0.1)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            ARIMA((2, 0, 2)).fit([1.0, 2.0])
+
+    def test_non_finite_series_rejected(self):
+        with pytest.raises(ValueError):
+            ARIMA((1, 0, 0)).fit([1.0, float("nan"), 2.0])
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            ARIMA((-1, 0, 0))
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ARIMA((1, 0, 0)).forecast([1.0, 2.0, 3.0])
+
+    def test_forecast_requires_positive_steps(self):
+        model = ARIMA((0, 0, 0))
+        model.fit([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            model.forecast([1.0, 2.0, 3.0], steps=0)
+
+    def test_aic_is_finite(self):
+        model = ARIMA((1, 0, 1))
+        fit = model.fit(np.sin(np.arange(50)) + 5)
+        assert math.isfinite(fit.aic)
+        assert fit.sigma2 >= 0
+
+
+class TestAutoArima:
+    def test_selects_some_model_and_forecasts(self):
+        rng = np.random.default_rng(11)
+        series = 60.0 + rng.normal(0, 3.0, size=40)
+        model = auto_arima(series)
+        forecast = model.forecast(series, steps=1)[0]
+        assert 40 < forecast < 80
+
+    def test_periodic_idle_times_forecast_close_to_period(self):
+        # An application invoked every ~6 hours: idle times near 360 minutes.
+        rng = np.random.default_rng(5)
+        series = 360.0 + rng.normal(0, 5.0, size=30)
+        model = auto_arima(series)
+        forecast = model.forecast(series, steps=1)[0]
+        assert forecast == pytest.approx(360.0, rel=0.1)
+
+    def test_trending_idle_times_tracked_better_than_mean(self):
+        series = np.linspace(100, 400, 25)
+        model = auto_arima(series)
+        forecast = model.forecast(series, steps=1)[0]
+        mean_error = abs(series.mean() - 412.5)
+        model_error = abs(forecast - 412.5)
+        assert model_error < mean_error
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            auto_arima([])
+
+    def test_short_series_falls_back_gracefully(self):
+        model = auto_arima([120.0, 130.0])
+        forecast = model.forecast([120.0, 130.0], steps=1)[0]
+        assert np.isfinite(forecast)
+
+    def test_single_value_series(self):
+        model = auto_arima([42.0])
+        assert model.fitted is not None
+
+    def test_candidate_restriction_respected(self):
+        series = np.arange(30, dtype=float)
+        model = auto_arima(series, candidates=[(0, 0, 0)])
+        assert model.order == (0, 0, 0)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=4, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_forecast_is_finite_for_arbitrary_positive_series(self, series):
+        model = auto_arima(series)
+        forecast = model.forecast(np.asarray(series), steps=1)[0]
+        assert np.isfinite(forecast)

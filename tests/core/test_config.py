@@ -1,0 +1,76 @@
+"""Tests for the hybrid policy configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, HybridPolicyConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = HybridPolicyConfig()
+        assert config.histogram_range_minutes == 240.0
+        assert config.bin_width_minutes == 1.0
+        assert config.head_percentile == 5.0
+        assert config.tail_percentile == 99.0
+        assert config.prewarm_margin == 0.10
+        assert config.keepalive_margin == 0.10
+        assert config.cv_threshold == 2.0
+        assert config.arima_margin == 0.15
+        assert config.num_bins == 240
+
+    def test_default_config_singleton_matches(self):
+        assert DEFAULT_CONFIG == HybridPolicyConfig()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"histogram_range_minutes": 0},
+            {"bin_width_minutes": 0},
+            {"histogram_range_minutes": 0.5, "bin_width_minutes": 1.0},
+            {"head_percentile": -1},
+            {"tail_percentile": 101},
+            {"head_percentile": 60, "tail_percentile": 50},
+            {"prewarm_margin": 1.0},
+            {"keepalive_margin": -0.1},
+            {"cv_threshold": -1},
+            {"min_observations": 0},
+            {"oob_fraction_threshold": 0.0},
+            {"oob_fraction_threshold": 1.5},
+            {"arima_margin": 1.0},
+            {"arima_max_history": 2},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            HybridPolicyConfig(**overrides)
+
+
+class TestDerivedCopies:
+    def test_with_range_hours(self):
+        config = HybridPolicyConfig().with_range_hours(2)
+        assert config.histogram_range_minutes == 120.0
+        assert config.num_bins == 120
+
+    def test_with_cutoffs(self):
+        config = HybridPolicyConfig().with_cutoffs(1, 95)
+        assert config.head_percentile == 1
+        assert config.tail_percentile == 95
+
+    def test_with_overrides_returns_new_instance(self):
+        base = HybridPolicyConfig()
+        changed = base.with_overrides(cv_threshold=5.0)
+        assert changed.cv_threshold == 5.0
+        assert base.cv_threshold == 2.0
+
+    def test_round_trip_serialization(self):
+        config = HybridPolicyConfig(cv_threshold=3.0, enable_arima=False)
+        restored = HybridPolicyConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            HybridPolicyConfig.from_dict({"not_a_field": 1})

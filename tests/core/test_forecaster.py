@@ -1,0 +1,94 @@
+"""Tests for the idle-time forecaster (ARIMA fallback component)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.forecaster import IdleTimeForecaster
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(margin=1.0)
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(max_history=1)
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(min_history=1)
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(refit_every=0)
+
+    def test_negative_idle_time_rejected(self):
+        with pytest.raises(ValueError):
+            IdleTimeForecaster().observe(-5.0)
+
+
+class TestForecasting:
+    def test_empty_history_predicts_zero(self):
+        forecaster = IdleTimeForecaster()
+        prediction, order, fallback = forecaster.predict_next_idle_time()
+        assert prediction == 0.0
+        assert fallback is True
+
+    def test_short_history_uses_mean_fallback(self):
+        forecaster = IdleTimeForecaster(min_history=4)
+        forecaster.observe(100.0)
+        forecaster.observe(200.0)
+        prediction, _, fallback = forecaster.predict_next_idle_time()
+        assert fallback is True
+        assert prediction == pytest.approx(150.0)
+
+    def test_regular_idle_times_predicted_accurately(self):
+        forecaster = IdleTimeForecaster()
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            forecaster.observe(300.0 + rng.normal(0, 3.0))
+        prediction, _, _ = forecaster.predict_next_idle_time()
+        assert prediction == pytest.approx(300.0, rel=0.1)
+
+    def test_history_is_bounded(self):
+        forecaster = IdleTimeForecaster(max_history=8)
+        for value in range(20):
+            forecaster.observe(float(value))
+        assert len(forecaster) == 8
+        assert forecaster.history[0] == 12.0
+
+    def test_reset_clears_state(self):
+        forecaster = IdleTimeForecaster()
+        forecaster.observe(10.0)
+        forecaster.reset()
+        assert len(forecaster) == 0
+
+    def test_from_history_constructor(self):
+        forecaster = IdleTimeForecaster.from_history([10.0, 20.0, 30.0])
+        assert len(forecaster) == 3
+
+
+class TestDecision:
+    def test_decision_matches_paper_margins(self):
+        # A predicted idle time of 300 minutes (5 hours) should give a
+        # pre-warming window of 255 minutes (5h minus 15%) and a keep-alive
+        # window of 90 minutes (15% of 5h on each side), as in Section 4.2.
+        forecaster = IdleTimeForecaster(margin=0.15)
+        for _ in range(10):
+            forecaster.observe(300.0)
+        result = forecaster.decide()
+        assert result.predicted_idle_minutes == pytest.approx(300.0, rel=0.05)
+        assert result.decision.prewarm_minutes == pytest.approx(255.0, rel=0.05)
+        assert result.decision.keepalive_minutes == pytest.approx(90.0, rel=0.05)
+
+    def test_decision_respects_minimum_keepalive(self):
+        forecaster = IdleTimeForecaster(min_history=4)
+        forecaster.observe(1.0)
+        result = forecaster.decide(minimum_keepalive_minutes=5.0)
+        assert result.decision.keepalive_minutes >= 5.0
+
+    def test_decision_windows_are_non_negative(self):
+        forecaster = IdleTimeForecaster()
+        values = [500.0, 10.0, 900.0, 20.0, 700.0, 5.0, 800.0]
+        for value in values:
+            forecaster.observe(value)
+        result = forecaster.decide()
+        assert result.decision.prewarm_minutes >= 0.0
+        assert result.decision.keepalive_minutes > 0.0

@@ -1,0 +1,177 @@
+"""Tests for the hybrid histogram policy state machine (Figure 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HybridPolicyConfig
+from repro.core.hybrid import HybridHistogramPolicy, PolicyMode
+
+
+def drive(policy: HybridHistogramPolicy, iats: list[float], start: float = 0.0):
+    """Feed a sequence of inter-arrival times; returns the decisions."""
+    decisions = []
+    now = start
+    first = True
+    for iat in [0.0] + iats:
+        now += iat
+        decisions.append(policy.on_invocation(now, cold=first))
+        first = False
+    return decisions
+
+
+class TestStateMachine:
+    def test_first_invocations_use_standard_keepalive(self):
+        policy = HybridHistogramPolicy()
+        decision = policy.on_invocation(0.0, cold=True)
+        assert policy.last_mode is PolicyMode.STANDARD_KEEPALIVE
+        assert decision.prewarm_minutes == 0.0
+        assert decision.keepalive_minutes == policy.config.histogram_range_minutes
+
+    def test_concentrated_pattern_switches_to_histogram_mode(self):
+        policy = HybridHistogramPolicy()
+        drive(policy, [30.0] * 20)
+        assert policy.last_mode is PolicyMode.HISTOGRAM
+        assert policy.stats.histogram_decisions > 0
+
+    def test_histogram_windows_bracket_the_idle_time(self):
+        policy = HybridHistogramPolicy()
+        decisions = drive(policy, [30.0] * 30)
+        final = decisions[-1]
+        # Head = 30-minute bin rounded down (30), minus 10% margin = 27.
+        assert final.prewarm_minutes == pytest.approx(27.0, abs=1.0)
+        # Tail = 31 rounded up, plus 10% margin = 34.1; keep-alive covers
+        # from the pre-warm point to that bound.
+        assert final.prewarm_minutes + final.keepalive_minutes == pytest.approx(34.1, abs=1.5)
+
+    def test_short_idle_times_give_zero_prewarm(self):
+        policy = HybridHistogramPolicy()
+        decisions = drive(policy, [0.5] * 30)
+        final = decisions[-1]
+        assert final.prewarm_minutes == 0.0
+        assert final.keepalive_minutes <= 2.0
+
+    def test_flat_pattern_falls_back_to_standard_keepalive(self):
+        # Idle times spread uniformly over the whole range keep the CV of the
+        # bin counts low, so the histogram is never considered representative.
+        config = HybridPolicyConfig(cv_threshold=2.0, histogram_range_minutes=60.0)
+        policy = HybridHistogramPolicy(config)
+        rng = np.random.default_rng(0)
+        iats = list(rng.uniform(0.0, 59.0, size=40))
+        drive(policy, iats)
+        assert policy.last_mode is PolicyMode.STANDARD_KEEPALIVE
+
+    def test_out_of_bounds_idle_times_trigger_arima(self):
+        policy = HybridHistogramPolicy()
+        drive(policy, [400.0] * 12)  # beyond the 240-minute range
+        assert policy.last_mode is PolicyMode.ARIMA
+        assert policy.stats.arima_decisions > 0
+        final = policy.last_decision
+        assert final is not None
+        assert final.prewarm_minutes == pytest.approx(400 * 0.85, rel=0.15)
+
+    def test_arima_disabled_falls_back_to_standard(self):
+        config = HybridPolicyConfig(enable_arima=False)
+        policy = HybridHistogramPolicy(config)
+        drive(policy, [400.0] * 12)
+        assert policy.stats.arima_decisions == 0
+        assert policy.last_mode is PolicyMode.STANDARD_KEEPALIVE
+
+    def test_prewarming_disabled_never_unloads(self):
+        config = HybridPolicyConfig(enable_prewarming=False)
+        policy = HybridHistogramPolicy(config)
+        decisions = drive(policy, [30.0] * 30)
+        assert all(d.prewarm_minutes == 0.0 for d in decisions)
+        # The keep-alive window still has to cover up to the tail bound.
+        assert decisions[-1].keepalive_minutes >= 30.0
+
+    def test_non_monotone_time_rejected(self):
+        policy = HybridHistogramPolicy()
+        policy.on_invocation(10.0, cold=True)
+        with pytest.raises(ValueError):
+            policy.on_invocation(5.0, cold=False)
+
+
+class TestBookkeeping:
+    def test_stats_track_invocations_and_cold_starts(self):
+        policy = HybridHistogramPolicy()
+        drive(policy, [10.0] * 5)
+        assert policy.stats.invocations == 6
+        assert policy.stats.cold_starts == 1
+
+    def test_mode_counters_sum_to_invocations(self):
+        policy = HybridHistogramPolicy()
+        drive(policy, [30.0] * 10 + [400.0] * 10)
+        stats = policy.stats
+        assert (
+            stats.histogram_decisions + stats.standard_decisions + stats.arima_decisions
+            == stats.invocations
+        )
+
+    def test_reset_restores_initial_state(self):
+        policy = HybridHistogramPolicy()
+        drive(policy, [30.0] * 10)
+        policy.reset()
+        assert policy.stats.invocations == 0
+        assert policy.last_mode is None
+        assert policy.histogram.is_empty()
+
+    def test_describe_contains_config_and_stats(self):
+        policy = HybridHistogramPolicy()
+        drive(policy, [10.0, 20.0])
+        description = policy.describe()
+        assert description["name"].startswith("hybrid")
+        assert "config" in description and "stats" in description
+
+    def test_name_reflects_range(self):
+        assert HybridHistogramPolicy(HybridPolicyConfig().with_range_hours(2)).name == "hybrid-2h"
+
+
+class TestRegimeChange:
+    def test_adapts_to_new_period(self):
+        policy = HybridHistogramPolicy()
+        drive(policy, [20.0] * 30)
+        first_window_end = (
+            policy.last_decision.prewarm_minutes + policy.last_decision.keepalive_minutes
+        )
+        assert first_window_end < 60.0
+        # Switch to a much longer period; once the tail of the histogram has
+        # absorbed the new idle times the scheduled window must stretch to
+        # cover the 90-minute gaps (i.e. the new period becomes a warm start).
+        now = 30 * 20.0
+        for _ in range(60):
+            now += 90.0
+            policy.on_invocation(now, cold=False)
+        final = policy.last_decision
+        assert final.prewarm_minutes + final.keepalive_minutes >= 90.0
+        assert final.prewarm_minutes + final.keepalive_minutes > first_window_end
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=600.0), min_size=1, max_size=150),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_decisions_always_valid(self, iats):
+        policy = HybridHistogramPolicy()
+        decisions = drive(policy, iats)
+        for decision in decisions:
+            assert decision.prewarm_minutes >= 0.0
+            assert decision.keepalive_minutes > 0.0
+            assert np.isfinite(decision.prewarm_minutes)
+            assert np.isfinite(decision.keepalive_minutes)
+
+    @given(
+        st.floats(min_value=1.0, max_value=200.0),
+        st.integers(min_value=15, max_value=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_periodic_workloads_eventually_prewarm(self, period, count):
+        policy = HybridHistogramPolicy()
+        drive(policy, [float(period)] * count)
+        decision = policy.last_decision
+        if period >= 2.0:
+            # The pre-warm + keep-alive window must bracket the period.
+            assert decision.prewarm_minutes <= period
+            assert decision.prewarm_minutes + decision.keepalive_minutes >= period

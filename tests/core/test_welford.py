@@ -1,0 +1,142 @@
+"""Tests for the Welford online statistics accumulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.welford import Welford, coefficient_of_variation
+
+
+class TestBasics:
+    def test_empty_accumulator_has_nan_statistics(self):
+        acc = Welford()
+        assert acc.count == 0
+        assert math.isnan(acc.variance)
+        assert math.isnan(acc.cv)
+
+    def test_single_value(self):
+        acc = Welford()
+        acc.add(5.0)
+        assert acc.count == 1
+        assert acc.mean == 5.0
+        assert acc.variance == 0.0
+        assert math.isnan(acc.sample_variance)
+
+    def test_mean_and_variance_match_numpy(self):
+        values = [1.0, 2.0, 3.0, 4.0, 10.0]
+        acc = Welford.from_values(values)
+        assert acc.mean == pytest.approx(np.mean(values))
+        assert acc.variance == pytest.approx(np.var(values))
+        assert acc.sample_variance == pytest.approx(np.var(values, ddof=1))
+        assert acc.std == pytest.approx(np.std(values))
+
+    def test_cv_matches_definition(self):
+        values = [2.0, 4.0, 6.0, 8.0]
+        acc = Welford.from_values(values)
+        assert acc.cv == pytest.approx(np.std(values) / np.mean(values))
+
+    def test_cv_of_constant_stream_is_zero(self):
+        acc = Welford.from_values([3.0] * 10)
+        assert acc.cv == pytest.approx(0.0)
+
+    def test_cv_of_all_zero_stream_is_zero(self):
+        acc = Welford.from_values([0.0] * 5)
+        assert acc.cv == 0.0
+
+    def test_cv_with_zero_mean_and_variance_is_infinite(self):
+        acc = Welford.from_values([-1.0, 1.0])
+        assert acc.cv == float("inf")
+
+    def test_len_and_iter(self):
+        acc = Welford.from_values([1.0, 2.0])
+        assert len(acc) == 2
+        mean, variance = tuple(acc)
+        assert mean == pytest.approx(1.5)
+        assert variance == pytest.approx(0.25)
+
+
+class TestRemoveAndReplace:
+    def test_remove_inverts_add(self):
+        acc = Welford.from_values([1.0, 2.0, 3.0, 4.0])
+        acc.remove(4.0)
+        reference = Welford.from_values([1.0, 2.0, 3.0])
+        assert acc.count == reference.count
+        assert acc.mean == pytest.approx(reference.mean)
+        assert acc.variance == pytest.approx(reference.variance)
+
+    def test_remove_last_value_resets(self):
+        acc = Welford.from_values([7.0])
+        acc.remove(7.0)
+        assert acc.count == 0
+        assert acc.mean == 0.0
+
+    def test_remove_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            Welford().remove(1.0)
+
+    def test_replace_equals_remove_plus_add(self):
+        acc = Welford.from_values([1.0, 5.0, 9.0])
+        acc.replace(5.0, 6.0)
+        reference = Welford.from_values([1.0, 6.0, 9.0])
+        assert acc.mean == pytest.approx(reference.mean)
+        assert acc.variance == pytest.approx(reference.variance)
+
+    def test_variance_never_negative_after_removals(self):
+        acc = Welford.from_values([1e9, 1e9 + 1, 1e9 + 2])
+        acc.remove(1e9)
+        assert acc.variance >= 0.0
+
+
+class TestMerge:
+    def test_merge_matches_combined_stream(self):
+        left = Welford.from_values([1.0, 2.0, 3.0])
+        right = Welford.from_values([10.0, 20.0])
+        merged = left.merge(right)
+        reference = Welford.from_values([1.0, 2.0, 3.0, 10.0, 20.0])
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean)
+        assert merged.variance == pytest.approx(reference.variance)
+
+    def test_merge_with_empty_is_identity(self):
+        acc = Welford.from_values([1.0, 2.0])
+        merged = acc.merge(Welford())
+        assert merged.mean == pytest.approx(acc.mean)
+        merged_other_way = Welford().merge(acc)
+        assert merged_other_way.variance == pytest.approx(acc.variance)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy_for_arbitrary_streams(self, values):
+        acc = Welford.from_values(values)
+        assert acc.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(np.var(values), rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=100),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_remove_is_inverse_of_add(self, values, index_seed):
+        index = index_seed % len(values)
+        acc = Welford.from_values(values)
+        acc.remove(values[index])
+        remaining = values[:index] + values[index + 1 :]
+        if remaining:
+            assert acc.mean == pytest.approx(np.mean(remaining), rel=1e-6, abs=1e-6)
+            assert acc.variance == pytest.approx(np.var(remaining), rel=1e-4, abs=1e-4)
+        else:
+            assert acc.count == 0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_cv_helper_agrees_with_accumulator(self, values):
+        assert coefficient_of_variation(values) == pytest.approx(
+            Welford.from_values(values).cv, rel=1e-9, abs=1e-9
+        )

@@ -1,0 +1,75 @@
+"""Tests for the PolicyDecision record (pre-warm / keep-alive windows)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import PolicyDecision
+
+
+class TestValidation:
+    def test_negative_windows_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyDecision(prewarm_minutes=-1, keepalive_minutes=10)
+        with pytest.raises(ValueError):
+            PolicyDecision(prewarm_minutes=0, keepalive_minutes=-1)
+
+    def test_infinite_prewarm_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyDecision(prewarm_minutes=math.inf, keepalive_minutes=1)
+
+    def test_factories(self):
+        assert PolicyDecision.no_unloading().keeps_forever
+        fixed = PolicyDecision.fixed(10)
+        assert fixed.keepalive_minutes == 10
+        assert not fixed.unloads_after_execution
+
+
+class TestCoverage:
+    def test_zero_prewarm_covers_until_keepalive_expiry(self):
+        decision = PolicyDecision(prewarm_minutes=0, keepalive_minutes=10)
+        assert decision.covers(100.0, 105.0)
+        assert decision.covers(100.0, 110.0)  # boundary is inclusive
+        assert not decision.covers(100.0, 110.01)
+
+    def test_prewarm_window_creates_cold_gap(self):
+        decision = PolicyDecision(prewarm_minutes=20, keepalive_minutes=10)
+        # Before the pre-warm point: cold.
+        assert not decision.covers(0.0, 15.0)
+        # Inside [prewarm, prewarm+keepalive]: warm.
+        assert decision.covers(0.0, 20.0)
+        assert decision.covers(0.0, 29.0)
+        assert decision.covers(0.0, 30.0)
+        # After the keep-alive expires: cold again.
+        assert not decision.covers(0.0, 30.5)
+
+    def test_loaded_interval(self):
+        decision = PolicyDecision(prewarm_minutes=5, keepalive_minutes=2)
+        assert decision.loaded_interval(100.0) == (105.0, 107.0)
+
+    def test_no_unloading_covers_everything(self):
+        decision = PolicyDecision.no_unloading()
+        assert decision.covers(0.0, 1e12)
+
+    @given(
+        st.floats(min_value=0, max_value=1e3),
+        st.floats(min_value=0, max_value=1e3),
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=0, max_value=2e3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_covers_consistent_with_loaded_interval(self, prewarm, keepalive, end, delta):
+        decision = PolicyDecision(prewarm_minutes=prewarm, keepalive_minutes=keepalive)
+        arrival = end + delta
+        load_start, load_end = decision.loaded_interval(end)
+        covered = decision.covers(end, arrival)
+        if covered:
+            assert arrival <= load_end
+            if prewarm > 0:
+                assert arrival >= load_start
+        else:
+            assert arrival < load_start or arrival > load_end

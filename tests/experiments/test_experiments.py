@@ -1,0 +1,164 @@
+"""Tests for the per-figure experiment drivers and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    experiment_ids,
+    get_experiment,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.experiments.common import ExperimentResult, register_experiment
+
+
+@pytest.fixture(scope="module")
+def context():
+    """One small experiment context shared by every driver test."""
+    return ExperimentContext(
+        scale=ExperimentScale(num_apps=70, duration_days=2.0, seed=11, max_daily_rate=1200.0)
+    )
+
+
+EXPECTED_IDS = {
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "tbl-overhead",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert EXPECTED_IDS <= set(experiment_ids())
+
+    def test_get_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_experiment("fig1")(lambda ctx: None)  # type: ignore[arg-type]
+
+    def test_context_workload_is_cached(self, context):
+        assert context.workload is context.workload
+
+    def test_small_context_factory(self):
+        small = ExperimentContext.small()
+        assert small.scale.num_apps <= 100
+
+
+class TestCharacterizationDrivers:
+    @pytest.mark.parametrize("experiment_id", ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"])
+    def test_driver_produces_rows_and_notes(self, context, experiment_id):
+        result = run_experiment(experiment_id, context)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.rows, f"{experiment_id} produced no rows"
+        assert result.notes
+        text = result.as_text()
+        assert experiment_id in text
+
+    def test_fig1_cdf_monotone(self, context):
+        rows = run_experiment("fig1", context).rows
+        pct_apps = [row["pct_apps"] for row in rows]
+        assert pct_apps == sorted(pct_apps)
+        assert pct_apps[-1] == pytest.approx(100.0, abs=1.0)
+
+    def test_fig2_shares_sum_to_100(self, context):
+        rows = run_experiment("fig2", context).rows
+        assert sum(row["pct_functions"] for row in rows) == pytest.approx(100.0, abs=0.5)
+        assert sum(row["pct_invocations"] for row in rows) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig5_skew_increases_with_top_fraction(self, context):
+        rows = run_experiment("fig5", context).rows
+        shares = [row["pct_invocations"] for row in rows]
+        assert shares == sorted(shares)
+        assert shares[-1] == pytest.approx(100.0, abs=0.5)
+
+
+class TestPolicyDrivers:
+    def test_fig14_cold_starts_decrease_with_keepalive(self, context):
+        rows = run_experiment("fig14", context).rows
+        by_policy = {row["policy"]: row for row in rows}
+        assert (
+            by_policy["fixed-10min"]["app_cold_start_p75"]
+            >= by_policy["fixed-120min"]["app_cold_start_p75"]
+        )
+        assert by_policy["no-unloading"]["app_cold_start_p75"] <= by_policy["fixed-120min"][
+            "app_cold_start_p75"
+        ]
+
+    def test_fig15_hybrid_dominates_equal_horizon_fixed(self, context):
+        result = run_experiment("fig15", context)
+        by_policy = {row["policy"]: row for row in result.rows}
+        hybrid = by_policy["hybrid-4h"]
+        fixed_4h = by_policy.get("fixed-120min") or by_policy["fixed-60min"]
+        assert (
+            hybrid["third_quartile_app_cold_start_pct"]
+            <= fixed_4h["third_quartile_app_cold_start_pct"] + 1e-9
+        )
+        assert "hybrid_frontier" in result.series
+
+    def test_fig16_trimmed_cutoffs_do_not_cost_memory(self, context):
+        rows = run_experiment("fig16", context).rows
+        by_policy = {row["policy"]: row for row in rows}
+        full = next(v for k, v in by_policy.items() if "[0,100]" in k)
+        trimmed = next(v for k, v in by_policy.items() if k == "hybrid-4h" or "[5,99]" in k)
+        assert (
+            trimmed["normalized_wasted_memory_pct"]
+            <= full["normalized_wasted_memory_pct"] + 1e-6
+        )
+
+    def test_fig17_prewarming_saves_memory(self, context):
+        rows = run_experiment("fig17", context).rows
+        by_policy = {row["policy"]: row for row in rows}
+        no_pw = next(v for k, v in by_policy.items() if k.endswith("-nopw"))
+        with_pw = by_policy["hybrid-4h"]
+        assert (
+            with_pw["normalized_wasted_memory_pct"] < no_pw["normalized_wasted_memory_pct"]
+        )
+
+    def test_fig18_runs_all_thresholds(self, context):
+        rows = run_experiment("fig18", context).rows
+        policies = {row["policy"] for row in rows}
+        assert {"hybrid-cv0", "hybrid-cv2", "hybrid-cv5", "hybrid-cv10"} <= policies
+
+    def test_fig19_arima_reduces_always_cold(self, context):
+        rows = run_experiment("fig19", context).rows
+        by_policy = {row["policy"]: row for row in rows}
+        assert (
+            by_policy["hybrid"]["always_cold_pct"]
+            <= by_policy["hybrid-without-arima"]["always_cold_pct"] + 1e-9
+        )
+
+
+class TestPlatformDrivers:
+    def test_fig20_compares_two_policies(self, context):
+        result = run_experiment("fig20", context)
+        policies = {row["policy"] for row in result.rows}
+        assert "fixed-10min" in policies
+        assert any(p.startswith("hybrid") for p in policies)
+        fixed_row = next(r for r in result.rows if r["policy"] == "fixed-10min")
+        hybrid_row = next(r for r in result.rows if r["policy"].startswith("hybrid"))
+        assert fixed_row["invocations"] == hybrid_row["invocations"]
+        assert (
+            hybrid_row["third_quartile_app_cold_start_pct"]
+            <= fixed_row["third_quartile_app_cold_start_pct"] + 1e-9
+        )
+
+    def test_overhead_microbenchmark(self, context):
+        result = run_experiment("tbl-overhead", context)
+        values = {row["metric"]: row["value_us"] for row in result.rows}
+        assert values["hybrid decision latency (mean)"] > 0
+        # The histogram decision must be far cheaper than an ARIMA fit, the
+        # reason the paper reserves ARIMA for out-of-bounds applications.
+        assert values["ARIMA initial fit"] > 10 * values["hybrid decision latency (mean)"]
+
+
+class TestRunAll:
+    def test_run_subset(self, context):
+        results = run_all_experiments(context, ids=["fig1", "fig2"])
+        assert set(results) == {"fig1", "fig2"}

@@ -1,0 +1,163 @@
+"""Tests for the controller, the cluster, and the trace replayer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridHistogramPolicy
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.replay import ReplayConfig, TraceReplayer, compare_policies_on_platform
+from repro.policies.registry import fixed_keepalive_factory, hybrid_factory
+from repro.trace.schema import TriggerType
+from tests.conftest import make_workload
+
+SMALL_CLUSTER = ClusterConfig(num_invokers=3, invoker_memory_mb=2048.0, seed=0)
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper_setup(self):
+        config = ClusterConfig()
+        assert config.num_invokers == 18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_invokers=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(invoker_memory_mb=0)
+
+
+class TestController:
+    def test_fixed_policy_attaches_keepalive_to_activations(self):
+        cluster = FaasCluster(fixed_keepalive_factory(10.0), SMALL_CLUSTER)
+        cluster.loop.schedule_at(
+            0.0,
+            lambda: cluster.controller.submit("app", "fn", execution_seconds=0.5, memory_mb=128),
+        )
+        cluster.loop.schedule_at(
+            120.0,
+            lambda: cluster.controller.submit("app", "fn", execution_seconds=0.5, memory_mb=128),
+        )
+        metrics = cluster.run()
+        assert metrics.total_invocations == 2
+        # Second invocation 2 minutes later falls inside the 10-minute window.
+        assert metrics.total_cold_starts == 1
+        assert cluster.controller.stats.activations == 2
+
+    def test_hybrid_policy_state_is_per_application(self):
+        cluster = FaasCluster(hybrid_factory(), SMALL_CLUSTER)
+        for app in ("a", "b"):
+            cluster.loop.schedule_at(
+                0.0 if app == "a" else 1.0,
+                lambda app=app: cluster.controller.submit(
+                    app, "fn", execution_seconds=0.1, memory_mb=64
+                ),
+            )
+        cluster.run()
+        policy_a = cluster.controller.policy_for("a")
+        policy_b = cluster.controller.policy_for("b")
+        assert isinstance(policy_a, HybridHistogramPolicy)
+        assert policy_a is not policy_b
+        assert cluster.controller.policy_for("unknown") is None
+
+    def test_prewarm_message_scheduled_for_prewarm_decisions(self):
+        cluster = FaasCluster(hybrid_factory(), SMALL_CLUSTER)
+        # Periodic invocations, 20 minutes apart, long enough for the
+        # histogram to become representative and start pre-warming.
+        for index in range(25):
+            cluster.loop.schedule_at(
+                index * 1200.0,
+                lambda: cluster.controller.submit(
+                    "periodic", "fn", execution_seconds=0.2, memory_mb=64
+                ),
+            )
+        metrics = cluster.run()
+        assert cluster.controller.stats.prewarm_messages > 0
+        assert metrics.prewarm_loads > 0
+        # Pre-warming turns most of the periodic invocations warm.
+        assert metrics.total_cold_starts <= 6
+
+    def test_policy_update_overhead_measured(self):
+        cluster = FaasCluster(hybrid_factory(), SMALL_CLUSTER)
+        cluster.loop.schedule_at(
+            0.0, lambda: cluster.controller.submit("a", "fn", execution_seconds=0.1, memory_mb=64)
+        )
+        cluster.run()
+        assert cluster.controller.stats.policy_updates == 1
+        assert cluster.controller.stats.average_policy_update_microseconds > 0
+
+
+class TestTraceReplayer:
+    @pytest.fixture()
+    def replay_workload(self):
+        periodic = list(np.arange(0.0, 480.0, 15.0))
+        bursty = [10.0, 10.2, 10.4, 200.0, 200.3, 400.0, 400.1, 400.2]
+        sparse = [30.0, 330.0]
+        return make_workload(
+            {"periodic": periodic, "bursty": bursty, "sparse": sparse},
+            duration_minutes=480.0,
+            triggers={
+                "periodic": (TriggerType.TIMER,),
+                "bursty": (TriggerType.QUEUE,),
+                "sparse": (TriggerType.HTTP,),
+            },
+        )
+
+    def test_replays_every_invocation(self, replay_workload):
+        replayer = TraceReplayer(
+            replay_workload,
+            replay_config=ReplayConfig(duration_minutes=480.0, seed=1),
+            cluster_config=SMALL_CLUSTER,
+        )
+        result = replayer.run(fixed_keepalive_factory(10.0))
+        assert result.metrics.total_invocations == replay_workload.total_invocations
+        assert result.policy_name == "fixed-10min"
+        summary = result.summary()
+        assert summary["total_invocations"] == replay_workload.total_invocations
+        assert summary["average_memory_mb"] > 0
+
+    def test_duration_limits_replay(self, replay_workload):
+        replayer = TraceReplayer(
+            replay_workload,
+            replay_config=ReplayConfig(duration_minutes=100.0, seed=1),
+            cluster_config=SMALL_CLUSTER,
+        )
+        result = replayer.run(fixed_keepalive_factory(10.0))
+        expected = sum(
+            (replay_workload.function_invocations(f.function_id) < 100.0).sum()
+            for f in replay_workload.functions()
+        )
+        assert result.metrics.total_invocations == expected
+
+    def test_hybrid_beats_fixed_on_cold_starts(self, replay_workload):
+        results = compare_policies_on_platform(
+            replay_workload,
+            [fixed_keepalive_factory(10.0), hybrid_factory()],
+            replay_config=ReplayConfig(duration_minutes=480.0, seed=2),
+            cluster_config=SMALL_CLUSTER,
+        )
+        fixed = results["fixed-10min"].metrics
+        hybrid = next(r for n, r in results.items() if n.startswith("hybrid")).metrics
+        assert hybrid.total_cold_starts <= fixed.total_cold_starts
+        assert hybrid.total_invocations == fixed.total_invocations
+
+    def test_replay_config_validation(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(duration_minutes=0)
+        with pytest.raises(ValueError):
+            ReplayConfig(max_execution_seconds=0)
+
+
+class TestPlatformMetricsBehaviour:
+    def test_cold_start_cdf_shape(self, replay_workload=None):
+        workload = make_workload({"a": [0.0, 5.0, 200.0], "b": [0.0, 400.0]}, duration_minutes=480.0)
+        replayer = TraceReplayer(
+            workload,
+            replay_config=ReplayConfig(duration_minutes=480.0, seed=3),
+            cluster_config=SMALL_CLUSTER,
+        )
+        metrics = replayer.run(fixed_keepalive_factory(10.0)).metrics
+        grid, fractions = metrics.cold_start_cdf()
+        assert fractions[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(fractions) >= 0)
+        assert metrics.third_quartile_cold_start_percentage() >= 0

@@ -1,0 +1,96 @@
+"""Tests for the discrete-event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(5.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(10.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 10.0
+        assert loop.processed_events == 3
+
+    def test_fifo_tie_breaking(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("first"))
+        loop.schedule(1.0, lambda: order.append("second"))
+        loop.run()
+        assert order == ["first", "second"]
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(3.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [3.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.schedule(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+        # Nested scheduling relative to "now" inside a callback is fine.
+        loop.run()
+
+    def test_schedule_at_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_are_processed(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain():
+            seen.append(loop.now)
+            if len(seen) < 3:
+                loop.schedule(2.0, chain)
+
+        loop.schedule(1.0, chain)
+        loop.run()
+        assert seen == [1.0, 3.0, 5.0]
+
+
+class TestCancellationAndHorizon:
+    def test_cancelled_event_does_not_run(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.schedule(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        assert handle.cancelled
+        loop.run()
+        assert seen == []
+
+    def test_run_until_horizon_leaves_future_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append("early"))
+        loop.schedule(100.0, lambda: seen.append("late"))
+        loop.run(until_seconds=10.0)
+        assert seen == ["early"]
+        assert loop.now == 10.0
+        assert loop.pending_events == 1
+        loop.run()
+        assert seen == ["early", "late"]
+
+    def test_step_processes_single_event(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(2.0, lambda: seen.append(2))
+        assert loop.step() is True
+        assert seen == [1]
+        assert loop.step() is True
+        assert loop.step() is False

@@ -1,0 +1,61 @@
+"""Tests for the fixed keep-alive and no-unloading baseline policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.windows import PolicyDecision
+from repro.policies.fixed import FIGURE_14_KEEPALIVE_MINUTES, FixedKeepAlivePolicy
+from repro.policies.no_unload import NoUnloadingPolicy
+
+
+class TestFixedKeepAlive:
+    def test_default_is_ten_minutes(self):
+        policy = FixedKeepAlivePolicy()
+        decision = policy.on_invocation(0.0, cold=True)
+        assert decision.keepalive_minutes == 10.0
+        assert decision.prewarm_minutes == 0.0
+
+    def test_decision_is_time_invariant(self):
+        policy = FixedKeepAlivePolicy(20)
+        first = policy.on_invocation(0.0, cold=True)
+        second = policy.on_invocation(1000.0, cold=False)
+        assert first == second
+
+    def test_name_encodes_window(self):
+        assert FixedKeepAlivePolicy(45).name == "fixed-45min"
+        assert FixedKeepAlivePolicy(7.5).name == "fixed-7.5min"
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            FixedKeepAlivePolicy(-1)
+
+    def test_describe(self):
+        description = FixedKeepAlivePolicy(30).describe()
+        assert description["keepalive_minutes"] == 30.0
+
+    def test_figure14_sweep_values(self):
+        assert FIGURE_14_KEEPALIVE_MINUTES == (5, 10, 20, 30, 45, 60, 90, 120)
+
+    def test_replay_helper_returns_one_decision_per_invocation(self):
+        policy = FixedKeepAlivePolicy(10)
+        decisions = policy.replay([0.0, 5.0, 30.0])
+        assert len(decisions) == 3
+        assert all(isinstance(d, PolicyDecision) for d in decisions)
+
+
+class TestNoUnloading:
+    def test_keepalive_is_infinite(self):
+        policy = NoUnloadingPolicy()
+        decision = policy.on_invocation(0.0, cold=True)
+        assert math.isinf(decision.keepalive_minutes)
+        assert decision.prewarm_minutes == 0.0
+
+    def test_covers_any_future_arrival(self):
+        decision = NoUnloadingPolicy().on_invocation(0.0, cold=True)
+        assert decision.covers(0.0, 1e9)
+
+    def test_describe(self):
+        assert NoUnloadingPolicy().describe()["name"] == "no-unloading"

@@ -1,0 +1,155 @@
+"""Tests for the simulation metrics and Pareto-frontier analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
+from repro.simulation.pareto import (
+    TradeOffPoint,
+    compare_frontiers,
+    interpolate_cold_start_at_memory,
+    interpolate_memory_at_cold_start,
+    pareto_frontier,
+    trade_off_points,
+)
+
+
+def _result(app_id, invocations, cold, waste, memory=1.0):
+    return AppSimResult(
+        app_id=app_id,
+        invocations=invocations,
+        cold_starts=cold,
+        wasted_memory_minutes=waste,
+        memory_mb=memory,
+    )
+
+
+class TestAppSimResult:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _result("a", 1, 2, 0.0)
+        with pytest.raises(ValueError):
+            _result("a", -1, 0, 0.0)
+        with pytest.raises(ValueError):
+            _result("a", 1, 0, -1.0)
+
+    def test_percentages_and_flags(self):
+        result = _result("a", 4, 1, 10.0, memory=200.0)
+        assert result.cold_start_percentage == 25.0
+        assert result.warm_starts == 3
+        assert not result.always_cold
+        assert result.wasted_memory_mb_minutes == pytest.approx(2000.0)
+        assert _result("b", 2, 2, 0.0).always_cold
+        assert _result("c", 0, 0, 0.0).cold_start_percentage == 0.0
+
+
+class TestAggregateResult:
+    @pytest.fixture()
+    def aggregate(self):
+        results = [
+            _result("a", 10, 1, 100.0),
+            _result("b", 4, 4, 50.0),
+            _result("c", 1, 1, 10.0),
+            _result("d", 20, 0, 200.0),
+        ]
+        return merge_results("test-policy", results)
+
+    def test_totals(self, aggregate):
+        assert aggregate.num_apps == 4
+        assert aggregate.total_invocations == 35
+        assert aggregate.total_cold_starts == 6
+        assert aggregate.overall_cold_start_percentage == pytest.approx(600 / 35)
+        assert aggregate.total_wasted_memory_minutes == pytest.approx(360.0)
+
+    def test_per_app_percentiles(self, aggregate):
+        values = aggregate.cold_start_percentages()
+        assert sorted(values) == [0.0, 10.0, 100.0, 100.0]
+        assert aggregate.third_quartile_cold_start_percentage == pytest.approx(
+            np.percentile(values, 75)
+        )
+
+    def test_always_cold_fractions(self, aggregate):
+        assert aggregate.always_cold_fraction == pytest.approx(0.5)
+        # Excluding the single-invocation app "c": only "b" remains always
+        # cold, still divided by all four applications (paper's convention).
+        assert aggregate.always_cold_fraction_excluding_single() == pytest.approx(0.25)
+        assert aggregate.single_invocation_fraction == pytest.approx(0.25)
+
+    def test_normalized_wasted_memory(self, aggregate):
+        baseline = merge_results("base", [_result("a", 1, 1, 720.0)])
+        assert aggregate.normalized_wasted_memory(baseline) == pytest.approx(50.0)
+        zero = merge_results("zero", [_result("a", 1, 1, 0.0)])
+        assert math.isinf(aggregate.normalized_wasted_memory(zero))
+
+    def test_cold_start_cdf(self, aggregate):
+        grid, fractions = aggregate.cold_start_cdf()
+        assert fractions[0] == pytest.approx(0.25)   # one app with 0% cold
+        assert fractions[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(fractions) >= 0)
+
+    def test_summary_keys(self, aggregate):
+        summary = aggregate.summary()
+        assert summary["num_apps"] == 4
+        assert "third_quartile_app_cold_start_pct" in summary
+
+    def test_empty_aggregate(self):
+        empty = merge_results("empty", [])
+        assert empty.overall_cold_start_percentage == 0.0
+        assert empty.always_cold_fraction == 0.0
+        assert empty.third_quartile_cold_start_percentage == 0.0
+
+
+class TestPareto:
+    def test_dominates(self):
+        better = TradeOffPoint("a", 10.0, 90.0)
+        worse = TradeOffPoint("b", 20.0, 100.0)
+        equal = TradeOffPoint("c", 10.0, 90.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(equal)
+
+    def test_frontier_filters_dominated_points(self):
+        points = [
+            TradeOffPoint("a", 10.0, 120.0),
+            TradeOffPoint("b", 30.0, 100.0),
+            TradeOffPoint("c", 40.0, 110.0),  # dominated by b
+            TradeOffPoint("d", 60.0, 90.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.policy for p in frontier] == ["a", "b", "d"]
+
+    def test_interpolation(self):
+        frontier = [TradeOffPoint("a", 10.0, 150.0), TradeOffPoint("b", 50.0, 100.0)]
+        assert interpolate_memory_at_cold_start(frontier, 30.0) == pytest.approx(125.0)
+        assert interpolate_cold_start_at_memory(frontier, 125.0) == pytest.approx(30.0)
+        with pytest.raises(ValueError):
+            interpolate_memory_at_cold_start([], 10.0)
+
+    def test_compare_frontiers_quantifies_gap(self):
+        hybrid = [TradeOffPoint("hybrid", 20.0, 100.0)]
+        fixed = [
+            TradeOffPoint("fixed-10", 50.0, 100.0),
+            TradeOffPoint("fixed-120", 20.0, 150.0),
+        ]
+        comparison = compare_frontiers(hybrid, fixed)
+        assert comparison.cold_start_ratio_at_equal_memory == pytest.approx(2.5)
+        assert comparison.memory_ratio_at_equal_cold_start == pytest.approx(1.5)
+        assert "2.50x" in comparison.describe()
+
+    def test_compare_frontiers_requires_points(self):
+        with pytest.raises(ValueError):
+            compare_frontiers([], [TradeOffPoint("a", 1.0, 1.0)])
+
+    def test_trade_off_points_from_results(self):
+        results = {
+            "fixed-10min": merge_results("fixed-10min", [_result("a", 2, 1, 100.0)]),
+            "hybrid": merge_results("hybrid", [_result("a", 2, 1, 60.0)]),
+        }
+        points = trade_off_points(results, results["fixed-10min"])
+        by_name = {p.policy: p for p in points}
+        assert by_name["fixed-10min"].normalized_wasted_memory == pytest.approx(100.0)
+        assert by_name["hybrid"].normalized_wasted_memory == pytest.approx(60.0)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--num-apps", "25", "--days", "1", "--seed", "4", "--max-daily-rate", "500"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_policy_specs(self):
+        args = build_parser().parse_args(
+            ["simulate", *SMALL, "--policies", "fixed:10", "hybrid:240"]
+        )
+        assert args.policies == ["fixed:10", "hybrid:240"]
+
+
+class TestCommands:
+    def test_characterize(self, capsys):
+        assert main(["characterize", *SMALL]) == 0
+        output = capsys.readouterr().out
+        assert "headline characterization numbers" in output
+        assert "fraction_apps_at_most_minutely" in output
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", *SMALL, "--policies", "fixed:10", "no-unloading"]) == 0
+        output = capsys.readouterr().out
+        assert "fixed-10min" in output
+        assert "no-unloading" in output
+
+    def test_generate_and_reload(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace"
+        assert main(["generate", *SMALL, "--out", str(out_dir)]) == 0
+        assert list(out_dir.glob("invocations_per_function_md.anon.d01.csv"))
+        # The generated trace can be fed back through --trace-dir.
+        assert main(["characterize", "--trace-dir", str(out_dir)]) == 0
+
+    def test_experiment_single(self, capsys):
+        assert main(["experiment", "fig2", *SMALL]) == 0
+        output = capsys.readouterr().out
+        assert "[fig2]" in output
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "fig99", *SMALL]) == 2

@@ -1,0 +1,249 @@
+"""Tests for the arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.arrival import (
+    BurstArrival,
+    CompositeArrival,
+    DiurnalPoissonArrival,
+    OnOffArrival,
+    PoissonArrival,
+    SparseArrival,
+    TimerArrival,
+    iat_coefficient_of_variation,
+    interarrival_times,
+)
+
+RNG = np.random.default_rng(0)
+DAY = 1440.0
+
+
+def _fresh_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestTimerArrival:
+    def test_exact_periodicity(self):
+        timer = TimerArrival(period_minutes=30.0)
+        times = timer.generate(_fresh_rng(), 120.0)
+        assert times.tolist() == [0.0, 30.0, 60.0, 90.0]
+
+    def test_phase_offsets_first_firing(self):
+        timer = TimerArrival(period_minutes=60.0, phase_minutes=15.0)
+        times = timer.generate(_fresh_rng(), 180.0)
+        assert times.tolist() == [15.0, 75.0, 135.0]
+
+    def test_cv_is_zero_without_jitter(self):
+        timer = TimerArrival(period_minutes=10.0)
+        times = timer.generate(_fresh_rng(), DAY)
+        assert iat_coefficient_of_variation(times) == pytest.approx(0.0, abs=1e-9)
+
+    def test_jitter_keeps_times_in_range(self):
+        timer = TimerArrival(period_minutes=10.0, jitter_minutes=2.0)
+        times = timer.generate(_fresh_rng(1), 500.0)
+        assert np.all(times >= 0.0)
+        assert np.all(times < 500.0)
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimerArrival(period_minutes=0)
+        with pytest.raises(ValueError):
+            TimerArrival(period_minutes=1, phase_minutes=-1)
+
+    def test_expected_rate(self):
+        assert TimerArrival(period_minutes=15.0).expected_rate_per_minute() == pytest.approx(
+            1 / 15
+        )
+
+
+class TestPoissonArrival:
+    def test_count_close_to_expectation(self):
+        process = PoissonArrival(rate_per_minute=0.5)
+        times = process.generate(_fresh_rng(2), 4 * DAY)
+        expected = 0.5 * 4 * DAY
+        assert expected * 0.9 < times.size < expected * 1.1
+
+    def test_cv_close_to_one(self):
+        process = PoissonArrival(rate_per_minute=1.0)
+        times = process.generate(_fresh_rng(3), 7 * DAY)
+        assert iat_coefficient_of_variation(times) == pytest.approx(1.0, abs=0.1)
+
+    def test_zero_rate_produces_nothing(self):
+        assert PoissonArrival(0.0).generate(_fresh_rng(), DAY).size == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrival(-1.0)
+
+
+class TestSparseArrival:
+    def test_rate_approximation(self):
+        process = SparseArrival(mean_iat_minutes=120.0, iat_cv=1.0)
+        times = process.generate(_fresh_rng(4), 14 * DAY)
+        # Loose bound: heavy-tailed IATs make the count noisy.
+        assert 14 * DAY / 120.0 * 0.5 < times.size < 14 * DAY / 120.0 * 2.0
+
+    def test_high_cv_spreads_iats(self):
+        process = SparseArrival(mean_iat_minutes=30.0, iat_cv=3.0)
+        times = process.generate(_fresh_rng(5), 14 * DAY)
+        assert iat_coefficient_of_variation(times) > 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseArrival(mean_iat_minutes=0)
+        with pytest.raises(ValueError):
+            SparseArrival(mean_iat_minutes=1, iat_cv=0)
+
+
+class TestBurstArrival:
+    def test_produces_short_and_long_gaps(self):
+        process = BurstArrival(
+            mean_gap_minutes=120.0, burst_size_mean=4.0, intra_burst_gap_minutes=0.5
+        )
+        times = process.generate(_fresh_rng(6), 7 * DAY)
+        iats = interarrival_times(times)
+        assert np.sum(iats < 5.0) > 0.4 * iats.size  # many short intra-burst gaps
+        assert np.sum(iats > 30.0) > 0.05 * iats.size  # some long inter-burst gaps
+
+    def test_cv_above_one(self):
+        process = BurstArrival(mean_gap_minutes=200.0, burst_size_mean=5.0)
+        times = process.generate(_fresh_rng(7), 7 * DAY)
+        assert iat_coefficient_of_variation(times) > 1.0
+
+    def test_expected_rate_positive(self):
+        process = BurstArrival(mean_gap_minutes=100.0, burst_size_mean=3.0)
+        assert process.expected_rate_per_minute() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstArrival(mean_gap_minutes=0)
+        with pytest.raises(ValueError):
+            BurstArrival(mean_gap_minutes=1, burst_size_mean=0.5)
+
+
+class TestOnOffArrival:
+    def test_rate_approximation(self):
+        process = OnOffArrival(
+            on_rate_per_minute=2.0, mean_on_minutes=10.0, mean_off_minutes=30.0
+        )
+        times = process.generate(_fresh_rng(8), 14 * DAY)
+        expected = process.expected_rate_per_minute() * 14 * DAY
+        assert expected * 0.7 < times.size < expected * 1.3
+
+    def test_cv_above_one(self):
+        process = OnOffArrival(
+            on_rate_per_minute=3.0, mean_on_minutes=5.0, mean_off_minutes=60.0
+        )
+        times = process.generate(_fresh_rng(9), 7 * DAY)
+        assert iat_coefficient_of_variation(times) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrival(on_rate_per_minute=0, mean_on_minutes=1, mean_off_minutes=1)
+
+
+class TestDiurnalArrival:
+    def test_intensity_peaks_at_configured_hour(self):
+        process = DiurnalPoissonArrival(
+            mean_rate_per_minute=1.0, daily_amplitude=0.5, peak_minute_of_day=840.0
+        )
+        peak = process.intensity(840.0)[0]
+        trough = process.intensity(840.0 + 720.0)[0]
+        assert peak > trough
+        assert peak == pytest.approx(1.5, rel=1e-6)
+        assert trough == pytest.approx(0.5, rel=1e-6)
+
+    def test_weekend_dip_reduces_rate(self):
+        process = DiurnalPoissonArrival(
+            mean_rate_per_minute=1.0,
+            daily_amplitude=0.0,
+            weekend_dip=0.5,
+            trace_start_weekday=0,
+        )
+        weekday = process.intensity(0.0)[0]
+        weekend = process.intensity(5.5 * DAY)[0]
+        assert weekend == pytest.approx(weekday * 0.5)
+
+    def test_hourly_totals_show_diurnal_pattern(self):
+        process = DiurnalPoissonArrival(mean_rate_per_minute=5.0, daily_amplitude=0.5)
+        times = process.generate(_fresh_rng(10), 2 * DAY)
+        hours = (times / 60.0).astype(int)
+        counts = np.bincount(hours, minlength=48)
+        assert counts.max() > counts.min() * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrival(mean_rate_per_minute=-1)
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrival(mean_rate_per_minute=1, daily_amplitude=1.5)
+
+
+class TestCompositeArrival:
+    def test_union_of_components(self):
+        composite = CompositeArrival(
+            (TimerArrival(period_minutes=60.0), TimerArrival(period_minutes=90.0))
+        )
+        times = composite.generate(_fresh_rng(11), 360.0)
+        assert set(times.tolist()) == {0.0, 60.0, 90.0, 120.0, 180.0, 240.0, 270.0, 300.0}
+
+    def test_expected_rate_sums(self):
+        composite = CompositeArrival(
+            (PoissonArrival(0.5), TimerArrival(period_minutes=10.0))
+        )
+        assert composite.expected_rate_per_minute() == pytest.approx(0.6)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeArrival(())
+
+    def test_multiple_timers_raise_cv_above_zero(self):
+        composite = CompositeArrival(
+            (
+                TimerArrival(period_minutes=30.0, phase_minutes=0.0),
+                TimerArrival(period_minutes=45.0, phase_minutes=7.0),
+            )
+        )
+        times = composite.generate(_fresh_rng(12), 7 * DAY)
+        assert iat_coefficient_of_variation(times) > 0.1
+
+
+class TestIatHelpers:
+    def test_interarrival_times(self):
+        assert interarrival_times([1.0, 3.0, 6.0]).tolist() == [2.0, 3.0]
+        assert interarrival_times([1.0]).size == 0
+
+    def test_cv_nan_for_too_few_points(self):
+        assert np.isnan(iat_coefficient_of_variation([1.0, 2.0]))
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e5), min_size=3, max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cv_non_negative(self, times):
+        value = iat_coefficient_of_variation(np.sort(np.asarray(times)))
+        assert np.isnan(value) or value >= 0.0
+
+
+class TestGenerationInvariants:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            TimerArrival(period_minutes=13.0, phase_minutes=3.0),
+            PoissonArrival(rate_per_minute=0.7),
+            SparseArrival(mean_iat_minutes=200.0),
+            BurstArrival(mean_gap_minutes=60.0),
+            OnOffArrival(on_rate_per_minute=1.0, mean_on_minutes=5.0, mean_off_minutes=20.0),
+            DiurnalPoissonArrival(mean_rate_per_minute=0.5),
+        ],
+    )
+    def test_times_sorted_and_in_range(self, process):
+        times = process.generate(_fresh_rng(13), 3 * DAY)
+        assert np.all(times >= 0.0)
+        assert np.all(times < 3 * DAY)
+        assert np.all(np.diff(times) >= 0.0)

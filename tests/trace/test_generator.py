@@ -1,0 +1,158 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.arrival import CompositeArrival, TimerArrival
+from repro.trace.generator import (
+    GeneratorConfig,
+    STANDARD_TIMER_PERIODS,
+    WorkloadGenerator,
+    generate_workload,
+)
+from repro.trace.schema import TriggerType
+
+MINUTES_PER_DAY = 1440.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_apps": 0},
+            {"duration_minutes": 0},
+            {"max_daily_rate": 0},
+            {"max_invocations_per_app": 0},
+            {"max_functions_per_app": 0},
+            {"start_weekday": 9},
+            {"bursty_fraction": 1.5},
+        ],
+    )
+    def test_invalid_config_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**overrides)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        first = generate_workload(num_apps=30, duration_days=1, seed=5)
+        second = generate_workload(num_apps=30, duration_days=1, seed=5)
+        assert first.total_invocations == second.total_invocations
+        for app in first.apps:
+            np.testing.assert_array_equal(
+                first.app_invocations(app.app_id), second.app_invocations(app.app_id)
+            )
+
+    def test_different_seeds_differ(self):
+        first = generate_workload(num_apps=30, duration_days=1, seed=5)
+        second = generate_workload(num_apps=30, duration_days=1, seed=6)
+        assert first.total_invocations != second.total_invocations
+
+
+class TestStructure:
+    def test_population_sizes(self, small_workload):
+        assert small_workload.num_apps == 60
+        assert small_workload.num_functions >= 60
+        assert small_workload.duration_minutes == 2 * MINUTES_PER_DAY
+
+    def test_every_app_has_functions_matching_its_combination(self, small_workload):
+        for app in small_workload.apps:
+            assert app.num_functions >= len(app.trigger_types)
+            assert app.trigger_types == {f.trigger for f in app.functions}
+
+    def test_invocations_respect_caps(self):
+        config = GeneratorConfig(
+            num_apps=20,
+            duration_minutes=MINUTES_PER_DAY,
+            seed=1,
+            max_invocations_per_app=500,
+            max_daily_rate=5000,
+        )
+        workload = WorkloadGenerator(config).generate()
+        for app in workload.apps:
+            assert workload.app_invocations(app.app_id).size <= 500
+
+    def test_function_count_capped(self):
+        config = GeneratorConfig(
+            num_apps=50, duration_minutes=MINUTES_PER_DAY, seed=2, max_functions_per_app=5
+        )
+        workload = WorkloadGenerator(config).generate()
+        assert max(app.num_functions for app in workload.apps) <= 7  # combo may exceed cap
+
+    def test_memory_profiles_within_plausible_range(self, small_workload):
+        for app in small_workload.apps:
+            assert 16.0 <= app.memory.average_mb <= 4096.0
+            assert app.memory.first_percentile_mb <= app.memory.maximum_mb
+
+    def test_orchestration_functions_are_fast(self):
+        rng = np.random.default_rng(0)
+        generator = WorkloadGenerator()
+        samples = [
+            generator._execution_profile(rng, TriggerType.ORCHESTRATION).average_seconds
+            for _ in range(200)
+        ]
+        http = [
+            generator._execution_profile(rng, TriggerType.HTTP).average_seconds
+            for _ in range(200)
+        ]
+        assert np.median(samples) < np.median(http)
+
+
+class TestDistributionalShape:
+    def test_majority_of_apps_are_infrequent(self, medium_workload):
+        rates = [
+            medium_workload.app_invocations(app.app_id).size / medium_workload.duration_days
+            for app in medium_workload.apps
+        ]
+        rates = np.asarray(rates)
+        # Expect a substantial fraction of apps at <= 1 invocation/minute on
+        # average, mirroring the 81% figure of the paper.
+        assert np.mean(rates <= 1440.0) > 0.6
+
+    def test_invocation_skew(self, medium_workload):
+        counts = np.asarray(
+            sorted(medium_workload.invocation_counts_per_app().values(), reverse=True)
+        )
+        top_20pct = counts[: max(len(counts) // 5, 1)].sum()
+        # The paper reports 99.6% of invocations from the top ~19% of apps;
+        # the synthetic generator caps per-app rates for tractability, which
+        # softens (but must not eliminate) the skew.
+        assert top_20pct / counts.sum() > 0.7
+
+    def test_timestamps_within_horizon(self, small_workload):
+        for function in small_workload.functions():
+            times = small_workload.function_invocations(function.function_id)
+            if times.size:
+                assert times.min() >= 0.0
+                assert times.max() <= small_workload.duration_minutes
+
+
+class TestArrivalProcessSelection:
+    def _app_with(self, generator, combo, rate):
+        workload = generate_workload(num_apps=5, duration_days=1, seed=3)
+        # Build a synthetic app spec with the wanted combination.
+        from tests.conftest import make_app
+
+        triggers = tuple(TriggerType.from_short_code(c) for c in combo)
+        return make_app(app_id="x", triggers=triggers)
+
+    def test_timer_only_app_gets_timer_process(self):
+        generator = WorkloadGenerator()
+        rng = np.random.default_rng(0)
+        app = self._app_with(generator, "T", 100)
+        process = generator.build_arrival_process(rng, app, daily_rate=96.0)
+        assert isinstance(process, (TimerArrival, CompositeArrival))
+
+    def test_nearest_standard_period_snaps(self):
+        assert WorkloadGenerator._nearest_standard_period(13.0) in STANDARD_TIMER_PERIODS
+        assert WorkloadGenerator._nearest_standard_period(0.1) == 1
+        assert WorkloadGenerator._nearest_standard_period(5000.0) == 1440
+
+    def test_mixed_trigger_app_gets_composite_or_single_process(self):
+        generator = WorkloadGenerator()
+        rng = np.random.default_rng(1)
+        app = self._app_with(generator, "HT", 100)
+        process = generator.build_arrival_process(rng, app, daily_rate=200.0)
+        assert process.expected_rate_per_minute() > 0

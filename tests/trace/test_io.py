@@ -1,0 +1,123 @@
+"""Tests for the AzurePublicDataset-schema writer and loader."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.trace.loader import load_dataset, parse_trigger
+from repro.trace.schema import TriggerType
+from repro.trace.writer import (
+    DURATIONS_PREFIX,
+    INVOCATIONS_PREFIX,
+    MEMORY_PREFIX,
+    write_dataset,
+    write_invocation_counts,
+)
+from tests.conftest import make_workload
+
+
+@pytest.fixture()
+def written_dataset(tmp_path, small_workload):
+    paths = write_dataset(small_workload, tmp_path)
+    return tmp_path, paths
+
+
+class TestWriter:
+    def test_writes_three_families_per_day(self, written_dataset, small_workload):
+        directory, paths = written_dataset
+        days = int(small_workload.duration_minutes // 1440)
+        assert len(paths) == 3 * days
+        for prefix in (INVOCATIONS_PREFIX, DURATIONS_PREFIX, MEMORY_PREFIX):
+            assert list(directory.glob(f"{prefix}*.csv"))
+
+    def test_invocation_file_has_1440_minute_columns(self, written_dataset):
+        directory, _ = written_dataset
+        path = next(directory.glob(f"{INVOCATIONS_PREFIX}01.csv"))
+        with path.open() as handle:
+            header = next(csv.reader(handle))
+        assert header[:4] == ["HashOwner", "HashApp", "HashFunction", "Trigger"]
+        assert len(header) == 4 + 1440
+        assert header[4] == "1" and header[-1] == "1440"
+
+    def test_counts_round_trip_per_day(self, tmp_path, small_workload):
+        path = write_invocation_counts(small_workload, tmp_path, day=1)
+        total_in_file = 0
+        with path.open() as handle:
+            for row in csv.DictReader(handle):
+                total_in_file += sum(int(row[str(m)]) for m in range(1, 1441))
+        expected = sum(
+            (small_workload.function_invocations(f.function_id) < 1440).sum()
+            for f in small_workload.functions()
+        )
+        assert total_in_file == expected
+
+    def test_day_beyond_horizon_rejected(self, tmp_path, small_workload):
+        with pytest.raises(ValueError):
+            write_invocation_counts(small_workload, tmp_path, day=30)
+        with pytest.raises(ValueError):
+            write_invocation_counts(small_workload, tmp_path, day=0)
+
+
+class TestLoader:
+    def test_round_trip_preserves_population_and_counts(self, written_dataset, small_workload):
+        directory, _ = written_dataset
+        loaded = load_dataset(directory, sub_minute_placement="start")
+        assert loaded.num_apps == small_workload.num_apps
+        assert loaded.num_functions == small_workload.num_functions
+        assert loaded.total_invocations == small_workload.total_invocations
+        # Per-minute counts must be identical even though sub-minute offsets
+        # are not recoverable from the public schema.
+        for function in small_workload.functions():
+            np.testing.assert_array_equal(
+                loaded.per_minute_counts(function.function_id),
+                small_workload.per_minute_counts(function.function_id),
+            )
+
+    def test_round_trip_preserves_triggers_and_memory(self, written_dataset, small_workload):
+        directory, _ = written_dataset
+        loaded = load_dataset(directory)
+        for app in small_workload.apps:
+            loaded_app = loaded.app(app.app_id)
+            assert loaded_app.trigger_types == app.trigger_types
+            assert loaded_app.memory.average_mb == pytest.approx(
+                app.memory.average_mb, rel=0.01
+            )
+
+    def test_max_days_limits_horizon(self, written_dataset):
+        directory, _ = written_dataset
+        loaded = load_dataset(directory, max_days=1)
+        assert loaded.duration_minutes == 1440.0
+
+    def test_sub_minute_placements(self, written_dataset):
+        directory, _ = written_dataset
+        uniform = load_dataset(directory, sub_minute_placement="uniform", seed=1)
+        spread = load_dataset(directory, sub_minute_placement="spread")
+        assert uniform.total_invocations == spread.total_invocations
+        with pytest.raises(ValueError):
+            load_dataset(directory, sub_minute_placement="bogus")
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "empty")
+
+
+class TestTriggerParsing:
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("http", TriggerType.HTTP),
+            ("HTTP", TriggerType.HTTP),
+            ("queue", TriggerType.QUEUE),
+            ("eventhub", TriggerType.EVENT),
+            ("blob", TriggerType.STORAGE),
+            ("durable", TriggerType.ORCHESTRATION),
+            ("timer", TriggerType.TIMER),
+            ("something-new", TriggerType.OTHERS),
+        ],
+    )
+    def test_aliases(self, label, expected):
+        assert parse_trigger(label) is expected

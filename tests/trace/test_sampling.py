@@ -1,0 +1,88 @@
+"""Tests for workload sub-sampling (mid-range popularity selection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.sampling import (
+    MID_RANGE_POPULARITY,
+    PopularityBand,
+    apps_sorted_by_popularity,
+    representative_sample,
+    sample_mid_range_apps,
+    sample_random_apps,
+    select_popularity_band,
+)
+from tests.conftest import make_workload
+
+
+@pytest.fixture()
+def skewed_workload():
+    """Apps with widely different invocation counts (1 to 1000)."""
+    times = {}
+    for index, count in enumerate((1, 3, 10, 30, 100, 300, 600, 1000)):
+        times[f"app{index}"] = list(np.linspace(0, 1430, count))
+    return make_workload(times)
+
+
+class TestPopularityBand:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopularityBand(50, 50)
+        with pytest.raises(ValueError):
+            PopularityBand(-1, 50)
+
+    def test_default_band_is_mid_range(self):
+        assert 0 < MID_RANGE_POPULARITY.lower_percentile < MID_RANGE_POPULARITY.upper_percentile <= 100
+
+
+class TestSelection:
+    def test_sorted_by_popularity(self, skewed_workload):
+        ordered = apps_sorted_by_popularity(skewed_workload)
+        counts = skewed_workload.invocation_counts_per_app()
+        assert [counts[a] for a in ordered] == sorted(counts.values())
+
+    def test_band_excludes_extremes(self, skewed_workload):
+        band = PopularityBand(25, 75)
+        selected = select_popularity_band(skewed_workload, band)
+        counts = skewed_workload.invocation_counts_per_app()
+        assert "app0" not in selected  # least popular
+        assert "app7" not in selected  # most popular
+        assert all(counts[a] > 1 for a in selected)
+
+    def test_mid_range_sample_size_and_type(self, skewed_workload):
+        subset = sample_mid_range_apps(skewed_workload, num_apps=3, seed=1)
+        assert subset.num_apps == 3
+        assert subset.duration_minutes == skewed_workload.duration_minutes
+
+    def test_mid_range_sample_returns_all_when_band_small(self, skewed_workload):
+        subset = sample_mid_range_apps(skewed_workload, num_apps=100, seed=1)
+        assert subset.num_apps <= skewed_workload.num_apps
+
+    def test_mid_range_requires_active_apps(self):
+        empty = make_workload({"a": []})
+        with pytest.raises(ValueError):
+            sample_mid_range_apps(empty, num_apps=1)
+
+    def test_random_sample(self, skewed_workload):
+        subset = sample_random_apps(skewed_workload, 4, seed=0)
+        assert subset.num_apps == 4
+        with pytest.raises(ValueError):
+            sample_random_apps(skewed_workload, 0)
+
+    def test_representative_sample_keeps_all_buckets(self, skewed_workload):
+        subset = representative_sample(skewed_workload, fraction=0.5, seed=0)
+        counts = [subset.app_invocations(a.app_id).size for a in subset.apps]
+        # Both sparse and popular apps should survive the stratified sample.
+        assert min(counts) <= 10
+        assert max(counts) >= 300
+
+    def test_representative_sample_validation(self, skewed_workload):
+        with pytest.raises(ValueError):
+            representative_sample(skewed_workload, fraction=0.0)
+
+    def test_selection_deterministic_for_seed(self, skewed_workload):
+        first = sample_mid_range_apps(skewed_workload, num_apps=3, seed=9)
+        second = sample_mid_range_apps(skewed_workload, num_apps=3, seed=9)
+        assert [a.app_id for a in first.apps] == [a.app_id for a in second.apps]

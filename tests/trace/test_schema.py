@@ -1,0 +1,159 @@
+"""Tests for the workload schema records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.schema import (
+    AppSpec,
+    ExecutionProfile,
+    MemoryProfile,
+    TriggerType,
+    Workload,
+)
+from tests.conftest import make_app, make_function, make_workload
+
+
+class TestTriggerType:
+    def test_short_codes_round_trip(self):
+        for trigger in TriggerType:
+            assert TriggerType.from_short_code(trigger.short_code) is trigger
+
+    def test_unknown_short_code_rejected(self):
+        with pytest.raises(ValueError):
+            TriggerType.from_short_code("X")
+
+    def test_seven_trigger_classes(self):
+        assert len(list(TriggerType)) == 7
+
+
+class TestExecutionProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionProfile(average_seconds=-1, minimum_seconds=0, maximum_seconds=1)
+        with pytest.raises(ValueError):
+            ExecutionProfile(average_seconds=1, minimum_seconds=2, maximum_seconds=1)
+
+    def test_sampling_respects_bounds(self):
+        profile = ExecutionProfile(
+            average_seconds=1.0,
+            minimum_seconds=0.5,
+            maximum_seconds=2.0,
+            lognormal_mu=0.0,
+            lognormal_sigma=1.0,
+        )
+        samples = profile.sample_seconds(np.random.default_rng(0), size=200)
+        assert samples.min() >= 0.5
+        assert samples.max() <= 2.0
+
+
+class TestMemoryProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryProfile(average_mb=0, first_percentile_mb=1, maximum_mb=2)
+        with pytest.raises(ValueError):
+            MemoryProfile(average_mb=100, first_percentile_mb=300, maximum_mb=200)
+
+
+class TestAppSpec:
+    def test_requires_functions(self):
+        with pytest.raises(ValueError):
+            AppSpec(
+                app_id="a",
+                owner_id="o",
+                functions=(),
+                memory=MemoryProfile(100, 50, 200),
+            )
+
+    def test_rejects_foreign_functions(self):
+        foreign = make_function(function_id="f", app_id="other")
+        with pytest.raises(ValueError):
+            AppSpec(
+                app_id="a",
+                owner_id="o",
+                functions=(foreign,),
+                memory=MemoryProfile(100, 50, 200),
+            )
+
+    def test_trigger_combination_is_canonically_ordered(self):
+        app = make_app(triggers=(TriggerType.QUEUE, TriggerType.HTTP, TriggerType.TIMER))
+        assert app.trigger_combination == "HTQ"
+
+    def test_trigger_types_deduplicated(self):
+        app = make_app(triggers=(TriggerType.HTTP, TriggerType.HTTP))
+        assert app.trigger_types == frozenset({TriggerType.HTTP})
+        assert app.num_functions == 2
+
+
+class TestWorkload:
+    def test_basic_accessors(self, two_app_workload):
+        workload = two_app_workload
+        assert workload.num_apps == 2
+        assert "periodic" in workload
+        assert workload.app("periodic").app_id == "periodic"
+        assert len(list(workload.functions())) == workload.num_functions
+
+    def test_duplicate_app_ids_rejected(self):
+        app = make_app("dup")
+        with pytest.raises(ValueError):
+            Workload([app, app], {}, 100.0)
+
+    def test_unknown_invocation_function_rejected(self):
+        app = make_app("a")
+        with pytest.raises(ValueError):
+            Workload([app], {"nonexistent": np.asarray([1.0])}, 100.0)
+
+    def test_out_of_horizon_invocations_rejected(self):
+        app = make_app("a")
+        fid = app.functions[0].function_id
+        with pytest.raises(ValueError):
+            Workload([app], {fid: np.asarray([200.0])}, 100.0)
+
+    def test_app_invocations_merges_functions(self):
+        app = make_app("a", triggers=(TriggerType.HTTP, TriggerType.QUEUE))
+        f1, f2 = (f.function_id for f in app.functions)
+        workload = Workload(
+            [app], {f1: np.asarray([5.0, 1.0]), f2: np.asarray([3.0])}, 10.0
+        )
+        assert workload.app_invocations("a").tolist() == [1.0, 3.0, 5.0]
+        assert workload.total_invocations == 3
+        assert workload.invocation_counts_per_app() == {"a": 3}
+
+    def test_per_minute_counts(self):
+        workload = make_workload({"a": [0.2, 0.9, 5.5]}, duration_minutes=10.0)
+        fid = workload.app("a").functions[0].function_id
+        counts = workload.per_minute_counts(fid)
+        assert counts.shape == (10,)
+        assert counts[0] == 2
+        assert counts[5] == 1
+        assert counts.sum() == 3
+
+    def test_hourly_totals(self):
+        workload = make_workload({"a": [10.0, 70.0, 130.0]}, duration_minutes=180.0)
+        totals = workload.hourly_invocation_totals()
+        assert totals.tolist() == [1, 1, 1]
+
+    def test_subset_and_truncate(self, two_app_workload):
+        subset = two_app_workload.subset(["sparse"])
+        assert subset.num_apps == 1
+        assert subset.total_invocations == 4
+        truncated = two_app_workload.truncated(600.0)
+        assert truncated.duration_minutes == 600.0
+        assert truncated.app_invocations("sparse").tolist() == [100.0, 500.0]
+
+    def test_subset_unknown_app_rejected(self, two_app_workload):
+        with pytest.raises(KeyError):
+            two_app_workload.subset(["missing"])
+
+    def test_truncate_validation(self, two_app_workload):
+        with pytest.raises(ValueError):
+            two_app_workload.truncated(0)
+        with pytest.raises(ValueError):
+            two_app_workload.truncated(1e9)
+
+    def test_summary_fields(self, two_app_workload):
+        summary = two_app_workload.summary()
+        assert summary["num_apps"] == 2
+        assert summary["total_invocations"] == 52
+        assert summary["duration_days"] == pytest.approx(1.0)
