@@ -9,13 +9,53 @@ The workload is intentionally smaller than the paper's full production
 trace so the whole harness completes in minutes; the *shapes* (orderings,
 ratios, crossovers) are what the benchmarks reproduce, not absolute
 values.
+
+Execution engines
+-----------------
+Every figure benchmark routes its policy runs through the simulation
+engine selected by two environment variables (see
+:mod:`repro.simulation.engine` for the engine semantics)::
+
+    # Default: the in-process vectorized fast path ("auto").
+    PYTHONPATH=src python -m pytest benchmarks -q
+
+    # Reference scalar loop (slowest, ground truth):
+    REPRO_BENCH_EXECUTION=serial PYTHONPATH=src python -m pytest benchmarks -q
+
+    # Sharded across a worker pool:
+    REPRO_BENCH_EXECUTION=parallel REPRO_BENCH_WORKERS=8 \
+        PYTHONPATH=src python -m pytest benchmarks -q
+
+The head-to-head engine comparison lives in
+``benchmarks/test_bench_engine_speedup.py``; it carries the
+``slow_bench`` marker (registered in pytest.ini) so it stays out of the
+default tier-1 run and must be selected explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_speedup.py -m slow_bench
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import ExperimentContext, ExperimentScale
+from repro.simulation.engine import RunnerOptions
+
+
+def _engine_options_from_env() -> RunnerOptions | None:
+    """Engine selection for the whole harness via environment variables."""
+    execution = os.environ.get("REPRO_BENCH_EXECUTION")
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if not execution and not workers:
+        return None
+    # A worker count alone implies the parallel engine — every other engine
+    # ignores the workers field, which would silently defeat the request.
+    return RunnerOptions(
+        execution=execution or "parallel",
+        workers=int(workers) if workers else None,
+    )
 
 
 @pytest.fixture(scope="session")
@@ -27,7 +67,7 @@ def experiment_context() -> ExperimentContext:
         seed=2020,
         max_daily_rate=2000.0,
     )
-    context = ExperimentContext(scale=scale)
+    context = ExperimentContext(scale=scale, runner_options=_engine_options_from_env())
     # Force workload construction outside the benchmarked region.
     _ = context.workload
     return context

@@ -1,0 +1,86 @@
+"""Engine speedup benchmark: serial vs vectorized vs parallel.
+
+Benchmarks one fixed keep-alive policy run over the session workload
+(150 apps, 3 days — the same workload every figure benchmark uses) under
+each execution engine of :mod:`repro.simulation.engine`, and asserts the
+tentpole speed claim: the vectorized fixed-policy fast path is at least
+10x faster than the reference serial loop.
+
+The whole module carries the ``slow_bench`` marker, so it stays out of
+the default (tier-1) test run; select it explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_speedup.py -m slow_bench
+
+See benchmarks/conftest.py for running the *figure* benchmarks under a
+chosen engine via ``REPRO_BENCH_EXECUTION`` / ``REPRO_BENCH_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.policies.registry import PolicyFactory, fixed_keepalive_factory
+from repro.simulation.engine import RunnerOptions
+from repro.simulation.runner import WorkloadRunner
+
+pytestmark = pytest.mark.slow_bench
+
+ENGINE_OPTIONS = {
+    "serial": RunnerOptions(execution="serial"),
+    "vectorized": RunnerOptions(execution="vectorized"),
+    "parallel": RunnerOptions(execution="parallel"),
+}
+
+
+@pytest.fixture(scope="module")
+def workload(experiment_context):
+    return experiment_context.workload
+
+
+@pytest.fixture(scope="module")
+def factory() -> PolicyFactory:
+    return fixed_keepalive_factory(10.0)
+
+
+@pytest.mark.parametrize("engine", list(ENGINE_OPTIONS))
+def test_bench_fixed_policy_engines(benchmark, workload, factory, engine):
+    """One pytest-benchmark group comparing the three engines head to head."""
+    runner = WorkloadRunner(workload, ENGINE_OPTIONS[engine])
+    benchmark.group = "fixed-10min over session workload"
+    result = benchmark.pedantic(
+        runner.run_policy, args=(factory,), iterations=1, rounds=3, warmup_rounds=1
+    )
+    assert result.num_apps > 0
+
+
+def _best_of(runs: int, fn) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_fast_path_at_least_10x(workload, factory):
+    """The acceptance-criterion speedup, asserted directly.
+
+    Best-of-3 wall-clock per engine; the vectorized closed-form path must
+    beat the serial scalar loop by >= 10x on the benchmark workload.
+    """
+    serial = WorkloadRunner(workload, ENGINE_OPTIONS["serial"])
+    vectorized = WorkloadRunner(workload, ENGINE_OPTIONS["vectorized"])
+    # Warm both paths (numpy import costs, workload invocation cache).
+    vectorized.run_policy(factory)
+
+    serial_best = _best_of(3, lambda: serial.run_policy(factory))
+    vectorized_best = _best_of(3, lambda: vectorized.run_policy(factory))
+    speedup = serial_best / vectorized_best
+    print(
+        f"\nserial best {serial_best * 1e3:.1f} ms, "
+        f"vectorized best {vectorized_best * 1e3:.1f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 10.0

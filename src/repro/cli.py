@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
 Every sub-command accepts ``--num-apps``, ``--days``, ``--seed`` and
 ``--max-daily-rate`` to size the synthetic workload; ``--trace-dir`` loads
 an AzurePublicDataset-schema trace from disk instead of generating one.
+``simulate`` and ``experiment`` additionally accept
+``--execution serial|vectorized|parallel|auto`` and ``--workers N`` to
+pick the simulation engine (see :mod:`repro.simulation.engine`).
 """
 
 from __future__ import annotations
@@ -23,7 +26,8 @@ from typing import Sequence
 from repro.characterization.report import CharacterizationReport
 from repro.experiments import ExperimentContext, ExperimentScale, experiment_ids, run_experiment
 from repro.policies.registry import parse_policy_spec
-from repro.simulation.runner import WorkloadRunner
+from repro.simulation.engine import EXECUTION_MODES
+from repro.simulation.runner import RunnerOptions, WorkloadRunner
 from repro.trace.generator import GeneratorConfig, WorkloadGenerator
 from repro.trace.loader import load_dataset
 from repro.trace.schema import Workload
@@ -48,6 +52,28 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="load an AzurePublicDataset-schema trace instead of generating one",
     )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--execution",
+        choices=EXECUTION_MODES,
+        default="auto",
+        help=(
+            "simulation engine: serial scalar loop, vectorized fixed-policy "
+            "fast path, parallel sharded over a worker pool, or auto"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size for --execution parallel (default: all cores)",
+    )
+
+
+def _runner_options(args: argparse.Namespace) -> RunnerOptions:
+    return RunnerOptions(execution=args.execution, workers=args.workers)
 
 
 def _build_workload(args: argparse.Namespace) -> Workload:
@@ -85,7 +111,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     workload = _build_workload(args)
     factories = [parse_policy_spec(spec) for spec in args.policies]
-    runner = WorkloadRunner(workload)
+    runner = WorkloadRunner(workload, _runner_options(args))
     comparison = runner.compare(factories, baseline_name=None)
     print(comparison.as_text_table())
     return 0
@@ -98,7 +124,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_daily_rate=args.max_daily_rate,
     )
-    context = ExperimentContext(scale=scale)
+    context = ExperimentContext(scale=scale, runner_options=_runner_options(args))
     requested = experiment_ids() if args.experiment == ["all"] else args.experiment
     unknown = [e for e in requested if e not in experiment_ids()]
     if unknown:
@@ -138,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="compare keep-alive policies with the cold-start simulator"
     )
     _add_workload_arguments(simulate)
+    _add_engine_arguments(simulate)
     simulate.add_argument(
         "--policies",
         nargs="+",
@@ -150,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one or more paper figure/table experiments"
     )
     _add_workload_arguments(experiment)
+    _add_engine_arguments(experiment)
     experiment.add_argument(
         "experiment",
         nargs="+",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.simulation.engine import RunnerOptions
 from repro.trace.generator import GeneratorConfig, WorkloadGenerator
 from repro.trace.schema import Workload
 
@@ -45,9 +46,17 @@ class ExperimentScale:
 
 @dataclass
 class ExperimentContext:
-    """A workload shared by experiment drivers, built lazily and cached."""
+    """A workload shared by experiment drivers, built lazily and cached.
+
+    Attributes:
+        scale: Sizing of the synthetic workload.
+        runner_options: Simulation-engine options forwarded to every sweep
+            a driver runs (``execution=serial|vectorized|parallel|auto``
+            plus the worker count); ``None`` uses the engine defaults.
+    """
 
     scale: ExperimentScale = field(default_factory=ExperimentScale)
+    runner_options: RunnerOptions | None = None
     _workload: Workload | None = None
 
     @property

@@ -4,6 +4,10 @@ Each driver wraps the corresponding sweep from :mod:`repro.simulation.sweep`
 and formats the results as the rows the paper's figure reports: CDFs of
 per-application cold-start percentages, 3rd-quartile cold-start vs
 normalized wasted memory trade-offs, and always-cold application shares.
+
+Drivers forward ``context.runner_options`` to their sweeps, so the CLI's
+``--execution``/``--workers`` flags pick the simulation engine (serial,
+vectorized, or parallel sharded) for every figure.
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ def _cdf_row(name: str, result: AggregateResult, baseline: AggregateResult) -> d
 @register_experiment("fig14")
 def fixed_keepalive_cold_starts(context: ExperimentContext) -> ExperimentResult:
     """Figure 14: cold-start behaviour of the fixed keep-alive policy."""
-    sweep = sweep_fixed_keepalive(context.workload)
+    sweep = sweep_fixed_keepalive(context.workload, options=context.runner_options)
     rows = [
         _cdf_row(name, result, sweep.baseline) for name, result in sweep.results.items()
     ]
@@ -74,7 +78,7 @@ def fixed_keepalive_cold_starts(context: ExperimentContext) -> ExperimentResult:
 @register_experiment("fig15")
 def pareto_fixed_vs_hybrid(context: ExperimentContext) -> ExperimentResult:
     """Figure 15: cold-start vs wasted-memory trade-off, fixed vs hybrid."""
-    sweep = sweep_fixed_and_hybrid(context.workload)
+    sweep = sweep_fixed_and_hybrid(context.workload, options=context.runner_options)
     rows = sweep.rows()
     fixed_names = [name for name in sweep.results if name.startswith("fixed")]
     hybrid_names = [name for name in sweep.results if name.startswith("hybrid")]
@@ -108,7 +112,7 @@ def pareto_fixed_vs_hybrid(context: ExperimentContext) -> ExperimentResult:
 @register_experiment("fig16")
 def cutoff_sensitivity(context: ExperimentContext) -> ExperimentResult:
     """Figure 16: impact of the histogram head/tail cutoff percentiles."""
-    sweep = sweep_cutoffs(context.workload)
+    sweep = sweep_cutoffs(context.workload, options=context.runner_options)
     rows = [
         _cdf_row(name, result, sweep.baseline) for name, result in sweep.results.items()
     ]
@@ -136,7 +140,7 @@ def cutoff_sensitivity(context: ExperimentContext) -> ExperimentResult:
 @register_experiment("fig17")
 def prewarming_impact(context: ExperimentContext) -> ExperimentResult:
     """Figure 17: impact of unloading + pre-warming on wasted memory."""
-    sweep = sweep_prewarming(context.workload)
+    sweep = sweep_prewarming(context.workload, options=context.runner_options)
     rows = [
         _cdf_row(name, result, sweep.baseline) for name, result in sweep.results.items()
     ]
@@ -166,7 +170,7 @@ def prewarming_impact(context: ExperimentContext) -> ExperimentResult:
 @register_experiment("fig18")
 def cv_threshold_sensitivity(context: ExperimentContext) -> ExperimentResult:
     """Figure 18: impact of the histogram-representativeness CV threshold."""
-    sweep = sweep_cv_threshold(context.workload)
+    sweep = sweep_cv_threshold(context.workload, options=context.runner_options)
     rows = [
         _cdf_row(name, result, sweep.baseline) for name, result in sweep.results.items()
     ]
@@ -184,7 +188,7 @@ def cv_threshold_sensitivity(context: ExperimentContext) -> ExperimentResult:
 @register_experiment("fig19")
 def arima_always_cold(context: ExperimentContext) -> ExperimentResult:
     """Figure 19: applications that always experience cold starts."""
-    comparison = sweep_arima_contribution(context.workload)
+    comparison = sweep_arima_contribution(context.workload, options=context.runner_options)
     rows = comparison.rows()
     fixed_pct = 100.0 * comparison.fixed.always_cold_fraction
     no_arima_pct = 100.0 * comparison.hybrid_without_arima.always_cold_fraction

@@ -11,7 +11,7 @@ image until the next invocation.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import ClassVar, Iterable
 
 from repro.core.windows import PolicyDecision
 
@@ -25,6 +25,25 @@ class KeepAlivePolicy(abc.ABC):
 
     #: Human-readable policy name used in reports and experiment labels.
     name: str = "policy"
+
+    #: Capability flag for the vectorized simulation fast path
+    #: (:mod:`repro.simulation.engine`).  A policy may set this to True only
+    #: when every decision it ever returns is the constant
+    #: ``(prewarm=0, keep-alive=constant_keepalive_minutes())`` pair,
+    #: independent of the invocation history; the engine then computes cold
+    #: starts and wasted memory in closed form instead of replaying
+    #: invocations one at a time.
+    supports_vectorized: ClassVar[bool] = False
+
+    def constant_keepalive_minutes(self) -> float:
+        """Constant keep-alive window backing the vectorized fast path.
+
+        Only meaningful when :attr:`supports_vectorized` is True;
+        ``math.inf`` models a no-unloading policy.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support vectorized simulation"
+        )
 
     @abc.abstractmethod
     def on_invocation(self, now_minutes: float, *, cold: bool) -> PolicyDecision:

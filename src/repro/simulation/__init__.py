@@ -1,10 +1,46 @@
-"""Trace-driven cold-start simulation (Section 5.1 methodology)."""
+"""Trace-driven cold-start simulation (Section 5.1 methodology).
+
+Execution engines
+-----------------
+Policy runs over a workload are routed through one of three engines,
+selected by the ``execution`` field of :class:`RunnerOptions` (see
+:mod:`repro.simulation.engine`):
+
+* ``serial`` — the reference scalar loop: one
+  :meth:`ColdStartSimulator.simulate_app` call per application, one
+  ``policy.on_invocation`` call per invocation.  Slowest, and the ground
+  truth the other engines are tested against.
+* ``vectorized`` — for policies with
+  ``supports_vectorized = True`` (the fixed keep-alive family and
+  no-unloading), cold starts and wasted-memory minutes are computed in
+  closed form from numpy array arithmetic on the invocation timestamps
+  (:func:`simulate_constant_decision_app`), with no per-invocation Python
+  calls; other policies fall back to the scalar loop per application.
+* ``parallel`` — applications are sharded across a ``multiprocessing``
+  pool (``workers`` option, default: all cores) and the per-shard results
+  are reassembled in workload order, so output is deterministic and
+  independent of the worker count.  Each shard uses the vectorized fast
+  path where the policy supports it.
+* ``auto`` (default) — ``vectorized``, in-process.
+
+``tests/simulation/test_engine_equivalence.py`` locks the engines
+together: all three produce identical cold-start counts and
+wasted-memory minutes (to 1e-9) for every registered policy family.
+:class:`ParallelWorkloadRunner` is a convenience wrapper pinning the
+parallel engine; ``benchmarks/test_bench_engine_speedup.py`` measures
+the speedups (see benchmarks/conftest.py for how to run it).
+"""
 
 from repro.simulation.coldstart import (
     AppSimulationTrace,
     ColdStartSimulator,
     InvocationOutcome,
     simulate_application,
+)
+from repro.simulation.engine import (
+    EXECUTION_MODES,
+    SimulationEngine,
+    simulate_constant_decision_app,
 )
 from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
 from repro.simulation.pareto import (
@@ -17,6 +53,7 @@ from repro.simulation.pareto import (
     trade_off_points,
 )
 from repro.simulation.runner import (
+    ParallelWorkloadRunner,
     PolicyComparison,
     RunnerOptions,
     WorkloadRunner,
@@ -42,6 +79,9 @@ __all__ = [
     "ColdStartSimulator",
     "InvocationOutcome",
     "simulate_application",
+    "EXECUTION_MODES",
+    "SimulationEngine",
+    "simulate_constant_decision_app",
     "AggregateResult",
     "AppSimResult",
     "merge_results",
@@ -52,6 +92,7 @@ __all__ = [
     "interpolate_memory_at_cold_start",
     "pareto_frontier",
     "trade_off_points",
+    "ParallelWorkloadRunner",
     "PolicyComparison",
     "RunnerOptions",
     "WorkloadRunner",

@@ -94,6 +94,7 @@ class ColdStartSimulator:
         *,
         memory_mb: float = 1.0,
         detailed: bool = False,
+        sort: bool = False,
     ) -> AppSimResult | AppSimulationTrace:
         """Simulate one application under one policy instance.
 
@@ -106,12 +107,30 @@ class ColdStartSimulator:
                 footprints (the default of 1.0).
             detailed: When True, return the full per-invocation
                 :class:`AppSimulationTrace` instead of the summary record.
+            sort: Opt-in for unsorted input: sort the timestamps before
+                simulating.  By default unsorted input raises ``ValueError``
+                — an out-of-order trace usually signals a malformed loader,
+                and silently sorting would mask it.
+
+        Raises:
+            ValueError: When a timestamp falls outside ``[0, horizon]``, or
+                when the timestamps are unsorted and ``sort`` is False.
         """
         times = np.asarray(invocation_times_minutes, dtype=float)
-        if times.size and np.any(np.diff(times) < 0):
-            times = np.sort(times)
-        if times.size and (times[0] < 0 or times[-1] > self.horizon_minutes):
-            raise ValueError("invocation timestamps fall outside the simulation horizon")
+        if times.size:
+            # Validate the raw input before any normalization: range-checking
+            # a silently sorted array would mask malformed traces.
+            if float(np.min(times)) < 0 or float(np.max(times)) > self.horizon_minutes:
+                raise ValueError(
+                    "invocation timestamps fall outside the simulation horizon"
+                )
+            if np.any(np.diff(times) < 0):
+                if not sort:
+                    raise ValueError(
+                        "invocation timestamps must be sorted ascending; pass "
+                        "sort=True to sort a trusted-but-unsorted trace"
+                    )
+                times = np.sort(times)
 
         outcomes: list[InvocationOutcome] = []
         wasted_minutes = 0.0

@@ -1,0 +1,367 @@
+"""Execution engines for the cold-start simulator.
+
+The per-application simulations behind Figures 14–18 are embarrassingly
+parallel (policies are per-application and the simulator models no
+cross-application contention), and the fixed-window policies are
+closed-form.  This module exploits both properties:
+
+* :func:`simulate_constant_decision_app` — a **vectorized fast path** for
+  policies whose decision is a constant ``(prewarm=0, keep-alive=K)``
+  pair (the fixed keep-alive family and the no-unloading bound).  Cold
+  starts and wasted memory minutes are computed from ``np.diff``-style
+  array arithmetic on the invocation timestamps in O(n) numpy ops, with
+  no per-invocation Python calls.  Every per-term float operation mirrors
+  :class:`~repro.simulation.coldstart.ColdStartSimulator` bit for bit;
+  only the final summation differs (numpy's pairwise summation instead of
+  sequential accumulation), so results agree with the scalar engine to
+  well within 1e-9.
+* :class:`SimulationEngine` — routes a policy run over a workload through
+  one of three execution modes: ``serial`` (the reference scalar loop),
+  ``vectorized`` (the fast path where the policy supports it, scalar
+  otherwise), and ``parallel`` (applications sharded across a
+  ``multiprocessing`` pool).  ``auto`` picks ``vectorized`` in-process.
+
+Policies opt into the fast path via the
+:attr:`~repro.policies.base.KeepAlivePolicy.supports_vectorized`
+capability flag plus
+:meth:`~repro.policies.base.KeepAlivePolicy.constant_keepalive_minutes`.
+
+The parallel engine shards applications into contiguous chunks, fans the
+chunks out over a ``fork``-based worker pool (policy factories capture
+closures, which cannot be pickled; forked workers inherit them instead),
+and reassembles per-application results in workload order, so the merged
+:class:`~repro.simulation.metrics.AggregateResult` is byte-identical no
+matter how many workers ran or in which order shards completed.  On
+platforms without ``fork`` the shards run in-process, preserving results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.policies.registry import PolicyFactory
+from repro.simulation.coldstart import ColdStartSimulator
+from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.trace.schema import Workload
+
+#: Recognized values of :attr:`RunnerOptions.execution`.
+EXECUTION_MODES: tuple[str, ...] = ("auto", "serial", "vectorized", "parallel")
+
+#: Shards per worker: small enough to keep per-shard overhead negligible,
+#: large enough that uneven per-app costs still balance across the pool.
+_SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class RunnerOptions:
+    """Options shared by all policy runs over a workload.
+
+    Attributes:
+        use_memory_weights: Weight each application's wasted memory time by
+            its average allocated memory.  The paper's simulator assumes
+            equal footprints (False), because memory data is not available
+            for every application; enabling this gives MB-weighted waste.
+        min_invocations: Applications with fewer invocations than this are
+            skipped entirely (0 keeps every application, including those
+            never invoked, which simply produce empty results).
+        execution: Execution engine: ``"serial"`` (reference scalar loop),
+            ``"vectorized"`` (closed-form numpy fast path for policies that
+            support it, scalar loop otherwise), ``"parallel"`` (shard
+            applications across a worker pool), or ``"auto"`` (vectorized,
+            in-process).
+        workers: Worker-pool size for the parallel engine; ``None`` uses
+            the machine's CPU count.  Ignored by the other engines.
+    """
+
+    use_memory_weights: bool = False
+    min_invocations: int = 1
+    execution: str = "auto"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.execution!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("worker count must be at least 1")
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized fast path
+# --------------------------------------------------------------------------- #
+def simulate_constant_decision_app(
+    app_id: str,
+    invocation_times_minutes: Sequence[float] | np.ndarray,
+    keepalive_minutes: float,
+    *,
+    horizon_minutes: float,
+    first_invocation_cold: bool = True,
+    count_tail_waste: bool = True,
+    memory_mb: float = 1.0,
+) -> AppSimResult:
+    """Closed-form simulation of a constant ``(prewarm=0, K)`` policy.
+
+    Equivalent to replaying the sorted timestamps through
+    :class:`~repro.simulation.coldstart.ColdStartSimulator` with a policy
+    that always returns ``PolicyDecision.fixed(keepalive_minutes)``
+    (``math.inf`` models no-unloading): an invocation is warm iff it
+    arrives at or before the previous window's expiry, and the idle loaded
+    time between invocations is the part of the window that elapsed before
+    the next arrival.  All per-interval arithmetic matches the scalar
+    engine's float operations exactly; the terms are summed with numpy's
+    pairwise summation.
+
+    Args:
+        app_id: Application identifier (reporting only).
+        invocation_times_minutes: Sorted invocation timestamps (minutes).
+        keepalive_minutes: Constant keep-alive window; ``math.inf`` for
+            the no-unloading policy.
+        horizon_minutes: End of the simulation window.
+        first_invocation_cold: Whether the first invocation is cold.
+        count_tail_waste: Whether the window left running after the last
+            invocation (clipped to the horizon) counts as waste.
+        memory_mb: Application memory footprint used to weight the waste.
+
+    Raises:
+        ValueError: When a timestamp falls outside ``[0, horizon]`` or the
+            timestamps are unsorted, matching the scalar engine's contract.
+    """
+    times = np.asarray(invocation_times_minutes, dtype=float)
+    n = int(times.size)
+    if n:
+        # Same contract as ColdStartSimulator.simulate_app: reject malformed
+        # traces instead of silently computing plausible-looking numbers.
+        if float(times.min()) < 0 or float(times.max()) > horizon_minutes:
+            raise ValueError("invocation timestamps fall outside the simulation horizon")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("invocation timestamps must be sorted ascending")
+    if n == 0:
+        return AppSimResult(
+            app_id=app_id,
+            invocations=0,
+            cold_starts=0,
+            wasted_memory_minutes=0.0,
+            memory_mb=memory_mb,
+        )
+    starts = times[:-1]
+    arrivals = times[1:]
+    # Window expiry after each invocation; with a zero pre-warming window an
+    # arrival exactly at the expiry instant is still warm (PolicyDecision.covers).
+    window_end = starts + keepalive_minutes
+    cold_starts = int(np.count_nonzero(arrivals > window_end))
+    if first_invocation_cold:
+        cold_starts += 1
+    # Idle loaded time per gap: window elapsed before the next arrival,
+    # clipped to the horizon — identical per-term ops to
+    # ColdStartSimulator._waste_between with load_start == previous_time.
+    effective_end = np.minimum(np.minimum(window_end, arrivals), horizon_minutes)
+    waste_terms = np.maximum(effective_end - starts, 0.0)
+    # np.sum's pairwise summation is at least as accurate as the scalar
+    # engine's sequential accumulation; the per-term values are bit-identical.
+    wasted = float(np.sum(waste_terms))
+    if count_tail_waste:
+        tail_end = min(times[-1] + keepalive_minutes, horizon_minutes)
+        if tail_end > times[-1]:
+            wasted += tail_end - float(times[-1])
+    return AppSimResult(
+        app_id=app_id,
+        invocations=n,
+        cold_starts=cold_starts,
+        wasted_memory_minutes=wasted,
+        memory_mb=memory_mb,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _AppWorkItem:
+    """One application's simulation inputs, resolved from the workload."""
+
+    app_id: str
+    times: np.ndarray
+    memory_mb: float
+
+
+class SimulationEngine:
+    """Runs one policy over a workload under a chosen execution mode.
+
+    The engine is the single routing point used by
+    :class:`~repro.simulation.runner.WorkloadRunner` and the sweeps: it
+    resolves per-application work items once, decides per policy whether
+    the vectorized fast path applies, and either loops in-process or fans
+    shards out over a worker pool.
+    """
+
+    def __init__(self, workload: "Workload", options: RunnerOptions | None = None) -> None:
+        self.workload = workload
+        self.options = options or RunnerOptions()
+        self._simulator = ColdStartSimulator(horizon_minutes=workload.duration_minutes)
+
+    # ------------------------------------------------------------------ #
+    def run_policy(
+        self,
+        factory: PolicyFactory,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> AggregateResult:
+        """Simulate one policy (fresh instance per application) over the workload."""
+        vectorize = self.options.execution in ("auto", "vectorized", "parallel")
+        keepalive = self._constant_keepalive(factory) if vectorize else None
+        if self.options.execution == "parallel":
+            results = self._run_parallel(factory, keepalive, progress)
+        else:
+            results = self._run_in_process(factory, keepalive, progress)
+        return merge_results(factory.name, results)
+
+    # ------------------------------------------------------------------ #
+    def _constant_keepalive(self, factory: PolicyFactory) -> float | None:
+        """Keep-alive window of the factory's policies, if constant."""
+        probe = factory.create()
+        if not probe.supports_vectorized:
+            return None
+        return probe.constant_keepalive_minutes()
+
+    def _work_items(self) -> list[_AppWorkItem]:
+        items: list[_AppWorkItem] = []
+        for app in self.workload.apps:
+            times = self.workload.app_invocations(app.app_id)
+            if times.size < self.options.min_invocations:
+                continue
+            memory_mb = (
+                app.memory.average_mb if self.options.use_memory_weights else 1.0
+            )
+            items.append(_AppWorkItem(app_id=app.app_id, times=times, memory_mb=memory_mb))
+        return items
+
+    def _simulate_item(
+        self, item: _AppWorkItem, factory: PolicyFactory, keepalive: float | None
+    ) -> AppSimResult:
+        if keepalive is not None:
+            return simulate_constant_decision_app(
+                item.app_id,
+                item.times,
+                keepalive,
+                horizon_minutes=self._simulator.horizon_minutes,
+                first_invocation_cold=self._simulator.first_invocation_cold,
+                count_tail_waste=self._simulator.count_tail_waste,
+                memory_mb=item.memory_mb,
+            )
+        result = self._simulator.simulate_app(
+            item.app_id, item.times, factory.create(), memory_mb=item.memory_mb
+        )
+        assert isinstance(result, AppSimResult)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _run_in_process(
+        self,
+        factory: PolicyFactory,
+        keepalive: float | None,
+        progress: Callable[[int, int], None] | None,
+    ) -> list[AppSimResult]:
+        """Serial/vectorized execution, one application at a time."""
+        items = self._work_items()
+        total = len(items)
+        results: list[AppSimResult] = []
+        for index, item in enumerate(items):
+            results.append(self._simulate_item(item, factory, keepalive))
+            if progress is not None:
+                progress(index + 1, total)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _run_parallel(
+        self,
+        factory: PolicyFactory,
+        keepalive: float | None,
+        progress: Callable[[int, int], None] | None,
+    ) -> list[AppSimResult]:
+        """Shard applications across a worker pool; deterministic ordering.
+
+        Results are reassembled by shard index (shards are contiguous runs
+        of applications in workload order), so the output is independent of
+        the worker count and of shard completion order.  Progress is
+        aggregated across shards as they complete.
+        """
+        items = self._work_items()
+        total = len(items)
+        if total == 0:
+            return []
+        workers = self.options.workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = max(1, min(int(workers), total))
+        num_shards = min(total, workers * _SHARDS_PER_WORKER)
+        bounds = np.linspace(0, total, num_shards + 1).astype(int)
+        shards = [
+            items[bounds[i] : bounds[i + 1]]
+            for i in range(num_shards)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+        if workers == 1 or "fork" not in multiprocessing.get_all_start_methods():
+            # In-process fallback: same shard partitioning, same results.
+            merged: list[AppSimResult] = []
+            done = 0
+            for shard in shards:
+                merged.extend(self._run_shard_items(shard, factory, keepalive))
+                done += len(shard)
+                if progress is not None:
+                    progress(done, total)
+            return merged
+
+        global _WORKER_STATE
+        context = multiprocessing.get_context("fork")
+        # The lock covers assignment through fork: once Pool() has forked its
+        # workers they hold an inherited copy of the state, so the parent can
+        # clear the global immediately and concurrent runs cannot observe
+        # (or fork with) each other's state.
+        with _WORKER_STATE_LOCK:
+            _WORKER_STATE = (self, factory, keepalive, shards)
+            try:
+                pool = context.Pool(processes=workers)
+            finally:
+                _WORKER_STATE = None
+        ordered: list[list[AppSimResult] | None] = [None] * len(shards)
+        done = 0
+        with pool:
+            for shard_id, results in pool.imap_unordered(
+                _run_shard_by_id, range(len(shards))
+            ):
+                ordered[shard_id] = results
+                done += len(results)
+                if progress is not None:
+                    progress(done, total)
+        assert all(shard is not None for shard in ordered)
+        return [result for shard in ordered for result in shard]  # type: ignore[union-attr]
+
+    def _run_shard_items(
+        self, shard: Sequence[_AppWorkItem], factory: PolicyFactory, keepalive: float | None
+    ) -> list[AppSimResult]:
+        return [self._simulate_item(item, factory, keepalive) for item in shard]
+
+
+#: Engine state inherited by forked pool workers (factories hold closures
+#: that cannot be pickled, so they travel by fork instead of by pickle).
+#: Guarded by _WORKER_STATE_LOCK from assignment until the pool has forked.
+_WORKER_STATE: tuple[SimulationEngine, PolicyFactory, float | None, list] | None = None
+_WORKER_STATE_LOCK = threading.Lock()
+
+
+def _run_shard_by_id(shard_id: int) -> tuple[int, list[AppSimResult]]:
+    """Worker entry point: simulate one shard of applications."""
+    assert _WORKER_STATE is not None, "worker state not initialized before fork"
+    engine, factory, keepalive, shards = _WORKER_STATE
+    return shard_id, engine._run_shard_items(shards[shard_id], factory, keepalive)

@@ -1,41 +1,34 @@
 """Run keep-alive policies over whole workloads.
 
-The runner couples the per-application :class:`ColdStartSimulator` with a
+The runner couples the execution engines of
+:mod:`repro.simulation.engine` with a
 :class:`~repro.policies.registry.PolicyFactory`: every application gets a
 fresh policy instance (policies are stateful and per-application by
 design) and the per-app results are aggregated into an
-:class:`~repro.simulation.metrics.AggregateResult`.
+:class:`~repro.simulation.metrics.AggregateResult`.  The
+``execution`` field of :class:`RunnerOptions` selects the engine
+(``serial``, ``vectorized``, ``parallel``, or ``auto``);
+:class:`ParallelWorkloadRunner` is a convenience wrapper that pins the
+parallel engine and a worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
-
-import numpy as np
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Sequence
 
 from repro.policies.registry import PolicyFactory
-from repro.simulation.coldstart import ColdStartSimulator
-from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
+from repro.simulation.engine import RunnerOptions, SimulationEngine
+from repro.simulation.metrics import AggregateResult
 from repro.trace.schema import Workload
 
-
-@dataclass(frozen=True)
-class RunnerOptions:
-    """Options shared by all policy runs over a workload.
-
-    Attributes:
-        use_memory_weights: Weight each application's wasted memory time by
-            its average allocated memory.  The paper's simulator assumes
-            equal footprints (False), because memory data is not available
-            for every application; enabling this gives MB-weighted waste.
-        min_invocations: Applications with fewer invocations than this are
-            skipped entirely (0 keeps every application, including those
-            never invoked, which simply produce empty results).
-    """
-
-    use_memory_weights: bool = False
-    min_invocations: int = 1
+__all__ = [
+    "RunnerOptions",
+    "WorkloadRunner",
+    "ParallelWorkloadRunner",
+    "PolicyComparison",
+    "run_policy_over_workload",
+]
 
 
 class WorkloadRunner:
@@ -44,7 +37,7 @@ class WorkloadRunner:
     def __init__(self, workload: Workload, options: RunnerOptions | None = None) -> None:
         self.workload = workload
         self.options = options or RunnerOptions()
-        self._simulator = ColdStartSimulator(horizon_minutes=workload.duration_minutes)
+        self._engine = SimulationEngine(workload, self.options)
 
     # ------------------------------------------------------------------ #
     def run_policy(
@@ -59,23 +52,7 @@ class WorkloadRunner:
             factory: Policy factory; called once per application.
             progress: Optional callback ``(done, total)`` for long runs.
         """
-        results: list[AppSimResult] = []
-        apps = self.workload.apps
-        total = len(apps)
-        for index, app in enumerate(apps):
-            times = self.workload.app_invocations(app.app_id)
-            if times.size < self.options.min_invocations:
-                continue
-            memory_mb = app.memory.average_mb if self.options.use_memory_weights else 1.0
-            policy = factory.create()
-            result = self._simulator.simulate_app(
-                app.app_id, times, policy, memory_mb=memory_mb
-            )
-            assert isinstance(result, AppSimResult)
-            results.append(result)
-            if progress is not None:
-                progress(index + 1, total)
-        return merge_results(factory.name, results)
+        return self._engine.run_policy(factory, progress=progress)
 
     def run_policies(
         self,
@@ -117,6 +94,34 @@ class WorkloadRunner:
         if baseline_name not in results:
             raise ValueError(f"baseline policy {baseline_name!r} was not evaluated")
         return PolicyComparison(results=results, baseline_name=baseline_name)
+
+
+class ParallelWorkloadRunner(WorkloadRunner):
+    """A :class:`WorkloadRunner` pinned to the parallel sharded engine.
+
+    Applications are sharded across a ``multiprocessing`` pool; results
+    are reassembled in workload order, so every derived table —
+    including :meth:`PolicyComparison.rows` — is byte-identical to a run
+    with any other worker count (and, for policies without a vectorized
+    fast path, to the serial engine).
+
+    Args:
+        workload: Workload to evaluate.
+        options: Base options; the ``execution`` field is overridden.
+        workers: Worker-pool size; ``None`` uses the machine's CPU count.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        options: RunnerOptions | None = None,
+        *,
+        workers: int | None = None,
+    ) -> None:
+        base = options or RunnerOptions()
+        if workers is None:
+            workers = base.workers
+        super().__init__(workload, replace(base, execution="parallel", workers=workers))
 
 
 @dataclass

@@ -5,6 +5,12 @@ same workload and returns the per-configuration aggregates, normalized to
 the 10-minute fixed keep-alive baseline where the paper does so.  The
 experiment drivers in :mod:`repro.experiments` format these results into
 the paper's tables and series.
+
+Every sweep accepts a :class:`RunnerOptions` whose ``execution`` field
+selects the simulation engine (``serial``/``vectorized``/``parallel``/
+``auto``, see :mod:`repro.simulation.engine`); e.g.
+``sweep_fixed_keepalive(workload, options=RunnerOptions(execution="parallel"))``
+shards the fixed-policy family across all cores.
 """
 
 from __future__ import annotations
@@ -94,7 +100,12 @@ def _run(
     baseline_minutes: float = BASELINE_KEEPALIVE_MINUTES,
     options: RunnerOptions | None = None,
 ) -> SweepResult:
-    """Run factories plus the normalization baseline over the workload."""
+    """Run factories plus the normalization baseline over the workload.
+
+    Execution (serial / vectorized / parallel) is governed by
+    ``options.execution``; the runner routes every policy through the
+    corresponding engine of :mod:`repro.simulation.engine`.
+    """
     baseline_factory = fixed_keepalive_factory(baseline_minutes)
     all_factories = list(factories)
     if all(factory.name != baseline_factory.name for factory in all_factories):

@@ -1,0 +1,197 @@
+"""Property-based tests for the histogram and Welford primitives.
+
+The hybrid policy's decisions hinge on two incremental data structures:
+the range-limited :class:`IdleTimeHistogram` and the :class:`Welford`
+running-statistics accumulator that backs its representativeness CV.
+These tests drive both with random observation streams (hypothesis) and
+assert the structural invariants the policy relies on:
+
+* percentile cutoffs are monotone in the percentile, and the head cutoff
+  never exceeds the tail cutoff for the same percentile;
+* the incrementally maintained CV matches a from-scratch numpy reference;
+* observation counts are conserved across observe/reset/observe cycles
+  and across merges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import IdleTimeHistogram
+from repro.core.welford import Welford, coefficient_of_variation
+
+RANGE_MINUTES = 60.0
+
+#: Idle times covering in-bounds values, exact bin edges, and out-of-bounds
+#: observations relative to ``RANGE_MINUTES``.
+idle_times = st.one_of(
+    st.floats(min_value=0.0, max_value=2.0 * RANGE_MINUTES, allow_nan=False),
+    st.integers(min_value=0, max_value=int(2 * RANGE_MINUTES)).map(float),
+)
+
+idle_streams = st.lists(idle_times, min_size=0, max_size=200)
+
+#: Bounded, well-conditioned observations for Welford-vs-numpy checks.
+observations = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+observation_streams = st.lists(observations, min_size=1, max_size=200)
+
+percentiles = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def make_histogram(stream: list[float]) -> IdleTimeHistogram:
+    histogram = IdleTimeHistogram(range_minutes=RANGE_MINUTES, bin_width_minutes=1.0)
+    histogram.observe_many(stream)
+    return histogram
+
+
+class TestHistogramPercentileProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(stream=idle_streams, qs=st.lists(percentiles, min_size=2, max_size=6))
+    def test_cutoffs_monotone_in_percentile(self, stream, qs):
+        histogram = make_histogram(stream)
+        if histogram.in_bounds_count == 0:
+            with pytest.raises(ValueError):
+                histogram.percentile(50.0)
+            return
+        ordered = sorted(qs)
+        heads = [histogram.head_cutoff(q) for q in ordered]
+        tails = [histogram.tail_cutoff(q) for q in ordered]
+        assert heads == sorted(heads)
+        assert tails == sorted(tails)
+
+    @settings(deadline=None, max_examples=60)
+    @given(stream=idle_streams, q=percentiles)
+    def test_head_never_exceeds_tail(self, stream, q):
+        histogram = make_histogram(stream)
+        if histogram.in_bounds_count == 0:
+            return
+        head = histogram.head_cutoff(q)
+        tail = histogram.tail_cutoff(q)
+        assert head <= tail
+        # Rounding: down/up to edges of the same or earlier/later bins, so
+        # the two cutoffs bracket the midpoint percentile.
+        assert head <= histogram.percentile(q, rounding="nearest") <= tail
+
+    @settings(deadline=None, max_examples=60)
+    @given(stream=idle_streams)
+    def test_percentiles_stay_inside_range(self, stream):
+        histogram = make_histogram(stream)
+        if histogram.in_bounds_count == 0:
+            return
+        assert 0.0 <= histogram.head_cutoff(5.0)
+        assert histogram.tail_cutoff(99.0) <= RANGE_MINUTES
+
+
+class TestHistogramCountConservation:
+    @settings(deadline=None, max_examples=60)
+    @given(stream=idle_streams)
+    def test_counts_partition_observations(self, stream):
+        histogram = make_histogram(stream)
+        assert histogram.total_count == len(stream)
+        assert histogram.in_bounds_count == int(histogram.counts.sum())
+        assert histogram.total_count == histogram.in_bounds_count + histogram.oob_count
+        expected_oob = sum(1 for value in stream if value >= RANGE_MINUTES)
+        assert histogram.oob_count == expected_oob
+
+    @settings(deadline=None, max_examples=40)
+    @given(stream=idle_streams)
+    def test_reset_observe_cycle_reproduces_state(self, stream):
+        histogram = make_histogram(stream)
+        before = histogram.snapshot()
+        histogram.reset()
+        assert histogram.total_count == 0
+        assert histogram.oob_count == 0
+        assert not histogram.counts.any()
+        assert histogram.is_empty()
+        in_bounds = histogram.observe_many(stream)
+        after = histogram.snapshot()
+        assert in_bounds == before.in_bounds_count
+        assert after.total_count == before.total_count
+        assert after.oob_count == before.oob_count
+        np.testing.assert_array_equal(after.counts, before.counts)
+
+    @settings(deadline=None, max_examples=40)
+    @given(first=idle_streams, second=idle_streams)
+    def test_merge_conserves_counts(self, first, second):
+        merged = make_histogram(first).merge(make_histogram(second))
+        reference = make_histogram(first + second)
+        assert merged.total_count == reference.total_count
+        assert merged.oob_count == reference.oob_count
+        np.testing.assert_array_equal(merged.counts, reference.counts)
+
+
+class TestHistogramCvAgainstNumpy:
+    @settings(deadline=None, max_examples=60)
+    @given(stream=idle_streams)
+    def test_incremental_bin_cv_matches_numpy(self, stream):
+        histogram = make_histogram(stream)
+        counts = histogram.counts.astype(float)
+        mean = float(np.mean(counts))
+        if mean == 0.0:
+            assert histogram.bin_count_cv == 0.0
+            return
+        reference = float(np.std(counts) / mean)
+        assert histogram.bin_count_cv == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+
+class TestWelfordProperties:
+    @settings(deadline=None, max_examples=80)
+    @given(values=observation_streams)
+    def test_moments_match_numpy(self, values):
+        acc = Welford.from_values(values)
+        array = np.asarray(values, dtype=float)
+        scale = max(1.0, float(np.max(np.abs(array))))
+        assert acc.count == len(values)
+        assert acc.mean == pytest.approx(float(np.mean(array)), rel=1e-9, abs=1e-9 * scale)
+        assert acc.variance == pytest.approx(
+            float(np.var(array)), rel=1e-6, abs=1e-6 * scale * scale
+        )
+
+    @settings(deadline=None, max_examples=80)
+    @given(values=observation_streams)
+    def test_cv_matches_numpy(self, values):
+        array = np.asarray(values, dtype=float)
+        mean = float(np.mean(array))
+        cv = coefficient_of_variation(values)
+        if mean == 0.0:
+            assert cv == 0.0 or cv == float("inf")
+            return
+        reference = float(np.std(array) / abs(mean))
+        scale = max(1.0, float(np.max(np.abs(array))))
+        assert cv == pytest.approx(reference, rel=1e-6, abs=1e-6 * scale)
+
+    @settings(deadline=None, max_examples=60)
+    @given(first=observation_streams, second=observation_streams)
+    def test_merge_equivalent_to_concatenation(self, first, second):
+        merged = Welford.from_values(first).merge(Welford.from_values(second))
+        reference = Welford.from_values(first + second)
+        scale = max(1.0, float(np.max(np.abs(first + second))))
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean, rel=1e-9, abs=1e-9 * scale)
+        assert merged.m2 == pytest.approx(reference.m2, rel=1e-6, abs=1e-6 * scale * scale)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        values=observation_streams,
+        extra=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+    def test_add_remove_round_trip(self, values, extra):
+        acc = Welford.from_values(values)
+        count, mean, m2 = acc.count, acc.mean, acc.m2
+        acc.add(extra)
+        acc.remove(extra)
+        scale = max(1.0, abs(extra), float(np.max(np.abs(values))))
+        assert acc.count == count
+        assert acc.mean == pytest.approx(mean, rel=1e-9, abs=1e-9 * scale)
+        assert acc.m2 == pytest.approx(m2, rel=1e-6, abs=1e-6 * scale * scale)
+
+    def test_empty_accumulator_conventions(self):
+        acc = Welford()
+        assert acc.count == 0
+        assert np.isnan(acc.variance)
+        assert np.isnan(acc.cv)
+        with pytest.raises(ValueError):
+            acc.remove(1.0)

@@ -134,9 +134,16 @@ class TestSimulatorOptions:
         assert trace.invocations == 3
         assert [o.cold for o in trace.outcomes] == [True, False, True]
 
-    def test_unsorted_input_is_sorted(self):
+    def test_unsorted_input_rejected_by_default(self):
         simulator = ColdStartSimulator(HORIZON)
-        result = simulator.simulate_app("a", [50.0, 0.0, 5.0], FixedKeepAlivePolicy(10))
+        with pytest.raises(ValueError, match="sorted"):
+            simulator.simulate_app("a", [50.0, 0.0, 5.0], FixedKeepAlivePolicy(10))
+
+    def test_unsorted_input_sorted_on_opt_in(self):
+        simulator = ColdStartSimulator(HORIZON)
+        result = simulator.simulate_app(
+            "a", [50.0, 0.0, 5.0], FixedKeepAlivePolicy(10), sort=True
+        )
         assert result.invocations == 3
         assert result.cold_starts == 2
 
@@ -144,6 +151,14 @@ class TestSimulatorOptions:
         simulator = ColdStartSimulator(100.0)
         with pytest.raises(ValueError):
             simulator.simulate_app("a", [150.0], FixedKeepAlivePolicy(10))
+
+    def test_out_of_horizon_rejected_before_sorting(self):
+        # The range check must see the raw input: a malformed (unsorted,
+        # out-of-horizon) trace is reported as out of horizon, not silently
+        # sorted first and then partially accepted.
+        simulator = ColdStartSimulator(100.0)
+        with pytest.raises(ValueError, match="horizon"):
+            simulator.simulate_app("a", [150.0, 10.0], FixedKeepAlivePolicy(10))
 
     def test_invalid_horizon_rejected(self):
         with pytest.raises(ValueError):
