@@ -1,10 +1,12 @@
-"""Engine speedup benchmark: serial vs vectorized vs parallel.
+"""Engine speedup benchmark: serial vs vectorized vs banked vs parallel.
 
-Benchmarks one fixed keep-alive policy run over the session workload
-(150 apps, 3 days — the same workload every figure benchmark uses) under
-each execution engine of :mod:`repro.simulation.engine`, and asserts the
-tentpole speed claim: the vectorized fixed-policy fast path is at least
-10x faster than the reference serial loop.
+Benchmarks one fixed keep-alive policy run and one hybrid histogram
+policy run over the session workload (150 apps, 3 days — the same
+workload every figure benchmark uses) under the execution engines of
+:mod:`repro.simulation.engine`, and asserts the speed claims: the
+vectorized fixed-policy fast path is at least 10x faster than the
+reference serial loop, and the banked struct-of-arrays hybrid run is at
+least 5x faster than replaying the hybrid policy serially.
 
 The whole module carries the ``slow_bench`` marker, so it stays out of
 the default (tier-1) test run; select it explicitly::
@@ -21,7 +23,7 @@ import time
 
 import pytest
 
-from repro.policies.registry import PolicyFactory, fixed_keepalive_factory
+from repro.policies.registry import PolicyFactory, fixed_keepalive_factory, hybrid_factory
 from repro.simulation.engine import RunnerOptions
 from repro.simulation.runner import WorkloadRunner
 
@@ -30,6 +32,7 @@ pytestmark = pytest.mark.slow_bench
 ENGINE_OPTIONS = {
     "serial": RunnerOptions(execution="serial"),
     "vectorized": RunnerOptions(execution="vectorized"),
+    "banked": RunnerOptions(execution="banked"),
     "parallel": RunnerOptions(execution="parallel"),
 }
 
@@ -65,7 +68,7 @@ def _best_of(runs: int, fn) -> float:
 
 
 def test_vectorized_fast_path_at_least_10x(workload, factory):
-    """The acceptance-criterion speedup, asserted directly.
+    """The PR 1 acceptance-criterion speedup, asserted directly.
 
     Best-of-3 wall-clock per engine; the vectorized closed-form path must
     beat the serial scalar loop by >= 10x on the benchmark workload.
@@ -84,3 +87,40 @@ def test_vectorized_fast_path_at_least_10x(workload, factory):
         f"speedup {speedup:.1f}x"
     )
     assert speedup >= 10.0
+
+
+@pytest.mark.parametrize("engine", ["serial", "banked"])
+def test_bench_hybrid_policy_engines(benchmark, workload, engine):
+    """Head-to-head group: the hybrid policy under serial vs banked."""
+    runner = WorkloadRunner(workload, ENGINE_OPTIONS[engine])
+    benchmark.group = "hybrid-4h over session workload"
+    result = benchmark.pedantic(
+        runner.run_policy, args=(hybrid_factory(),), iterations=1, rounds=3, warmup_rounds=1
+    )
+    assert result.num_apps > 0
+
+
+def test_banked_hybrid_at_least_5x(workload):
+    """The PR 2 acceptance-criterion speedup, asserted directly.
+
+    The banked struct-of-arrays hybrid run (one HybridPolicyBank stepping
+    every application together) must beat the serial per-app scalar
+    replay by >= 5x on the benchmark workload, while the equivalence
+    suite guarantees identical results.
+    """
+    factory = hybrid_factory()
+    serial = WorkloadRunner(workload, ENGINE_OPTIONS["serial"])
+    banked = WorkloadRunner(workload, ENGINE_OPTIONS["banked"])
+    banked_result = banked.run_policy(factory)  # warm-up
+
+    serial_best = _best_of(2, lambda: serial.run_policy(factory))
+    banked_best = _best_of(3, lambda: banked.run_policy(factory))
+    speedup = serial_best / banked_best
+    print(
+        f"\nserial best {serial_best * 1e3:.1f} ms, "
+        f"banked best {banked_best * 1e3:.1f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    # Sanity: the run actually exercised the hybrid decision modes.
+    assert banked_result.mode_usage().get("histogram", 0) > 0
+    assert speedup >= 5.0

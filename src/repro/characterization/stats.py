@@ -11,7 +11,7 @@ rates and intervals used across the Section 3 figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -12,8 +12,10 @@ Every sub-command accepts ``--num-apps``, ``--days``, ``--seed`` and
 ``--max-daily-rate`` to size the synthetic workload; ``--trace-dir`` loads
 an AzurePublicDataset-schema trace from disk instead of generating one.
 ``simulate`` and ``experiment`` additionally accept
-``--execution serial|vectorized|parallel|auto`` and ``--workers N`` to
-pick the simulation engine (see :mod:`repro.simulation.engine`).
+``--execution serial|vectorized|banked|parallel|auto`` and ``--workers N``
+to pick the simulation engine (see :mod:`repro.simulation.engine`);
+``auto`` routes banked-capable policies (the hybrid histogram policy)
+through one struct-of-arrays policy bank instead of per-app instances.
 """
 
 from __future__ import annotations
@@ -61,7 +63,9 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help=(
             "simulation engine: serial scalar loop, vectorized fixed-policy "
-            "fast path, parallel sharded over a worker pool, or auto"
+            "fast path, banked struct-of-arrays stepping for stateful "
+            "policies, parallel sharded over a worker pool, or auto "
+            "(fastest supported route per policy)"
         ),
     )
     parser.add_argument(
@@ -114,6 +118,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     runner = WorkloadRunner(workload, _runner_options(args))
     comparison = runner.compare(factories, baseline_name=None)
     print(comparison.as_text_table())
+    mode_usage = comparison.mode_usage_table()
+    if mode_usage:
+        print()
+        print(mode_usage)
     return 0
 
 

@@ -20,7 +20,7 @@ described in the paper, so the derived windows are conservative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -292,6 +292,38 @@ class IdleTimeHistogram:
         merged._total_count = self._total_count + other._total_count
         merged._bin_stats = Welford.from_values(merged._counts.astype(float))
         return merged
+
+    @classmethod
+    def from_state(
+        cls,
+        counts: np.ndarray,
+        *,
+        oob_count: int,
+        range_minutes: float,
+        bin_width_minutes: float,
+        bin_stats: Welford,
+    ) -> "IdleTimeHistogram":
+        """Reconstruct a histogram from raw state.
+
+        Used by :class:`~repro.core.histogram_bank.HistogramBank` to clone
+        one of its rows into a scalar histogram.  ``bin_stats`` is adopted
+        as-is (not recomputed from ``counts``) so that the incremental
+        Welford trajectory — and therefore the representativeness CV — is
+        preserved bit for bit.
+        """
+        histogram = cls(range_minutes=range_minutes, bin_width_minutes=bin_width_minutes)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != histogram._counts.shape:
+            raise ValueError(
+                f"expected {histogram._counts.shape[0]} bin counts, got {counts.shape}"
+            )
+        if bin_stats.count != histogram._num_bins:
+            raise ValueError("bin statistics must cover exactly one value per bin")
+        histogram._counts = counts.copy()
+        histogram._oob_count = int(oob_count)
+        histogram._total_count = int(counts.sum()) + int(oob_count)
+        histogram._bin_stats = bin_stats
+        return histogram
 
     @classmethod
     def from_idle_times(

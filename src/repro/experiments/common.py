@@ -10,7 +10,7 @@ paper-vs-measured comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.simulation.engine import RunnerOptions
 from repro.trace.generator import GeneratorConfig, WorkloadGenerator
@@ -51,8 +51,10 @@ class ExperimentContext:
     Attributes:
         scale: Sizing of the synthetic workload.
         runner_options: Simulation-engine options forwarded to every sweep
-            a driver runs (``execution=serial|vectorized|parallel|auto``
-            plus the worker count); ``None`` uses the engine defaults.
+            a driver runs (``execution=serial|vectorized|banked|parallel|auto``
+            plus the worker count); ``None`` uses the engine defaults
+            (``auto``: banked for the hybrid policy, closed-form for the
+            fixed family).
     """
 
     scale: ExperimentScale = field(default_factory=ExperimentScale)

@@ -7,7 +7,11 @@ normalized wasted memory trade-offs, and always-cold application shares.
 
 Drivers forward ``context.runner_options`` to their sweeps, so the CLI's
 ``--execution``/``--workers`` flags pick the simulation engine (serial,
-vectorized, or parallel sharded) for every figure.
+vectorized, banked, or parallel sharded) for every figure.  Under the
+default ``auto`` routing the hybrid-policy runs behind Figures 15–19 use
+the banked struct-of-arrays engine (one policy bank stepping every
+application together) and the fixed-policy runs use the closed-form fast
+path; ``--execution serial`` restores the reference scalar loop.
 """
 
 from __future__ import annotations

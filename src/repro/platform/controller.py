@@ -21,7 +21,6 @@ from typing import Dict
 
 from repro.core.windows import PolicyDecision
 from repro.platform.events import EventHandle, EventLoop
-from repro.platform.invoker import Invoker
 from repro.platform.loadbalancer import LoadBalancer
 from repro.platform.messages import ActivationMessage, CompletionMessage
 from repro.platform.metrics import PlatformMetrics

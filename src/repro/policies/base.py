@@ -11,9 +11,12 @@ image until the next invocation.
 from __future__ import annotations
 
 import abc
-from typing import ClassVar, Iterable
+from typing import TYPE_CHECKING, ClassVar, Iterable
 
 from repro.core.windows import PolicyDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.policies.bank import PolicyBank
 
 
 class KeepAlivePolicy(abc.ABC):
@@ -35,6 +38,14 @@ class KeepAlivePolicy(abc.ABC):
     #: invocations one at a time.
     supports_vectorized: ClassVar[bool] = False
 
+    #: Capability flag for the banked (struct-of-arrays) execution route
+    #: (:mod:`repro.simulation.engine`).  A policy may set this to True
+    #: only when :meth:`make_bank` returns a
+    #: :class:`~repro.policies.bank.PolicyBank` whose rows make exactly the
+    #: decisions a fresh per-application instance of this policy would
+    #: make for the same invocation stream.
+    supports_banked: ClassVar[bool] = False
+
     def constant_keepalive_minutes(self) -> float:
         """Constant keep-alive window backing the vectorized fast path.
 
@@ -43,6 +54,15 @@ class KeepAlivePolicy(abc.ABC):
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not support vectorized simulation"
+        )
+
+    def make_bank(self, num_apps: int) -> "PolicyBank":
+        """Build a policy bank equivalent to ``num_apps`` fresh instances.
+
+        Only meaningful when :attr:`supports_banked` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support banked simulation"
         )
 
     @abc.abstractmethod

@@ -2,8 +2,12 @@
 
 The simulator creates one policy instance per application.  A
 :class:`PolicyFactory` captures "which policy, with which parameters" and
-produces fresh instances on demand.  Factories can also be parsed from
-compact string specs (used by the CLI and the experiment drivers), e.g.::
+produces fresh instances on demand; for banked-capable policies it also
+builds the struct-of-arrays :class:`~repro.policies.bank.PolicyBank` that
+replaces per-application instances under the banked execution route
+(:attr:`PolicyFactory.supports_banked` / :meth:`PolicyFactory.make_bank`).
+Factories can also be parsed from compact string specs (used by the CLI
+and the experiment drivers), e.g.::
 
     "fixed:10"          a 10-minute fixed keep-alive policy
     "no-unloading"      the infinite keep-alive baseline
@@ -13,12 +17,16 @@ compact string specs (used by the CLI and the experiment drivers), e.g.::
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.policies.base import KeepAlivePolicy
 from repro.policies.fixed import FixedKeepAlivePolicy
 from repro.policies.no_unload import NoUnloadingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.policies.bank import PolicyBank
 
 
 @dataclass(frozen=True)
@@ -39,6 +47,23 @@ class PolicyFactory:
     def create(self) -> KeepAlivePolicy:
         """Alias of calling the factory."""
         return self.builder()
+
+    @property
+    def supports_banked(self) -> bool:
+        """Whether this factory's policies support the banked engine route.
+
+        True when one struct-of-arrays
+        :class:`~repro.policies.bank.PolicyBank` (see :meth:`make_bank`)
+        can replace per-application instances of the policy.
+        """
+        return self.create().supports_banked
+
+    def make_bank(self, num_apps: int) -> "PolicyBank":
+        """Bank equivalent to ``num_apps`` fresh instances of the policy.
+
+        Only meaningful when :attr:`supports_banked` is True.
+        """
+        return self.create().make_bank(num_apps)
 
 
 def fixed_keepalive_factory(keepalive_minutes: float) -> PolicyFactory:
@@ -81,6 +106,17 @@ def hybrid_factory(config: Any | None = None, **overrides: Any) -> PolicyFactory
     return PolicyFactory(name=name, builder=lambda: HybridHistogramPolicy(base))
 
 
+def _spec_number(value: str, what: str, spec: str) -> float:
+    """Parse one numeric field of a policy spec with a readable error."""
+    try:
+        number = float(value)
+    except ValueError:
+        raise ValueError(f"{what} must be a number, got {value!r} in spec {spec!r}") from None
+    if math.isnan(number):
+        raise ValueError(f"{what} must not be NaN in spec {spec!r}")
+    return number
+
+
 def parse_policy_spec(spec: str) -> PolicyFactory:
     """Parse a compact string spec into a :class:`PolicyFactory`.
 
@@ -89,6 +125,12 @@ def parse_policy_spec(spec: str) -> PolicyFactory:
         no-unloading
         fixed:<minutes>
         hybrid[:<range minutes>[:<head pct>:<tail pct>]]
+
+    Raises:
+        ValueError: For malformed specs, non-positive fixed keep-alive
+            windows or histogram ranges, and head/tail percentiles outside
+            ``[0, 100]`` (or a head above the tail) — catching garbage at
+            the CLI boundary instead of propagating it into runs.
     """
     parts = [part.strip() for part in spec.strip().lower().split(":")]
     kind = parts[0]
@@ -97,15 +139,40 @@ def parse_policy_spec(spec: str) -> PolicyFactory:
     if kind == "fixed":
         if len(parts) != 2:
             raise ValueError(f"fixed policy spec must be 'fixed:<minutes>', got {spec!r}")
-        return fixed_keepalive_factory(float(parts[1]))
+        minutes = _spec_number(parts[1], "fixed keep-alive window", spec)
+        if minutes <= 0 or math.isinf(minutes):
+            raise ValueError(
+                "fixed keep-alive window must be a positive number of minutes "
+                f"(use 'no-unloading' for an infinite window), got {parts[1]!r} "
+                f"in spec {spec!r}"
+            )
+        return fixed_keepalive_factory(minutes)
     if kind == "hybrid":
         from repro.core.config import HybridPolicyConfig
 
         config = HybridPolicyConfig()
         if len(parts) >= 2 and parts[1]:
-            config = config.with_overrides(histogram_range_minutes=float(parts[1]))
+            range_minutes = _spec_number(parts[1], "histogram range", spec)
+            if range_minutes <= 0 or math.isinf(range_minutes):
+                raise ValueError(
+                    "histogram range must be a positive number of minutes, "
+                    f"got {parts[1]!r} in spec {spec!r}"
+                )
+            config = config.with_overrides(histogram_range_minutes=range_minutes)
         if len(parts) == 4:
-            config = config.with_cutoffs(float(parts[2]), float(parts[3]))
+            head = _spec_number(parts[2], "head percentile", spec)
+            tail = _spec_number(parts[3], "tail percentile", spec)
+            if not 0 <= head <= 100 or not 0 <= tail <= 100:
+                raise ValueError(
+                    "head/tail percentiles must be within [0, 100], got "
+                    f"[{parts[2]}, {parts[3]}] in spec {spec!r}"
+                )
+            if head > tail:
+                raise ValueError(
+                    "head percentile must not exceed the tail percentile, got "
+                    f"[{parts[2]}, {parts[3]}] in spec {spec!r}"
+                )
+            config = config.with_cutoffs(head, tail)
         elif len(parts) not in (1, 2):
             raise ValueError(
                 "hybrid policy spec must be 'hybrid[:<range>[:<head>:<tail>]]', "

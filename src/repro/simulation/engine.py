@@ -15,16 +15,30 @@ closed-form.  This module exploits both properties:
   only the final summation differs (numpy's pairwise summation instead of
   sequential accumulation), so results agree with the scalar engine to
   well within 1e-9.
+* a **banked** route for stateful policies: applications are stepped
+  together through one struct-of-arrays
+  :class:`~repro.policies.bank.PolicyBank` (the hybrid histogram policy's
+  bank evaluates the Figure 10 state machine with boolean masks across
+  all applications at once, see
+  :meth:`~repro.simulation.coldstart.ColdStartSimulator.simulate_apps_banked`).
 * :class:`SimulationEngine` — routes a policy run over a workload through
-  one of three execution modes: ``serial`` (the reference scalar loop),
-  ``vectorized`` (the fast path where the policy supports it, scalar
-  otherwise), and ``parallel`` (applications sharded across a
-  ``multiprocessing`` pool).  ``auto`` picks ``vectorized`` in-process.
+  one of four execution modes: ``serial`` (the reference scalar loop),
+  ``vectorized`` (the closed-form fast path where the policy supports it,
+  scalar otherwise), ``banked`` (the grouped-stepping bank where the
+  policy supports it, falling back like ``auto``), and ``parallel``
+  (applications sharded across a ``multiprocessing`` pool; each shard
+  internally uses the fastest in-process route its policy supports, so
+  banks compose with sharding).  ``auto`` picks the fastest in-process
+  route: the closed-form fast path, then the bank, then the scalar loop.
 
-Policies opt into the fast path via the
+Policies opt into the closed-form fast path via the
 :attr:`~repro.policies.base.KeepAlivePolicy.supports_vectorized`
 capability flag plus
-:meth:`~repro.policies.base.KeepAlivePolicy.constant_keepalive_minutes`.
+:meth:`~repro.policies.base.KeepAlivePolicy.constant_keepalive_minutes`,
+and into the banked route via
+:attr:`~repro.policies.base.KeepAlivePolicy.supports_banked` plus
+:meth:`~repro.policies.base.KeepAlivePolicy.make_bank` (exposed on
+:class:`~repro.policies.registry.PolicyFactory` as well).
 
 The parallel engine shards applications into contiguous chunks, fans the
 chunks out over a ``fork``-based worker pool (policy factories capture
@@ -53,7 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.trace.schema import Workload
 
 #: Recognized values of :attr:`RunnerOptions.execution`.
-EXECUTION_MODES: tuple[str, ...] = ("auto", "serial", "vectorized", "parallel")
+EXECUTION_MODES: tuple[str, ...] = ("auto", "serial", "vectorized", "banked", "parallel")
 
 #: Shards per worker: small enough to keep per-shard overhead negligible,
 #: large enough that uneven per-app costs still balance across the pool.
@@ -74,9 +88,11 @@ class RunnerOptions:
             never invoked, which simply produce empty results).
         execution: Execution engine: ``"serial"`` (reference scalar loop),
             ``"vectorized"`` (closed-form numpy fast path for policies that
-            support it, scalar loop otherwise), ``"parallel"`` (shard
-            applications across a worker pool), or ``"auto"`` (vectorized,
-            in-process).
+            support it, scalar loop otherwise), ``"banked"`` (struct-of-
+            arrays policy bank stepping all applications together, for
+            policies that support it), ``"parallel"`` (shard applications
+            across a worker pool; shards use the fastest in-process route,
+            including banks), or ``"auto"`` (fastest in-process route).
         workers: Worker-pool size for the parallel engine; ``None`` uses
             the machine's CPU count.  Ignored by the other engines.
     """
@@ -217,21 +233,29 @@ class SimulationEngine:
         progress: Callable[[int, int], None] | None = None,
     ) -> AggregateResult:
         """Simulate one policy (fresh instance per application) over the workload."""
-        vectorize = self.options.execution in ("auto", "vectorized", "parallel")
-        keepalive = self._constant_keepalive(factory) if vectorize else None
-        if self.options.execution == "parallel":
-            results = self._run_parallel(factory, keepalive, progress)
+        execution = self.options.execution
+        # One probe instance answers every capability question.
+        probe = factory.create()
+        vectorize = execution in ("auto", "vectorized", "banked", "parallel")
+        keepalive = (
+            probe.constant_keepalive_minutes()
+            if vectorize and probe.supports_vectorized
+            else None
+        )
+        # The closed-form fast path beats bank stepping when both apply, so
+        # the bank is the fallback tier for stateful policies.
+        use_bank = (
+            keepalive is None
+            and execution in ("auto", "banked", "parallel")
+            and probe.supports_banked
+        )
+        if execution == "parallel":
+            results = self._run_parallel(factory, keepalive, use_bank, progress)
+        elif use_bank:
+            results = self._run_banked(factory, self._work_items(), progress)
         else:
             results = self._run_in_process(factory, keepalive, progress)
         return merge_results(factory.name, results)
-
-    # ------------------------------------------------------------------ #
-    def _constant_keepalive(self, factory: PolicyFactory) -> float | None:
-        """Keep-alive window of the factory's policies, if constant."""
-        probe = factory.create()
-        if not probe.supports_vectorized:
-            return None
-        return probe.constant_keepalive_minutes()
 
     def _work_items(self) -> list[_AppWorkItem]:
         items: list[_AppWorkItem] = []
@@ -265,6 +289,24 @@ class SimulationEngine:
         return result
 
     # ------------------------------------------------------------------ #
+    def _run_banked(
+        self,
+        factory: PolicyFactory,
+        items: Sequence[_AppWorkItem],
+        progress: Callable[[int, int], None] | None,
+    ) -> list[AppSimResult]:
+        """Banked execution: one policy bank steps all items together."""
+        results = self._simulator.simulate_apps_banked(
+            [item.app_id for item in items],
+            [item.times for item in items],
+            factory.make_bank,
+            memory_mb=[item.memory_mb for item in items],
+        )
+        if progress is not None:
+            progress(len(items), len(items))
+        return results
+
+    # ------------------------------------------------------------------ #
     def _run_in_process(
         self,
         factory: PolicyFactory,
@@ -286,14 +328,18 @@ class SimulationEngine:
         self,
         factory: PolicyFactory,
         keepalive: float | None,
+        use_bank: bool,
         progress: Callable[[int, int], None] | None,
     ) -> list[AppSimResult]:
         """Shard applications across a worker pool; deterministic ordering.
 
         Results are reassembled by shard index (shards are contiguous runs
         of applications in workload order), so the output is independent of
-        the worker count and of shard completion order.  Progress is
-        aggregated across shards as they complete.
+        the worker count and of shard completion order: bank rows are
+        mutually independent, so stepping an application in a smaller
+        (per-shard) bank produces exactly the results it gets in one
+        workload-wide bank.  Progress is aggregated across shards as they
+        complete.
         """
         items = self._work_items()
         total = len(items)
@@ -316,7 +362,7 @@ class SimulationEngine:
             merged: list[AppSimResult] = []
             done = 0
             for shard in shards:
-                merged.extend(self._run_shard_items(shard, factory, keepalive))
+                merged.extend(self._run_shard_items(shard, factory, keepalive, use_bank))
                 done += len(shard)
                 if progress is not None:
                     progress(done, total)
@@ -329,7 +375,7 @@ class SimulationEngine:
         # clear the global immediately and concurrent runs cannot observe
         # (or fork with) each other's state.
         with _WORKER_STATE_LOCK:
-            _WORKER_STATE = (self, factory, keepalive, shards)
+            _WORKER_STATE = (self, factory, keepalive, use_bank, shards)
             try:
                 pool = context.Pool(processes=workers)
             finally:
@@ -348,20 +394,28 @@ class SimulationEngine:
         return [result for shard in ordered for result in shard]  # type: ignore[union-attr]
 
     def _run_shard_items(
-        self, shard: Sequence[_AppWorkItem], factory: PolicyFactory, keepalive: float | None
+        self,
+        shard: Sequence[_AppWorkItem],
+        factory: PolicyFactory,
+        keepalive: float | None,
+        use_bank: bool = False,
     ) -> list[AppSimResult]:
+        if use_bank:
+            return self._run_banked(factory, shard, progress=None)
         return [self._simulate_item(item, factory, keepalive) for item in shard]
 
 
 #: Engine state inherited by forked pool workers (factories hold closures
 #: that cannot be pickled, so they travel by fork instead of by pickle).
 #: Guarded by _WORKER_STATE_LOCK from assignment until the pool has forked.
-_WORKER_STATE: tuple[SimulationEngine, PolicyFactory, float | None, list] | None = None
+_WORKER_STATE: (
+    tuple[SimulationEngine, PolicyFactory, float | None, bool, list] | None
+) = None
 _WORKER_STATE_LOCK = threading.Lock()
 
 
 def _run_shard_by_id(shard_id: int) -> tuple[int, list[AppSimResult]]:
     """Worker entry point: simulate one shard of applications."""
     assert _WORKER_STATE is not None, "worker state not initialized before fork"
-    engine, factory, keepalive, shards = _WORKER_STATE
-    return shard_id, engine._run_shard_items(shards[shard_id], factory, keepalive)
+    engine, factory, keepalive, use_bank, shards = _WORKER_STATE
+    return shard_id, engine._run_shard_items(shards[shard_id], factory, keepalive, use_bank)

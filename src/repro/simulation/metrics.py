@@ -32,6 +32,7 @@ class AppSimResult:
     wasted_memory_minutes: float
     memory_mb: float = 1.0
     mode_counts: Mapping[str, int] = field(default_factory=dict)
+    oob_idle_times: int = 0
 
     def __post_init__(self) -> None:
         if self.invocations < 0 or self.cold_starts < 0:
@@ -40,6 +41,13 @@ class AppSimResult:
             raise ValueError("cold starts cannot exceed invocations")
         if self.wasted_memory_minutes < 0:
             raise ValueError("wasted memory time must be non-negative")
+        if self.oob_idle_times < 0:
+            raise ValueError("out-of-bounds count must be non-negative")
+
+    @property
+    def idle_time_observations(self) -> int:
+        """Number of idle times the policy observed (one per gap)."""
+        return max(self.invocations - 1, 0)
 
     @property
     def warm_starts(self) -> int:
@@ -147,6 +155,38 @@ class AggregateResult:
             return 0.0
         singles = sum(1 for result in self.app_results if result.invocations == 1)
         return singles / len(self.app_results)
+
+    def mode_usage(self) -> dict[str, int]:
+        """Summed per-application decision-mode counters.
+
+        For the hybrid policy these are the
+        :class:`~repro.core.hybrid.HybridPolicyStats` histogram / standard
+        / ARIMA decision counts; policies without mode tracking produce an
+        empty dictionary.
+        """
+        usage: dict[str, int] = {}
+        for result in self.app_results:
+            for mode, count in result.mode_counts.items():
+                usage[mode] = usage.get(mode, 0) + int(count)
+        return usage
+
+    @property
+    def total_oob_idle_times(self) -> int:
+        """Idle times that fell beyond the histogram range, workload-wide."""
+        return sum(result.oob_idle_times for result in self.app_results)
+
+    @property
+    def total_idle_time_observations(self) -> int:
+        """Idle times observed by the policy, workload-wide."""
+        return sum(result.idle_time_observations for result in self.app_results)
+
+    @property
+    def oob_idle_time_fraction(self) -> float:
+        """Fraction of observed idle times that were out of bounds."""
+        observations = self.total_idle_time_observations
+        if observations == 0:
+            return 0.0
+        return self.total_oob_idle_times / observations
 
     def normalized_wasted_memory(self, baseline: "AggregateResult") -> float:
         """Wasted memory time as a percentage of a baseline policy's.

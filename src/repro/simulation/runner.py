@@ -7,9 +7,12 @@ fresh policy instance (policies are stateful and per-application by
 design) and the per-app results are aggregated into an
 :class:`~repro.simulation.metrics.AggregateResult`.  The
 ``execution`` field of :class:`RunnerOptions` selects the engine
-(``serial``, ``vectorized``, ``parallel``, or ``auto``);
+(``serial``, ``vectorized``, ``banked``, ``parallel``, or ``auto``);
+for banked-capable policies (the hybrid histogram policy) the per-app
+instances are replaced by one struct-of-arrays policy bank.
 :class:`ParallelWorkloadRunner` is a convenience wrapper that pins the
-parallel engine and a worker count.
+parallel engine and a worker count; its shards use banks internally for
+banked-capable policies.
 """
 
 from __future__ import annotations
@@ -65,9 +68,10 @@ class WorkloadRunner:
         for factory in factories:
             per_policy_progress = None
             if progress is not None:
-                per_policy_progress = lambda done, total, name=factory.name: progress(
-                    name, done, total
-                )
+
+                def per_policy_progress(done, total, name=factory.name):
+                    progress(name, done, total)
+
             results[factory.name] = self.run_policy(factory, progress=per_policy_progress)
         return results
 
@@ -169,6 +173,47 @@ class PolicyComparison:
                 f"{row['overall_cold_start_pct']:>15.2f} "
                 f"{row['normalized_wasted_memory_pct']:>19.2f} "
                 f"{100.0 * float(row['always_cold_fraction']):>14.2f}"
+            )
+        return "\n".join(lines)
+
+    def mode_usage_rows(self) -> list[dict[str, float | int | str]]:
+        """Decision-mode usage per policy, for policies that track modes.
+
+        One row per policy whose per-app results carry
+        :class:`~repro.core.hybrid.HybridPolicyStats`-style mode counters
+        (histogram / standard / ARIMA decision counts) plus the fraction
+        of observed idle times that fell beyond the histogram range.
+        Identical for banked and scalar runs of the same policy, so the
+        two execution routes can be compared at a glance.
+        """
+        rows: list[dict[str, float | int | str]] = []
+        for name, result in self.results.items():
+            usage = result.mode_usage()
+            if not usage:
+                continue
+            row: dict[str, float | int | str] = {"policy": name}
+            row.update(sorted(usage.items()))
+            row["oob_idle_time_pct"] = 100.0 * result.oob_idle_time_fraction
+            rows.append(row)
+        return rows
+
+    def mode_usage_table(self) -> str:
+        """Plain-text rendering of :meth:`mode_usage_rows` ('' when empty)."""
+        rows = self.mode_usage_rows()
+        if not rows:
+            return ""
+        # Union of mode keys across all policies: different policy kinds
+        # may track different mode sets.
+        modes = sorted(
+            {key for row in rows for key in row if key not in ("policy", "oob_idle_time_pct")}
+        )
+        header = f"{'policy':<24} " + " ".join(f"{mode:>12}" for mode in modes)
+        header += f" {'OOB idle %':>12}"
+        lines = ["decision-mode usage (hybrid policies):", header, "-" * len(header)]
+        for row in rows:
+            cells = " ".join(f"{row.get(mode, 0):>12}" for mode in modes)
+            lines.append(
+                f"{row['policy']:<24} {cells} {float(row['oob_idle_time_pct']):>12.2f}"
             )
         return "\n".join(lines)
 

@@ -7,16 +7,19 @@ experiment drivers in :mod:`repro.experiments` format these results into
 the paper's tables and series.
 
 Every sweep accepts a :class:`RunnerOptions` whose ``execution`` field
-selects the simulation engine (``serial``/``vectorized``/``parallel``/
-``auto``, see :mod:`repro.simulation.engine`); e.g.
+selects the simulation engine (``serial``/``vectorized``/``banked``/
+``parallel``/``auto``, see :mod:`repro.simulation.engine`); e.g.
 ``sweep_fixed_keepalive(workload, options=RunnerOptions(execution="parallel"))``
-shards the fixed-policy family across all cores.
+shards the fixed-policy family across all cores.  Under ``auto`` the
+hybrid-policy sweeps (Figures 15–19) route through the banked
+struct-of-arrays engine, and the fixed family through the closed-form
+fast path, so a mixed sweep uses the best route per policy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.config import HybridPolicyConfig
 from repro.policies.fixed import FIGURE_14_KEEPALIVE_MINUTES

@@ -265,7 +265,6 @@ class WorkloadGenerator:
         Exposed publicly so tests and examples can inspect the mapping from
         application class to arrival behaviour.
         """
-        config = self.config
         rate_per_minute = daily_rate / MINUTES_PER_DAY
         triggers = app.trigger_types
         timer_only = triggers == {TriggerType.TIMER}

@@ -10,8 +10,6 @@ examples and benchmarks to build tractable workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
-
 import numpy as np
 
 from repro.trace.schema import Workload

@@ -21,7 +21,6 @@ from __future__ import annotations
 import csv
 import math
 from pathlib import Path
-from typing import Iterable
 
 import numpy as np
 

@@ -25,7 +25,7 @@ class TestDifferencing:
 
     def test_undifference_inverts_one_step(self):
         series = np.asarray([1.0, 3.0, 6.0, 10.0])
-        diffed = difference(series, 1)
+        assert difference(series, 1).tolist() == [2.0, 3.0, 4.0]
         # Forecasting the next first-difference of 5 should give 15.
         assert undifference(5.0, series, 1) == pytest.approx(15.0)
 

@@ -1,16 +1,20 @@
-"""Property-based tests for the histogram and Welford primitives.
+"""Property-based tests for the histogram, Welford, and forecaster primitives.
 
-The hybrid policy's decisions hinge on two incremental data structures:
-the range-limited :class:`IdleTimeHistogram` and the :class:`Welford`
-running-statistics accumulator that backs its representativeness CV.
-These tests drive both with random observation streams (hypothesis) and
-assert the structural invariants the policy relies on:
+The hybrid policy's decisions hinge on incremental data structures: the
+range-limited :class:`IdleTimeHistogram`, the :class:`Welford`
+running-statistics accumulator that backs its representativeness CV, and
+the :class:`IdleTimeForecaster` behind the ARIMA branch.  These tests
+drive them with random observation streams (hypothesis) and assert the
+structural invariants the policy relies on:
 
 * percentile cutoffs are monotone in the percentile, and the head cutoff
   never exceeds the tail cutoff for the same percentile;
 * the incrementally maintained CV matches a from-scratch numpy reference;
 * observation counts are conserved across observe/reset/observe cycles
-  and across merges.
+  and across merges;
+* forecaster decisions always yield non-negative windows with the margin
+  applied around the point forecast, and the retained history stays
+  bounded by ``max_history``.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.forecaster import IdleTimeForecaster
 from repro.core.histogram import IdleTimeHistogram
 from repro.core.welford import Welford, coefficient_of_variation
 
@@ -195,3 +200,82 @@ class TestWelfordProperties:
         assert np.isnan(acc.cv)
         with pytest.raises(ValueError):
             acc.remove(1.0)
+
+
+#: Idle-time streams for the forecaster: kept short so the per-decision
+#: ARIMA refits stay fast, with values spanning sub-minute to multi-day.
+forecaster_streams = st.lists(
+    st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    min_size=0,
+    max_size=24,
+)
+
+margins = st.floats(min_value=0.0, max_value=0.9, allow_nan=False)
+
+
+class TestForecasterProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(stream=forecaster_streams, margin=margins)
+    def test_decision_windows_non_negative_with_margin_applied(self, stream, margin):
+        forecaster = IdleTimeForecaster.from_history(stream, margin=margin)
+        result = forecaster.decide(minimum_keepalive_minutes=1.0)
+        decision = result.decision
+        assert decision.prewarm_minutes >= 0.0
+        assert decision.keepalive_minutes >= 1.0
+        prediction = result.predicted_idle_minutes
+        assert np.isfinite(prediction)
+        # The margin brackets the point forecast: pre-warm ends at
+        # (1 - margin) * forecast and the keep-alive spans 2 * margin
+        # around it (floored at the minimum keep-alive window).
+        assert decision.prewarm_minutes == max(prediction * (1.0 - margin), 0.0)
+        assert decision.keepalive_minutes == max(2.0 * margin * prediction, 1.0)
+        # The scheduled loaded interval covers the predicted invocation.
+        if prediction > 0:
+            load_start, load_end = decision.loaded_interval(0.0)
+            assert load_start <= prediction <= load_end
+
+    @settings(deadline=None, max_examples=25)
+    @given(stream=forecaster_streams, minimum=st.floats(min_value=0.1, max_value=60.0))
+    def test_minimum_keepalive_is_honoured(self, stream, minimum):
+        forecaster = IdleTimeForecaster.from_history(stream)
+        result = forecaster.decide(minimum_keepalive_minutes=minimum)
+        assert result.decision.keepalive_minutes >= minimum
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        stream=st.lists(
+            st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+            min_size=0,
+            max_size=80,
+        ),
+        max_history=st.integers(min_value=2, max_value=32),
+    )
+    def test_history_capped_at_max_history(self, stream, max_history):
+        forecaster = IdleTimeForecaster.from_history(stream, max_history=max_history)
+        assert len(forecaster) <= max_history
+        # The retained window is exactly the most recent observations.
+        assert forecaster.history == [float(v) for v in stream[-max_history:]]
+
+    @settings(deadline=None, max_examples=25)
+    @given(stream=forecaster_streams)
+    def test_short_history_falls_back_to_mean(self, stream):
+        short = stream[:3]
+        forecaster = IdleTimeForecaster.from_history(short)
+        result = forecaster.decide()
+        assert result.used_fallback
+        expected = float(np.mean(short)) if short else 0.0
+        assert result.predicted_idle_minutes == expected
+
+    def test_negative_idle_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IdleTimeForecaster().observe(-1.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(margin=1.0)
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(max_history=1)
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(min_history=1)
+        with pytest.raises(ValueError):
+            IdleTimeForecaster(refit_every=0)

@@ -80,6 +80,47 @@ class TestSpecParsing:
         with pytest.raises(ValueError):
             parse_policy_spec(spec)
 
+    @pytest.mark.parametrize("spec", ["fixed:0", "fixed:-5", "fixed:inf", "fixed:nan"])
+    def test_non_positive_fixed_windows_rejected(self, spec):
+        with pytest.raises(ValueError, match="keep-alive window"):
+            parse_policy_spec(spec)
+
+    def test_non_numeric_fixed_window_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            parse_policy_spec("fixed:ten")
+
+    @pytest.mark.parametrize("spec", ["hybrid:0", "hybrid:-240", "hybrid:inf"])
+    def test_non_positive_hybrid_range_rejected(self, spec):
+        with pytest.raises(ValueError, match="histogram range"):
+            parse_policy_spec(spec)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["hybrid:240:-1:99", "hybrid:240:5:101", "hybrid:240:120:130", "hybrid:240:nan:99"],
+    )
+    def test_out_of_range_percentiles_rejected(self, spec):
+        with pytest.raises(ValueError, match="percentile"):
+            parse_policy_spec(spec)
+
+    def test_head_above_tail_rejected(self):
+        with pytest.raises(ValueError, match="head percentile must not exceed"):
+            parse_policy_spec("hybrid:240:99:5")
+
+
+class TestBankCapabilities:
+    def test_hybrid_factory_supports_banked(self):
+        factory = hybrid_factory(histogram_range_minutes=120.0)
+        assert factory.supports_banked
+        bank = factory.make_bank(3)
+        assert bank.num_apps == 3
+        assert bank.config.histogram_range_minutes == 120.0
+
+    def test_fixed_and_no_unloading_do_not_support_banked(self):
+        for factory in (fixed_keepalive_factory(10.0), no_unloading_factory()):
+            assert not factory.supports_banked
+            with pytest.raises(NotImplementedError):
+                factory.make_bank(2)
+
 
 class TestSuite:
     def test_standard_suite_contents(self):

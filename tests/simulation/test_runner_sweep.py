@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.policies.registry import (
@@ -135,6 +134,7 @@ class TestSweeps:
         fixed = comparison.fixed.always_cold_fraction
         without = comparison.hybrid_without_arima.always_cold_fraction
         full = comparison.hybrid.always_cold_fraction
+        assert 0.0 <= fixed <= 1.0
         # ARIMA can only help the apps the histogram cannot capture.
         assert full <= without + 1e-9
         rows = comparison.rows()

@@ -33,6 +33,33 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "fixed-10min" in output
         assert "no-unloading" in output
+        # No mode-tracking policy in the run: no decision-mode block.
+        assert "decision-mode usage" not in output
+
+    @pytest.mark.parametrize("execution", ["serial", "banked", "auto"])
+    def test_simulate_reports_hybrid_mode_usage(self, capsys, execution):
+        assert (
+            main(
+                [
+                    "simulate",
+                    *SMALL,
+                    "--policies",
+                    "fixed:10",
+                    "hybrid:240",
+                    "--execution",
+                    execution,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "decision-mode usage" in output
+        assert "histogram" in output
+        assert "OOB idle %" in output
+
+    def test_simulate_rejects_bad_policy_spec(self):
+        with pytest.raises(ValueError, match="keep-alive window"):
+            main(["simulate", *SMALL, "--policies", "fixed:0"])
 
     def test_generate_and_reload(self, tmp_path, capsys):
         out_dir = tmp_path / "trace"

@@ -131,7 +131,6 @@ class TestDistributionalShape:
 
 class TestArrivalProcessSelection:
     def _app_with(self, generator, combo, rate):
-        workload = generate_workload(num_apps=5, duration_days=1, seed=3)
         # Build a synthetic app spec with the wanted combination.
         from tests.conftest import make_app
 

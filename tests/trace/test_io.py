@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import csv
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -17,7 +16,6 @@ from repro.trace.writer import (
     write_dataset,
     write_invocation_counts,
 )
-from tests.conftest import make_workload
 
 
 @pytest.fixture()
