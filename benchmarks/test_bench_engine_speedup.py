@@ -1,4 +1,4 @@
-"""Engine speedup benchmark: serial vs vectorized vs banked vs parallel.
+"""Engine and workload-pipeline speedup benchmarks.
 
 Benchmarks one fixed keep-alive policy run and one hybrid histogram
 policy run over the session workload (150 apps, 3 days — the same
@@ -7,6 +7,13 @@ workload every figure benchmark uses) under the execution engines of
 vectorized fixed-policy fast path is at least 10x faster than the
 reference serial loop, and the banked struct-of-arrays hybrid run is at
 least 5x faster than replaying the hybrid policy serially.
+
+It also benchmarks the **workload pipeline** itself: building the
+invocation representation from per-function timestamp arrays and running
+the core characterization reductions (per-app merge, IAT CVs, daily
+rates, hourly load, per-minute count matrix).  The columnar
+:class:`~repro.trace.store.InvocationStore` path must beat the seed's
+per-function-dict path by at least 3x.
 
 The whole module carries the ``slow_bench`` marker, so it stays out of
 the default (tier-1) test run; select it explicitly::
@@ -19,13 +26,17 @@ chosen engine via ``REPRO_BENCH_EXECUTION`` / ``REPRO_BENCH_WORKERS``.
 
 from __future__ import annotations
 
+import math
 import time
 
+import numpy as np
 import pytest
 
 from repro.policies.registry import PolicyFactory, fixed_keepalive_factory, hybrid_factory
 from repro.simulation.engine import RunnerOptions
 from repro.simulation.runner import WorkloadRunner
+from repro.trace.arrival import iat_coefficient_of_variation
+from repro.trace.store import InvocationStore
 
 pytestmark = pytest.mark.slow_bench
 
@@ -124,3 +135,216 @@ def test_banked_hybrid_at_least_5x(workload):
     # Sanity: the run actually exercised the hybrid decision modes.
     assert banked_result.mode_usage().get("histogram", 0) > 0
     assert speedup >= 5.0
+
+
+# --------------------------------------------------------------------------- #
+# Workload pipeline: columnar store vs the seed's per-function dicts
+# --------------------------------------------------------------------------- #
+def _generator_columns(workload):
+    """Reconstruct the generator's per-app output from the store.
+
+    App-level sorted timestamp columns plus each invocation's local
+    function position — the exact inputs the generator hands to the
+    workload builder (and, in the seed, to its per-function
+    ``_distribute_to_functions`` splitter).
+    """
+    store = workload.store
+    app_functions = [
+        (app.app_id, [f.function_id for f in app.functions]) for app in workload.apps
+    ]
+    function_base = np.zeros(len(app_functions) + 1, dtype=np.int64)
+    function_base[1:] = np.cumsum([len(fids) for _, fids in app_functions])
+    app_times = []
+    app_positions = []
+    for index in range(len(app_functions)):
+        app_times.append(np.array(store.app_slice(index)))
+        app_positions.append(
+            np.array(store.app_function_codes(index)) - function_base[index]
+        )
+    return app_functions, app_times, app_positions
+
+
+def _legacy_build_and_characterize(
+    app_functions, app_times, app_positions, duration_minutes: float
+) -> dict:
+    """The seed's dict-backed workload pipeline, operation for operation.
+
+    The seed generator split each app's timestamps into per-function dict
+    arrays (one boolean mask + sort per function), ``Workload.__init__``
+    re-sorted every array, ``app_invocations`` merged them back per app
+    (sort + concat), characterization ran per-entity Python loops
+    (per-app IAT CVs, per-entity daily rates, hourly totals accumulated
+    per function with ``np.add.at``), the writer re-binned every function
+    per day, and the platform experiments' subset/truncate steps rebuilt
+    the whole dict representation (filter + re-sort + re-merge).
+    """
+    # -- build: generator split + Workload.__init__ re-sort ------------- #
+    per_function: dict[str, np.ndarray] = {}
+    for index, (_, fids) in enumerate(app_functions):
+        times, positions = app_times[index], app_positions[index]
+        for position, fid in enumerate(fids):
+            per_function[fid] = np.sort(times[positions == position])
+    per_function = {
+        fid: np.sort(np.asarray(times, dtype=float))
+        for fid, times in per_function.items()
+    }
+    for times in per_function.values():
+        if times.size and (times[0] < 0 or times[-1] > duration_minutes):
+            raise ValueError("out of horizon")
+    per_app = {
+        app_id: np.sort(np.concatenate([per_function[fid] for fid in fids]))
+        if fids
+        else np.empty(0)
+        for app_id, fids in app_functions
+    }
+    # -- characterization ----------------------------------------------- #
+    cvs = {app_id: iat_coefficient_of_variation(times) for app_id, times in per_app.items()}
+    app_rates = [times.size * 1440.0 / duration_minutes for times in per_app.values()]
+    function_rates = [
+        times.size * 1440.0 / duration_minutes for times in per_function.values()
+    ]
+    num_hours = int(math.ceil(duration_minutes / 60.0))
+    hourly = np.zeros(num_hours, dtype=np.int64)
+    for times in per_function.values():
+        if times.size:
+            bins = np.clip((times / 60.0).astype(int), 0, num_hours - 1)
+            np.add.at(hourly, bins, 1)
+    # -- writer: per-day per-function minute binning -------------------- #
+    num_days = int(math.ceil(duration_minutes / 1440.0))
+    day_totals = []
+    for day in range(num_days):
+        start = day * 1440.0
+        total = 0
+        for times in per_function.values():
+            counts = np.zeros(1440, dtype=np.int64)
+            in_day = times[(times >= start) & (times < start + 1440.0)]
+            if in_day.size:
+                np.add.at(counts, np.clip((in_day - start).astype(int), 0, 1439), 1)
+            total += int(counts.sum())
+        day_totals.append(total)
+    # -- platform prep: subset half the apps, truncate to 8 hours ------- #
+    selected = [app_id for app_id, _ in app_functions[::2]]
+    selected_set = set(selected)
+    sub_function = {
+        fid: np.sort(np.asarray(per_function[fid], dtype=float))
+        for app_id, fids in app_functions
+        if app_id in selected_set
+        for fid in fids
+    }
+    cut = 480.0
+    truncated_function = {
+        fid: np.sort(np.asarray(times[times < cut], dtype=float))
+        for fid, times in sub_function.items()
+    }
+    truncated_app = {
+        app_id: np.sort(
+            np.concatenate([truncated_function[fid] for fid in fids])
+        )
+        for app_id, fids in app_functions
+        if app_id in selected_set
+    }
+    replay_total = sum(times.size for times in truncated_app.values())
+    return {
+        "cvs": cvs,
+        "app_rates": app_rates,
+        "function_rates": function_rates,
+        "hourly": hourly,
+        "day_totals": day_totals,
+        "replay_total": replay_total,
+    }
+
+
+def _columnar_build_and_characterize(
+    app_functions, app_times, app_positions, duration_minutes: float
+) -> dict:
+    """The same pipeline on the columnar store: one build, flat reductions,
+    zero-copy derived stores for the platform subset/truncate steps."""
+    store = InvocationStore.from_app_columns(
+        app_functions, app_times, app_positions, duration_minutes
+    )
+    num_days = int(math.ceil(duration_minutes / 1440.0))
+    # One reduction covers every day; per-day totals are column slices.
+    minute_matrix = store.minute_count_matrix(0.0, num_days * 1440)
+    day_totals = [
+        int(minute_matrix[:, day * 1440 : (day + 1) * 1440].sum())
+        for day in range(num_days)
+    ]
+    replay_store = store.subset(range(0, store.num_apps, 2)).truncated(480.0)
+    return {
+        "cvs": store.iat_cv_per_app(),
+        "app_rates": store.app_counts() * 1440.0 / duration_minutes,
+        "function_rates": store.function_counts() * 1440.0 / duration_minutes,
+        "hourly": store.hourly_totals(),
+        "day_totals": day_totals,
+        "replay_total": int(replay_store.num_invocations),
+    }
+
+
+def test_columnar_pipeline_at_least_3x(workload):
+    """The PR 3 acceptance-criterion speedup, asserted directly.
+
+    Building the workload representation from generator output plus the
+    core characterization reductions must be at least 3x faster through
+    the columnar store than through the seed's per-function dict path, on
+    the same 150-app/3-day inputs.
+    """
+    app_functions, app_times, app_positions = _generator_columns(workload)
+    duration = workload.duration_minutes
+
+    legacy = _legacy_build_and_characterize(
+        app_functions, app_times, app_positions, duration
+    )
+    columnar = _columnar_build_and_characterize(
+        app_functions, app_times, app_positions, duration
+    )
+    # Both paths compute the same statistics before we time anything.
+    np.testing.assert_array_equal(columnar["hourly"], legacy["hourly"])
+    for index, (app_id, _) in enumerate(app_functions):
+        expected = legacy["cvs"][app_id]
+        got = columnar["cvs"][index]
+        assert (math.isnan(expected) and math.isnan(got)) or got == pytest.approx(
+            expected, abs=1e-9
+        )
+    np.testing.assert_allclose(columnar["app_rates"], legacy["app_rates"], atol=1e-9)
+    np.testing.assert_allclose(
+        columnar["function_rates"], legacy["function_rates"], atol=1e-9
+    )
+    assert columnar["day_totals"] == legacy["day_totals"]
+    assert columnar["replay_total"] == legacy["replay_total"]
+
+    legacy_best = _best_of(
+        5,
+        lambda: _legacy_build_and_characterize(
+            app_functions, app_times, app_positions, duration
+        ),
+    )
+    columnar_best = _best_of(
+        5,
+        lambda: _columnar_build_and_characterize(
+            app_functions, app_times, app_positions, duration
+        ),
+    )
+    speedup = legacy_best / columnar_best
+    print(
+        f"\nbuild+characterize: dict path best {legacy_best * 1e3:.1f} ms, "
+        f"columnar best {columnar_best * 1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+@pytest.mark.parametrize("path", ["dict", "columnar"])
+def test_bench_workload_pipeline(benchmark, workload, path):
+    """Head-to-head group: dict-backed vs columnar build + characterize."""
+    app_functions, app_times, app_positions = _generator_columns(workload)
+    run = (
+        _legacy_build_and_characterize if path == "dict" else _columnar_build_and_characterize
+    )
+    benchmark.group = "workload build+characterize over session workload"
+    result = benchmark.pedantic(
+        run,
+        args=(app_functions, app_times, app_positions, workload.duration_minutes),
+        iterations=1,
+        rounds=3,
+        warmup_rounds=1,
+    )
+    assert len(result["hourly"]) > 0

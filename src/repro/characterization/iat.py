@@ -18,7 +18,6 @@ from typing import Mapping
 import numpy as np
 
 from repro.characterization.stats import EmpiricalCdf, empirical_cdf, fraction_at_or_below
-from repro.trace.arrival import iat_coefficient_of_variation
 from repro.trace.schema import TriggerType, Workload
 
 #: Subset labels used in Figure 6.
@@ -83,22 +82,28 @@ class IatAnalysis:
 def analyze_iat_variability(workload: Workload, *, min_invocations: int = 3) -> IatAnalysis:
     """Compute the Figure 6 analysis for a workload.
 
+    The per-application CVs come from one segment reduction over the
+    columnar store (:meth:`~repro.trace.store.InvocationStore.iat_cv_per_app`)
+    instead of a per-app Python loop; only the subset bookkeeping walks
+    the (small) application population.
+
     Args:
         workload: The workload to analyze.
         min_invocations: Applications with fewer invocations than this have
             no meaningful IAT CV and are excluded from all subsets.
     """
+    store = workload.store
+    counts = store.app_counts()
+    cvs = store.iat_cv_per_app()
     cv_by_app: dict[str, float] = {}
     only_timers: list[str] = []
     at_least_one_timer: list[str] = []
     no_timers: list[str] = []
     all_apps: list[str] = []
-    for app in workload.apps:
-        times = workload.app_invocations(app.app_id)
-        if times.size < min_invocations:
+    for index, app in enumerate(workload.apps):
+        if counts[index] < min_invocations:
             continue
-        cv = iat_coefficient_of_variation(times)
-        cv_by_app[app.app_id] = cv
+        cv_by_app[app.app_id] = float(cvs[index])
         all_apps.append(app.app_id)
         triggers = app.trigger_types
         if triggers == {TriggerType.TIMER}:

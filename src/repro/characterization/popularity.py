@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.characterization.stats import (
     EmpiricalCdf,
-    daily_rate_from_count,
     empirical_cdf,
     fraction_at_or_below,
     lorenz_curve,
@@ -104,20 +103,18 @@ class PopularityAnalysis:
 
 
 def analyze_popularity(workload: Workload) -> PopularityAnalysis:
-    """Compute the Figure 5 analysis for a workload."""
+    """Compute the Figure 5 analysis for a workload.
+
+    Daily rates are computed directly on the store's per-app/per-function
+    count columns — no dict materialization or per-entity Python loop.
+    """
     duration = workload.duration_minutes
-    app_rates = np.asarray(
-        [
-            daily_rate_from_count(count, duration)
-            for count in workload.invocation_counts_per_app().values()
-        ],
-        dtype=float,
-    )
-    function_rates = np.asarray(
-        [
-            daily_rate_from_count(count, duration)
-            for count in workload.invocation_counts_per_function().values()
-        ],
-        dtype=float,
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    store = workload.store
+    # Same per-element operations as daily_rate_from_count, batched.
+    app_rates = store.app_counts().astype(float) * INVOCATIONS_PER_DAY_MINUTELY / duration
+    function_rates = (
+        store.function_counts().astype(float) * INVOCATIONS_PER_DAY_MINUTELY / duration
     )
     return PopularityAnalysis(app_daily_rates=app_rates, function_daily_rates=function_rates)

@@ -135,9 +135,7 @@ class CharacterizationReport:
     def functions_per_app(self) -> FunctionsPerAppAnalysis:
         apps = self.workload.apps
         function_counts = np.asarray([app.num_functions for app in apps], dtype=float)
-        invocation_counts = np.asarray(
-            [self.workload.app_invocations(app.app_id).size for app in apps], dtype=float
-        )
+        invocation_counts = self.workload.store.app_counts().astype(float)
         return FunctionsPerAppAnalysis(
             functions_per_app=function_counts, invocations_per_app=invocation_counts
         )
@@ -192,12 +190,15 @@ class CharacterizationReport:
     # ------------------------------------------------------------------ #
     @cached_property
     def execution_times(self) -> ExecutionTimeAnalysis:
+        # Per-function invocation counts come from one store reduction;
+        # the loop only collects the static execution profiles of the
+        # functions that were actually invoked.
+        function_counts = self.workload.store.function_counts()
         averages: list[float] = []
         minimums: list[float] = []
         maximums: list[float] = []
         weights: list[float] = []
-        for function in self.workload.functions():
-            count = self.workload.function_invocations(function.function_id).size
+        for function, count in zip(self.workload.functions(), function_counts):
             if count == 0:
                 continue
             averages.append(function.execution.average_seconds)

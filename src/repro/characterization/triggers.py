@@ -93,15 +93,20 @@ class TriggerCombinationShares:
 
 
 def trigger_shares(workload: Workload) -> TriggerShares:
-    """Compute Figure 2 for a workload."""
+    """Compute Figure 2 for a workload.
+
+    Per-function invocation counts come from one reduction over the
+    columnar store; the loop only tallies the static trigger labels.
+    """
+    per_function_counts = workload.store.function_counts()
     function_counts: dict[TriggerType, int] = {trigger: 0 for trigger in TriggerType}
     invocation_counts: dict[TriggerType, int] = {trigger: 0 for trigger in TriggerType}
     total_functions = 0
     total_invocations = 0
-    for function in workload.functions():
+    for function, count in zip(workload.functions(), per_function_counts):
         function_counts[function.trigger] += 1
         total_functions += 1
-        count = int(workload.function_invocations(function.function_id).size)
+        count = int(count)
         invocation_counts[function.trigger] += count
         total_invocations += count
     function_share = {

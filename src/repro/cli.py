@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     repro simulate --policies fixed:10 fixed:60 hybrid:240      # policy comparison table
     repro experiment fig15                                      # one paper figure
     repro experiment all                                        # every registered figure
+    repro trace pack traces/ traces/store.npz                   # CSVs -> columnar .npz store
+    repro trace info traces/store.npz                           # store shape + memory footprint
 
 Every sub-command accepts ``--num-apps``, ``--days``, ``--seed`` and
 ``--max-daily-rate`` to size the synthetic workload; ``--trace-dir`` loads
@@ -33,6 +35,7 @@ from repro.simulation.runner import RunnerOptions, WorkloadRunner
 from repro.trace.generator import GeneratorConfig, WorkloadGenerator
 from repro.trace.loader import load_dataset
 from repro.trace.schema import Workload
+from repro.trace.store import InvocationStore
 from repro.trace.writer import write_dataset
 
 MINUTES_PER_DAY = 1440.0
@@ -125,6 +128,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(path: Path) -> InvocationStore:
+    """Open a trace as a columnar store: an ``.npz`` cache or a CSV dataset."""
+    if path.is_dir():
+        return load_dataset(path).store
+    try:
+        return InvocationStore.open(path, mmap=True)
+    except Exception as error:
+        raise SystemExit(
+            f"{path} is neither a packed .npz store nor a dataset directory "
+            f"({error})"
+        ) from None
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    store = _open_store(args.path)
+    print(f"columnar invocation store: {args.path}")
+    print(f"  apps                 {store.num_apps:>14,}")
+    print(f"  functions            {store.num_functions:>14,}")
+    print(f"  invocations          {store.num_invocations:>14,}")
+    print(f"  duration             {store.duration_minutes:>14,.1f} minutes")
+    print(f"  duration (days)      {store.duration_minutes / MINUTES_PER_DAY:>14,.2f}")
+    print(f"  column memory        {store.nbytes / 1e6:>14,.2f} MB")
+    print(
+        f"  times                float64[{store.num_invocations}]"
+        f" ({store.times.nbytes / 1e6:,.2f} MB,"
+        f" {'memory-mapped' if store.is_memory_mapped else 'in-memory'})"
+    )
+    print(f"  function_idx         int64[{store.function_idx.size}]")
+    print(f"  app_offsets          int64[{store.app_offsets.size}]")
+    return 0
+
+
+def _cmd_trace_pack(args: argparse.Namespace) -> int:
+    workload = load_dataset(args.source, seed=args.seed)
+    path = workload.store.save(args.out)
+    size_mb = path.stat().st_size / 1e6
+    print(
+        f"packed {workload.total_invocations:,} invocations "
+        f"({workload.num_apps:,} apps, {workload.num_functions:,} functions) "
+        f"into {path} ({size_mb:,.2f} MB)"
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = ExperimentScale(
         num_apps=args.num_apps,
@@ -180,6 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy specs, e.g. fixed:10 hybrid:240 hybrid:240:5:99 no-unloading",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect and convert trace files (columnar store tooling)"
+    )
+    trace_subparsers = trace.add_subparsers(dest="trace_command", required=True)
+    trace_info = trace_subparsers.add_parser(
+        "info",
+        help="print the shape and memory footprint of a trace "
+        "(a packed .npz store is opened memory-mapped)",
+    )
+    trace_info.add_argument(
+        "path",
+        type=Path,
+        help="a packed store (.npz) or an AzurePublicDataset-schema CSV directory",
+    )
+    trace_info.set_defaults(handler=_cmd_trace_info)
+    trace_pack = trace_subparsers.add_parser(
+        "pack", help="pack a CSV dataset directory into a columnar .npz store"
+    )
+    trace_pack.add_argument("source", type=Path, help="CSV dataset directory")
+    trace_pack.add_argument("out", type=Path, help="output .npz path")
+    trace_pack.add_argument(
+        "--seed", type=int, default=0, help="seed for sub-minute placement"
+    )
+    trace_pack.set_defaults(handler=_cmd_trace_pack)
 
     experiment = subparsers.add_parser(
         "experiment", help="run one or more paper figure/table experiments"

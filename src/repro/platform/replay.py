@@ -84,10 +84,17 @@ class TraceReplayer:
         horizon_seconds = config.duration_minutes * SECONDS_PER_MINUTE
 
         submissions = 0
+        # Iterate the columnar store directly: per-function timestamps are
+        # read-only slices/gathers of the flat column, never dict lookups.
+        store = self.workload.store
+        function_offsets = store.function_offsets
         for app in self.workload.apps:
             memory_mb = app.memory.average_mb
             for function in app.functions:
-                times = self.workload.function_invocations(function.function_id)
+                code = store.function_index(function.function_id)
+                if function_offsets[code] == function_offsets[code + 1]:
+                    continue
+                times = store.function_slice(code)
                 times = times[times < config.duration_minutes]
                 if times.size == 0:
                     continue

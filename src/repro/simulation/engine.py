@@ -258,15 +258,29 @@ class SimulationEngine:
         return merge_results(factory.name, results)
 
     def _work_items(self) -> list[_AppWorkItem]:
+        """Resolve per-app inputs as zero-copy views of the columnar store.
+
+        Each item's ``times`` is a read-only slice of the store's flat
+        sorted column — no per-app merge, sort, or cache, and forked
+        parallel workers inherit one shared buffer instead of pickling
+        per-app arrays.
+        """
+        store = self.workload.store
+        counts = store.app_counts()
         items: list[_AppWorkItem] = []
-        for app in self.workload.apps:
-            times = self.workload.app_invocations(app.app_id)
-            if times.size < self.options.min_invocations:
+        for app_index, app in enumerate(self.workload.apps):
+            if counts[app_index] < self.options.min_invocations:
                 continue
             memory_mb = (
                 app.memory.average_mb if self.options.use_memory_weights else 1.0
             )
-            items.append(_AppWorkItem(app_id=app.app_id, times=times, memory_mb=memory_mb))
+            items.append(
+                _AppWorkItem(
+                    app_id=app.app_id,
+                    times=store.app_slice(app_index),
+                    memory_mb=memory_mb,
+                )
+            )
         return items
 
     def _simulate_item(

@@ -29,6 +29,7 @@ from repro.trace.schema import (
     TriggerType,
     Workload,
 )
+from repro.trace.store import InvocationStore
 from repro.trace.writer import write_dataset
 
 __all__ = [
@@ -58,5 +59,6 @@ __all__ = [
     "MemoryProfile",
     "TriggerType",
     "Workload",
+    "InvocationStore",
     "write_dataset",
 ]

@@ -53,6 +53,7 @@ from repro.trace.schema import (
     TriggerType,
     Workload,
 )
+from repro.trace.store import InvocationStore
 
 MINUTES_PER_DAY = 1440.0
 
@@ -137,7 +138,8 @@ class WorkloadGenerator:
         memory_mb = MEMORY_MODEL.sample_mb(rng, config.num_apps)
 
         apps: list[AppSpec] = []
-        invocations: dict[str, np.ndarray] = {}
+        app_times: list[np.ndarray] = []
+        app_positions: list[np.ndarray] = []
         for index in range(config.num_apps):
             app_id = f"app{index:05d}"
             owner_id = f"owner{index % max(config.num_apps // 3, 1):05d}"
@@ -154,11 +156,20 @@ class WorkloadGenerator:
                 app_id=app_id, owner_id=owner_id, functions=tuple(functions), memory=memory
             )
             apps.append(app)
-            app_invocations = self._generate_app_invocations(
+            times, positions = self._generate_app_invocations(
                 rng, app, daily_rate=float(daily_rates[index])
             )
-            invocations.update(app_invocations)
-        return Workload(apps, invocations, config.duration_minutes)
+            app_times.append(times)
+            app_positions.append(positions)
+        # Emit columns straight into the CSR store: no per-function dicts,
+        # one stable per-app time sort instead of a sort per function.
+        store = InvocationStore.from_app_columns(
+            [(app.app_id, app.function_ids()) for app in apps],
+            app_times,
+            app_positions,
+            config.duration_minutes,
+        )
+        return Workload.from_store(apps, store)
 
     # ------------------------------------------------------------------ #
     # Static population
@@ -245,8 +256,12 @@ class WorkloadGenerator:
     # ------------------------------------------------------------------ #
     def _generate_app_invocations(
         self, rng: np.random.Generator, app: AppSpec, *, daily_rate: float
-    ) -> dict[str, np.ndarray]:
-        """Generate and distribute invocation timestamps for one app."""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate one app's timestamps and their function assignments.
+
+        Returns the raw timestamp column plus the aligned local function
+        position of every invocation — the store's per-app input format.
+        """
         config = self.config
         process = self.build_arrival_process(rng, app, daily_rate=daily_rate)
         timestamps = process.generate(rng, config.duration_minutes)
@@ -255,7 +270,7 @@ class WorkloadGenerator:
                 rng.choice(timestamps.size, size=config.max_invocations_per_app, replace=False)
             )
             timestamps = timestamps[keep]
-        return self._distribute_to_functions(rng, app, timestamps)
+        return timestamps, self._assign_functions(rng, app, timestamps)
 
     def build_arrival_process(
         self, rng: np.random.Generator, app: AppSpec, *, daily_rate: float
@@ -433,28 +448,25 @@ class WorkloadGenerator:
         index = int(np.argmin(np.abs(np.log(periods) - math.log(max(target_period_minutes, 0.5)))))
         return float(periods[index])
 
-    def _distribute_to_functions(
+    def _assign_functions(
         self, rng: np.random.Generator, app: AppSpec, timestamps: np.ndarray
-    ) -> dict[str, np.ndarray]:
-        """Split app-level invocations across the app's functions.
+    ) -> np.ndarray:
+        """Assign each app-level invocation to one of the app's functions.
 
         Function popularity within an application is skewed (Zipf-like
         weights): a few functions receive most of the application's
         invocations, matching the weak correlation the paper reports
-        between function count and per-function rates.
+        between function count and per-function rates.  Returns local
+        function positions aligned with ``timestamps``.
         """
-        function_ids = app.function_ids()
-        result: dict[str, np.ndarray] = {fid: np.empty(0) for fid in function_ids}
         if timestamps.size == 0:
-            return result
-        ranks = np.arange(1, len(function_ids) + 1, dtype=float)
+            return np.empty(0, dtype=np.int64)
+        num_functions = app.num_functions
+        ranks = np.arange(1, num_functions + 1, dtype=float)
         weights = 1.0 / ranks
         weights = weights / weights.sum()
         rng.shuffle(weights)
-        assignments = rng.choice(len(function_ids), size=timestamps.size, p=weights)
-        for index, function_id in enumerate(function_ids):
-            result[function_id] = np.sort(timestamps[assignments == index])
-        return result
+        return rng.choice(num_functions, size=timestamps.size, p=weights)
 
 
 def generate_workload(

@@ -16,7 +16,7 @@ import math
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.trace.schema import (
     TriggerType,
     Workload,
 )
+from repro.trace.store import InvocationStore
 from repro.trace.writer import (
     DURATIONS_PREFIX,
     INVOCATIONS_PREFIX,
@@ -126,13 +127,43 @@ def load_dataset(
     duration_minutes = float(len(days) * MINUTES_PER_DAY)
     rng = np.random.default_rng(seed)
     apps = _assemble_apps(functions, app_memory)
-    invocations = {
-        accumulator.function_id: _expand_counts(
-            accumulator, days, sub_minute_placement, rng
-        )
-        for accumulator in functions.values()
-    }
-    return Workload(apps, invocations, duration_minutes)
+    # Stack the per-day count rows into one (num_functions, num_minutes)
+    # matrix in population order and expand it straight into the columnar
+    # store — no per-function timestamp dicts are ever materialized.
+    counts = _count_matrix(apps, functions, days)
+    store = InvocationStore.from_minute_counts(
+        [(app.app_id, [f.function_id for f in app.functions]) for app in apps],
+        counts,
+        duration_minutes,
+        placement=sub_minute_placement,
+        rng=rng,
+    )
+    return Workload.from_store(apps, store)
+
+
+def _count_matrix(
+    apps: list[AppSpec],
+    functions: dict[str, _FunctionAccumulator],
+    days: list[int],
+) -> np.ndarray:
+    """Per-function per-minute counts over the loaded horizon.
+
+    Rows follow the population order of ``apps`` (the flattened function
+    order the store indexes by); columns concatenate the loaded days.
+    """
+    num_functions = sum(app.num_functions for app in apps)
+    counts = np.zeros((num_functions, len(days) * MINUTES_PER_DAY), dtype=np.int64)
+    row = 0
+    for app in apps:
+        for function in app.functions:
+            accumulator = functions[function.function_id]
+            for position, day in enumerate(sorted(days)):
+                day_counts = accumulator.per_day_counts.get(day)
+                if day_counts is not None:
+                    start = position * MINUTES_PER_DAY
+                    counts[row, start : start + MINUTES_PER_DAY] = day_counts
+            row += 1
+    return counts
 
 
 def _read_invocation_file(
@@ -233,32 +264,3 @@ def _assemble_apps(
     return apps
 
 
-def _expand_counts(
-    accumulator: _FunctionAccumulator,
-    days: Iterable[int],
-    sub_minute_placement: str,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Turn per-minute counts into individual timestamps."""
-    pieces: list[np.ndarray] = []
-    for position, day in enumerate(sorted(days)):
-        counts = accumulator.per_day_counts.get(day)
-        if counts is None or counts.sum() == 0:
-            continue
-        day_offset = position * MINUTES_PER_DAY
-        minute_indices = np.repeat(np.arange(MINUTES_PER_DAY), counts)
-        if sub_minute_placement == "start":
-            offsets = np.zeros(minute_indices.size)
-        elif sub_minute_placement == "uniform":
-            offsets = rng.random(minute_indices.size)
-        else:  # spread
-            offsets = np.concatenate(
-                [
-                    (np.arange(count) + 0.5) / count if count else np.empty(0)
-                    for count in counts
-                ]
-            )
-        pieces.append(day_offset + minute_indices + offsets)
-    if not pieces:
-        return np.empty(0)
-    return np.sort(np.concatenate(pieces))

@@ -12,6 +12,9 @@ The records mirror the entities of the paper and of the released
 
 Timestamps are minutes from the start of the trace (floats), matching the
 1-minute resolution of the Azure dataset and of the policy histograms.
+The timestamps themselves live in the columnar CSR-style
+:class:`~repro.trace.store.InvocationStore`; :class:`Workload` is a thin
+façade coupling a store with the static population records.
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
+
+from repro.trace.store import InvocationStore
 
 
 class TriggerType(str, enum.Enum):
@@ -163,12 +168,20 @@ class AppSpec:
 class Workload:
     """A population of applications plus their invocation timestamps.
 
+    The dynamic half (every invocation timestamp) lives in one columnar
+    :class:`~repro.trace.store.InvocationStore` — flat arrays with
+    CSR-style offsets — and this class is a thin façade that couples it
+    with the static :class:`AppSpec` population.  All accessors hand out
+    read-only views of the store's columns; none of them rebuilds
+    per-function dicts or re-sorts anything.
+
     Args:
         apps: Application specifications.
-        invocations: Mapping from *function id* to a sorted numpy array of
-            invocation timestamps in minutes from the trace start.
+        invocations: Mapping from *function id* to a numpy array of
+            invocation timestamps in minutes from the trace start
+            (sorted or not; the store sorts once at construction).
         duration_minutes: Trace horizon.  Invocations beyond the horizon are
-            rejected.
+            rejected, as are NaN/inf timestamps.
     """
 
     def __init__(
@@ -177,8 +190,33 @@ class Workload:
         invocations: Mapping[str, np.ndarray],
         duration_minutes: float,
     ) -> None:
-        if duration_minutes <= 0:
-            raise ValueError("trace duration must be positive")
+        self._init_population(apps)
+        store = InvocationStore.from_function_mapping(
+            [(app.app_id, app.function_ids()) for app in self._apps],
+            invocations,
+            duration_minutes,
+        )
+        self._init_store(store)
+
+    @classmethod
+    def from_store(cls, apps: Sequence[AppSpec], store: InvocationStore) -> "Workload":
+        """Couple a population with an already-built invocation store.
+
+        The store's population layout (app ids, per-app function ids in
+        order) must match ``apps`` exactly; builders that emit columns
+        directly (the generator, the loader) use this to skip the
+        per-function-mapping round trip entirely.
+        """
+        workload = cls.__new__(cls)
+        workload._init_population(apps)
+        if store.app_ids != tuple(app.app_id for app in workload._apps):
+            raise ValueError("store application ids do not match the population")
+        if store.function_ids != tuple(workload._functions_by_id):
+            raise ValueError("store function ids do not match the population")
+        workload._init_store(store)
+        return workload
+
+    def _init_population(self, apps: Sequence[AppSpec]) -> None:
         self._apps: tuple[AppSpec, ...] = tuple(apps)
         self._apps_by_id: Dict[str, AppSpec] = {}
         self._functions_by_id: Dict[str, FunctionSpec] = {}
@@ -190,19 +228,15 @@ class Workload:
                 if function.function_id in self._functions_by_id:
                     raise ValueError(f"duplicate function id: {function.function_id}")
                 self._functions_by_id[function.function_id] = function
-        self.duration_minutes = float(duration_minutes)
-        self._invocations: Dict[str, np.ndarray] = {}
-        for function_id, times in invocations.items():
-            if function_id not in self._functions_by_id:
-                raise ValueError(f"invocations refer to unknown function {function_id}")
-            array = np.sort(np.asarray(times, dtype=float))
-            if array.size and (array[0] < 0 or array[-1] > self.duration_minutes):
-                raise ValueError(
-                    f"invocation timestamps for {function_id} fall outside the trace "
-                    f"horizon [0, {self.duration_minutes}]"
-                )
-            self._invocations[function_id] = array
-        self._app_invocation_cache: Dict[str, np.ndarray] = {}
+
+    def _init_store(self, store: InvocationStore) -> None:
+        self._store = store
+        self.duration_minutes = store.duration_minutes
+
+    @property
+    def store(self) -> InvocationStore:
+        """The columnar invocation store backing this workload."""
+        return self._store
 
     # ------------------------------------------------------------------ #
     # Static population
@@ -242,60 +276,49 @@ class Workload:
         return len(self._apps)
 
     # ------------------------------------------------------------------ #
-    # Dynamic invocations
+    # Dynamic invocations (read-only views of the columnar store)
     # ------------------------------------------------------------------ #
     def function_invocations(self, function_id: str) -> np.ndarray:
-        """Sorted invocation timestamps (minutes) of a function."""
+        """Sorted invocation timestamps (minutes) of a function (read-only)."""
         if function_id not in self._functions_by_id:
             raise KeyError(function_id)
-        return self._invocations.get(function_id, np.empty(0))
+        return self._store.function_invocations(function_id)
 
     def app_invocations(self, app_id: str) -> np.ndarray:
-        """Sorted invocation timestamps (minutes) of all functions of an app."""
-        cached = self._app_invocation_cache.get(app_id)
-        if cached is not None:
-            return cached
-        app = self._apps_by_id[app_id]
-        pieces = [self.function_invocations(f.function_id) for f in app.functions]
-        merged = np.sort(np.concatenate(pieces)) if pieces else np.empty(0)
-        self._app_invocation_cache[app_id] = merged
-        return merged
+        """Sorted invocation timestamps (minutes) of all functions of an app.
+
+        A zero-copy read-only view of the store's per-app block — no
+        per-call sort or concatenation, and mutation raises.
+        """
+        if app_id not in self._apps_by_id:
+            raise KeyError(app_id)
+        return self._store.app_invocations(app_id)
 
     @property
     def total_invocations(self) -> int:
         """Total number of invocations across all functions."""
-        return int(sum(array.size for array in self._invocations.values()))
+        return self._store.num_invocations
 
     def invocation_counts_per_function(self) -> dict[str, int]:
         """Number of invocations of every function."""
-        return {
-            function_id: int(self._invocations.get(function_id, np.empty(0)).size)
-            for function_id in self._functions_by_id
-        }
+        counts = self._store.function_counts()
+        return {fid: int(count) for fid, count in zip(self._store.function_ids, counts)}
 
     def invocation_counts_per_app(self) -> dict[str, int]:
         """Number of invocations of every application."""
-        return {app.app_id: int(self.app_invocations(app.app_id).size) for app in self._apps}
+        counts = self._store.app_counts()
+        return {app_id: int(count) for app_id, count in zip(self._store.app_ids, counts)}
 
     def per_minute_counts(self, function_id: str) -> np.ndarray:
         """Per-minute invocation counts, the Azure-dataset representation."""
+        if function_id not in self._functions_by_id:
+            raise KeyError(function_id)
         num_minutes = int(math.ceil(self.duration_minutes))
-        counts = np.zeros(num_minutes, dtype=np.int64)
-        times = self.function_invocations(function_id)
-        if times.size:
-            bins = np.clip(times.astype(int), 0, num_minutes - 1)
-            np.add.at(counts, bins, 1)
-        return counts
+        return self._store.per_minute_counts(function_id, num_minutes)
 
     def hourly_invocation_totals(self) -> np.ndarray:
         """Platform-wide invocations per hour (Figure 4)."""
-        num_hours = int(math.ceil(self.duration_minutes / 60.0))
-        totals = np.zeros(num_hours, dtype=np.int64)
-        for times in self._invocations.values():
-            if times.size:
-                bins = np.clip((times / 60.0).astype(int), 0, num_hours - 1)
-                np.add.at(totals, bins, 1)
-        return totals
+        return self._store.hourly_totals()
 
     def subset(self, app_ids: Iterable[str]) -> "Workload":
         """A new workload containing only the given applications."""
@@ -304,22 +327,12 @@ class Workload:
         if missing:
             raise KeyError(f"unknown application ids: {sorted(missing)}")
         apps = [app for app in self._apps if app.app_id in wanted]
-        invocations = {
-            function.function_id: self.function_invocations(function.function_id)
-            for app in apps
-            for function in app.functions
-        }
-        return Workload(apps, invocations, self.duration_minutes)
+        indices = [self._store.app_index(app.app_id) for app in apps]
+        return Workload.from_store(apps, self._store.subset(indices))
 
     def truncated(self, duration_minutes: float) -> "Workload":
         """A new workload cut to the first ``duration_minutes`` minutes."""
-        if duration_minutes <= 0 or duration_minutes > self.duration_minutes:
-            raise ValueError("truncated duration must be within (0, duration]")
-        invocations = {
-            function_id: times[times < duration_minutes]
-            for function_id, times in self._invocations.items()
-        }
-        return Workload(self._apps, invocations, duration_minutes)
+        return Workload.from_store(self._apps, self._store.truncated(duration_minutes))
 
     def summary(self) -> dict[str, float]:
         """High-level workload description used by reports and the CLI."""

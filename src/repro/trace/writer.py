@@ -51,34 +51,29 @@ def write_invocation_counts(workload: Workload, directory: Path, day: int) -> Pa
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / _day_filename(INVOCATIONS_PREFIX, day)
     minute_columns = [str(i) for i in range(1, MINUTES_PER_DAY + 1)]
+    # One segment reduction over the store's flat columns produces the
+    # whole day's (num_functions, 1440) matrix; the loop below only
+    # formats CSV rows.
+    day_counts = workload.store.minute_count_matrix(
+        float(start_minute), MINUTES_PER_DAY
+    )
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["HashOwner", "HashApp", "HashFunction", "Trigger", *minute_columns])
+        row = 0
         for app in workload.apps:
             for function in app.functions:
-                counts = _per_minute_counts_for_day(workload, function.function_id, day)
                 writer.writerow(
                     [
                         function.owner_id,
                         function.app_id,
                         function.function_id,
                         function.trigger.value,
-                        *counts.tolist(),
+                        *day_counts[row].tolist(),
                     ]
                 )
+                row += 1
     return path
-
-
-def _per_minute_counts_for_day(workload: Workload, function_id: str, day: int) -> np.ndarray:
-    start = (day - 1) * MINUTES_PER_DAY
-    end = start + MINUTES_PER_DAY
-    times = workload.function_invocations(function_id)
-    counts = np.zeros(MINUTES_PER_DAY, dtype=np.int64)
-    in_day = times[(times >= start) & (times < end)]
-    if in_day.size:
-        bins = np.clip((in_day - start).astype(int), 0, MINUTES_PER_DAY - 1)
-        np.add.at(counts, bins, 1)
-    return counts
 
 
 def write_function_durations(workload: Workload, directory: Path, day: int) -> Path:
@@ -101,9 +96,12 @@ def write_function_durations(workload: Workload, directory: Path, day: int) -> P
                 *percentile_headers,
             ]
         )
+        function_counts = workload.store.function_counts()
+        row = 0
         for app in workload.apps:
             for function in app.functions:
-                count = int(workload.function_invocations(function.function_id).size)
+                count = int(function_counts[row])
+                row += 1
                 profile = function.execution
                 average_ms = profile.average_seconds * 1000.0
                 minimum_ms = profile.minimum_seconds * 1000.0
@@ -143,8 +141,9 @@ def write_app_memory(workload: Workload, directory: Path, day: int) -> Path:
         writer.writerow(
             ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb", *percentile_headers]
         )
-        for app in workload.apps:
-            sample_count = max(int(workload.app_invocations(app.app_id).size), 1)
+        app_counts = workload.store.app_counts()
+        for app_index, app in enumerate(workload.apps):
+            sample_count = max(int(app_counts[app_index]), 1)
             low = app.memory.first_percentile_mb
             high = app.memory.maximum_mb
             average = app.memory.average_mb

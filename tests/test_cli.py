@@ -68,6 +68,28 @@ class TestCommands:
         # The generated trace can be fed back through --trace-dir.
         assert main(["characterize", "--trace-dir", str(out_dir)]) == 0
 
+    def test_trace_pack_and_info(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace"
+        assert main(["generate", *SMALL, "--out", str(out_dir)]) == 0
+        store_path = tmp_path / "store.npz"
+        assert main(["trace", "pack", str(out_dir), str(store_path)]) == 0
+        assert store_path.exists()
+        capsys.readouterr()
+        # Info on the packed store opens it memory-mapped.
+        assert main(["trace", "info", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "columnar invocation store" in output
+        assert "memory-mapped" in output
+        assert "invocations" in output
+        # Info straight on the CSV directory works too.
+        assert main(["trace", "info", str(out_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "apps" in output
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
     def test_experiment_single(self, capsys):
         assert main(["experiment", "fig2", *SMALL]) == 0
         output = capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Property test: ``write_dataset`` → ``load_dataset`` round-trips.
+
+For randomized workloads (random populations, triggers, memory profiles
+and invocation timestamps), writing the AzurePublicDataset-schema CSVs
+and loading them back must preserve everything the public schema can
+represent: per-function per-minute invocation counts, trigger classes,
+execution-time summaries and application memory profiles.  (Sub-minute
+offsets are not representable in the schema and are not compared.)
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.trace.loader import load_dataset
+from repro.trace.schema import (
+    AppSpec,
+    ExecutionProfile,
+    FunctionSpec,
+    MemoryProfile,
+    TriggerType,
+    Workload,
+)
+from repro.trace.writer import MINUTES_PER_DAY, write_dataset
+
+TRIGGERS = list(TriggerType)
+
+
+@st.composite
+def workloads(draw) -> Workload:
+    num_days = draw(st.integers(min_value=1, max_value=2))
+    duration = float(num_days * MINUTES_PER_DAY)
+    num_apps = draw(st.integers(min_value=1, max_value=4))
+    apps = []
+    invocations: dict[str, np.ndarray] = {}
+    for app_index in range(num_apps):
+        app_id = f"app{app_index}"
+        num_functions = draw(st.integers(min_value=1, max_value=3))
+        functions = []
+        for position in range(num_functions):
+            fid = f"{app_id}-fn{position}"
+            trigger = draw(st.sampled_from(TRIGGERS))
+            average = draw(st.floats(min_value=0.01, max_value=100.0))
+            spread = draw(st.floats(min_value=1.1, max_value=5.0))
+            functions.append(
+                FunctionSpec(
+                    function_id=fid,
+                    app_id=app_id,
+                    owner_id=f"owner{app_index}",
+                    trigger=trigger,
+                    execution=ExecutionProfile(
+                        average_seconds=average,
+                        minimum_seconds=average / spread,
+                        maximum_seconds=average * spread,
+                    ),
+                )
+            )
+            times = draw(
+                st.lists(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=duration - 1e-6,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    min_size=0,
+                    max_size=25,
+                )
+            )
+            invocations[fid] = np.asarray(times, dtype=float)
+        average_mb = draw(st.floats(min_value=32.0, max_value=1024.0))
+        apps.append(
+            AppSpec(
+                app_id=app_id,
+                owner_id=f"owner{app_index}",
+                functions=tuple(functions),
+                memory=MemoryProfile(
+                    average_mb=average_mb,
+                    first_percentile_mb=average_mb * 0.6,
+                    maximum_mb=average_mb * 2.0,
+                ),
+            )
+        )
+    return Workload(apps, invocations, duration)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(workload=workloads())
+def test_write_load_round_trip_preserves_schema_fields(workload: Workload):
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        write_dataset(workload, directory)
+        loaded = load_dataset(directory, sub_minute_placement="start")
+
+    assert loaded.num_apps == workload.num_apps
+    assert loaded.num_functions == workload.num_functions
+    assert loaded.total_invocations == workload.total_invocations
+    assert loaded.duration_minutes == workload.duration_minutes
+
+    for app in workload.apps:
+        loaded_app = loaded.app(app.app_id)
+        # Trigger classes survive per function.
+        assert {f.function_id: f.trigger for f in loaded_app.functions} == {
+            f.function_id: f.trigger for f in app.functions
+        }
+        # Memory profile (3-decimal CSV formatting bounds the error).
+        assert loaded_app.memory.average_mb == pytest.approx(
+            app.memory.average_mb, rel=1e-3, abs=1e-3
+        )
+        for function in app.functions:
+            # Per-minute counts are the schema's invocation representation
+            # and must be preserved exactly.
+            np.testing.assert_array_equal(
+                loaded.per_minute_counts(function.function_id),
+                workload.per_minute_counts(function.function_id),
+            )
+            # Execution-time summaries survive within CSV formatting error.
+            loaded_execution = loaded.function(function.function_id).execution
+            assert loaded_execution.average_seconds == pytest.approx(
+                function.execution.average_seconds, rel=1e-3, abs=1e-3
+            )

@@ -1,0 +1,348 @@
+"""Tests for the columnar CSR invocation store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.schema import TriggerType, Workload
+from repro.trace.store import InvocationStore
+from tests.conftest import make_app, make_workload
+
+TWO_APPS = [("a", ["a-f0", "a-f1"]), ("b", ["b-f0"])]
+
+
+def two_app_store() -> InvocationStore:
+    return InvocationStore.from_function_mapping(
+        TWO_APPS,
+        {
+            "a-f0": np.asarray([5.0, 1.0, 9.0]),
+            "a-f1": np.asarray([3.0]),
+            "b-f0": np.asarray([2.0, 8.0]),
+        },
+        duration_minutes=10.0,
+    )
+
+
+class TestConstruction:
+    def test_from_function_mapping_layout(self):
+        store = two_app_store()
+        assert store.num_apps == 2
+        assert store.num_functions == 3
+        assert store.num_invocations == 6
+        assert store.app_offsets.tolist() == [0, 4, 6]
+        # Per-app blocks are time-sorted.
+        assert store.app_invocations("a").tolist() == [1.0, 3.0, 5.0, 9.0]
+        assert store.app_invocations("b").tolist() == [2.0, 8.0]
+        # Function codes align with the merged timestamps.
+        assert store.function_idx[:4].tolist() == [0, 1, 0, 0]
+        assert store.function_app_idx.tolist() == [0, 0, 1]
+
+    def test_per_function_access_is_time_sorted(self):
+        store = two_app_store()
+        assert store.function_invocations("a-f0").tolist() == [1.0, 5.0, 9.0]
+        assert store.function_invocations("a-f1").tolist() == [3.0]
+        assert store.function_invocations("b-f0").tolist() == [2.0, 8.0]
+
+    def test_single_function_app_slice_is_zero_copy(self):
+        store = two_app_store()
+        view = store.function_invocations("b-f0")
+        assert np.shares_memory(view, store.times)
+
+    def test_unknown_function_in_mapping_rejected(self):
+        with pytest.raises(ValueError, match="unknown function"):
+            InvocationStore.from_function_mapping(
+                TWO_APPS, {"nope": np.asarray([1.0])}, 10.0
+            )
+
+    def test_out_of_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            InvocationStore.from_function_mapping(
+                TWO_APPS, {"a-f0": np.asarray([11.0])}, 10.0
+            )
+        with pytest.raises(ValueError, match="horizon"):
+            InvocationStore.from_function_mapping(
+                TWO_APPS, {"a-f0": np.asarray([-1.0])}, 10.0
+            )
+
+    def test_empty_store(self):
+        store = InvocationStore.from_function_mapping(TWO_APPS, {}, 10.0)
+        assert store.num_invocations == 0
+        assert store.app_counts().tolist() == [0, 0]
+        assert store.app_invocations("a").size == 0
+        assert store.function_invocations("a-f1").size == 0
+        assert np.all(np.isnan(store.iat_cv_per_app()))
+
+    def test_direct_construction_validates_layout(self):
+        kwargs = dict(
+            app_ids=["a"],
+            function_ids=["a-f0"],
+            function_app_idx=np.asarray([0]),
+            duration_minutes=10.0,
+        )
+        # Unsorted within the app block.
+        with pytest.raises(ValueError, match="ascending"):
+            InvocationStore(
+                np.asarray([5.0, 1.0]), np.asarray([0, 0]), np.asarray([0, 2]), **kwargs
+            )
+        # Function code outside the population.
+        with pytest.raises(ValueError, match="unknown functions"):
+            InvocationStore(
+                np.asarray([1.0]), np.asarray([7]), np.asarray([0, 1]), **kwargs
+            )
+        # Misaligned columns.
+        with pytest.raises(ValueError, match="aligned"):
+            InvocationStore(
+                np.asarray([1.0, 2.0]), np.asarray([0]), np.asarray([0, 2]), **kwargs
+            )
+
+    def test_function_owned_by_wrong_app_rejected(self):
+        with pytest.raises(ValueError, match="outside their"):
+            InvocationStore(
+                np.asarray([1.0, 2.0]),
+                np.asarray([0, 0]),  # both invocations claim app a's function
+                np.asarray([0, 1, 2]),
+                app_ids=["a", "b"],
+                function_ids=["a-f0", "b-f0"],
+                function_app_idx=np.asarray([0, 1]),
+                duration_minutes=10.0,
+            )
+
+
+class TestTimestampValidation:
+    """Satellite: NaN/inf timestamps are rejected with a clear error."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_store_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            InvocationStore.from_function_mapping(
+                TWO_APPS, {"a-f0": np.asarray([1.0, bad])}, 10.0
+            )
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_workload_rejects_non_finite(self, bad):
+        app = make_app("a")
+        fid = app.functions[0].function_id
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            Workload([app], {fid: np.asarray([1.0, bad])}, 100.0)
+
+    def test_minute_counts_builder_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            InvocationStore.from_minute_counts(
+                [("a", ["a-f0"])], np.asarray([[1, -1]]), 2.0, placement="start"
+            )
+
+
+class TestReadOnlyViews:
+    """Satellite: exposed arrays and views refuse mutation."""
+
+    def test_columns_are_read_only(self):
+        store = two_app_store()
+        for array in (store.times, store.function_idx, store.app_offsets):
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+    def test_app_slice_mutation_raises(self):
+        store = two_app_store()
+        view = store.app_invocations("a")
+        with pytest.raises(ValueError):
+            view[0] = 123.0
+        # The store is unchanged.
+        assert store.app_invocations("a")[0] == 1.0
+
+    def test_function_gather_mutation_raises(self):
+        store = two_app_store()
+        for fid in ("a-f0", "b-f0"):
+            gathered = store.function_invocations(fid)
+            with pytest.raises(ValueError):
+                gathered[0] = 123.0
+
+    def test_workload_views_are_read_only(self, two_app_workload):
+        view = two_app_workload.app_invocations("periodic")
+        with pytest.raises(ValueError):
+            view[:] = 0.0
+        fid = two_app_workload.app("periodic").functions[0].function_id
+        with pytest.raises(ValueError):
+            two_app_workload.function_invocations(fid)[0] = 1.0
+
+
+class TestSegmentReductions:
+    def test_counts(self):
+        store = two_app_store()
+        assert store.app_counts().tolist() == [4, 2]
+        assert store.function_counts().tolist() == [3, 1, 2]
+
+    def test_iat_cv_matches_scalar(self, medium_workload):
+        from repro.trace.arrival import iat_coefficient_of_variation
+
+        store = medium_workload.store
+        cvs = store.iat_cv_per_app()
+        for index, app in enumerate(medium_workload.apps):
+            expected = iat_coefficient_of_variation(
+                medium_workload.app_invocations(app.app_id)
+            )
+            if np.isnan(expected):
+                assert np.isnan(cvs[index])
+            else:
+                assert cvs[index] == pytest.approx(expected, abs=1e-12)
+
+    def test_minute_count_matrix_matches_per_function(self, small_workload):
+        store = small_workload.store
+        matrix = store.minute_count_matrix(0.0, 1440)
+        for code, fid in enumerate(store.function_ids):
+            times = store.function_invocations(fid)
+            in_day = times[times < 1440]
+            expected = np.bincount(in_day.astype(int), minlength=1440)
+            np.testing.assert_array_equal(matrix[code], expected)
+
+    def test_hourly_totals(self):
+        store = InvocationStore.from_function_mapping(
+            [("a", ["a-f0"])], {"a-f0": np.asarray([10.0, 70.0, 130.0])}, 180.0
+        )
+        assert store.hourly_totals().tolist() == [1, 1, 1]
+
+
+class TestDerivedStores:
+    def test_subset_preserves_blocks(self):
+        store = two_app_store()
+        sub = store.subset([1])
+        assert sub.app_ids == ("b",)
+        assert sub.function_ids == ("b-f0",)
+        assert sub.app_invocations("b").tolist() == [2.0, 8.0]
+        assert sub.function_invocations("b-f0").tolist() == [2.0, 8.0]
+
+    def test_subset_reorders_population(self):
+        store = two_app_store()
+        sub = store.subset([1, 0])
+        assert sub.app_ids == ("b", "a")
+        assert sub.function_ids == ("b-f0", "a-f0", "a-f1")
+        assert sub.app_invocations("a").tolist() == [1.0, 3.0, 5.0, 9.0]
+        assert sub.function_invocations("a-f1").tolist() == [3.0]
+
+    def test_truncated(self):
+        store = two_app_store()
+        cut = store.truncated(4.0)
+        assert cut.app_invocations("a").tolist() == [1.0, 3.0]
+        assert cut.app_invocations("b").tolist() == [2.0]
+        assert cut.duration_minutes == 4.0
+        with pytest.raises(ValueError):
+            store.truncated(0.0)
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, tmp_path):
+        store = two_app_store()
+        path = store.save(tmp_path / "cache.npz")
+        reopened = InvocationStore.open(path, mmap=False)
+        np.testing.assert_array_equal(reopened.times, store.times)
+        np.testing.assert_array_equal(reopened.function_idx, store.function_idx)
+        np.testing.assert_array_equal(reopened.app_offsets, store.app_offsets)
+        assert reopened.app_ids == store.app_ids
+        assert reopened.function_ids == store.function_ids
+        assert reopened.duration_minutes == store.duration_minutes
+
+    def test_open_memory_maps_columns(self, tmp_path):
+        store = two_app_store()
+        path = store.save(tmp_path / "cache.npz")
+        reopened = InvocationStore.open(path, mmap=True)
+        assert reopened.is_memory_mapped
+        np.testing.assert_array_equal(reopened.times, store.times)
+        # Memory-mapped columns are read-only too.
+        with pytest.raises(ValueError):
+            reopened.times[0] = 0.0
+        assert reopened.app_invocations("a").tolist() == [1.0, 3.0, 5.0, 9.0]
+
+    def test_save_appends_npz_suffix(self, tmp_path):
+        store = two_app_store()
+        path = store.save(tmp_path / "cache")
+        assert path.name == "cache.npz"
+        assert path.exists()
+
+    def test_empty_store_round_trips(self, tmp_path):
+        store = InvocationStore.from_function_mapping(TWO_APPS, {}, 10.0)
+        path = store.save(tmp_path / "empty.npz")
+        reopened = InvocationStore.open(path, mmap=True)
+        assert reopened.num_invocations == 0
+        assert reopened.app_counts().tolist() == [0, 0]
+
+
+class TestMinuteCountBuilder:
+    @pytest.mark.parametrize("placement", ["start", "uniform", "spread"])
+    def test_expansion_preserves_counts(self, placement):
+        rng = np.random.default_rng(5)
+        counts = np.asarray(
+            [
+                [2, 0, 1, 0],
+                [0, 3, 0, 0],
+                [1, 0, 0, 4],
+            ]
+        )
+        store = InvocationStore.from_minute_counts(
+            [("a", ["a-f0", "a-f1"]), ("b", ["b-f0"])],
+            counts,
+            4.0,
+            placement=placement,
+            rng=rng,
+        )
+        assert store.num_invocations == counts.sum()
+        for code in range(3):
+            np.testing.assert_array_equal(
+                store.per_minute_counts(store.function_ids[code], 4), counts[code]
+            )
+        # Per-app blocks stay sorted regardless of sub-minute placement.
+        for app_id in ("a", "b"):
+            block = store.app_invocations(app_id)
+            assert np.all(np.diff(block) >= 0)
+
+    def test_spread_is_even_within_minute(self):
+        store = InvocationStore.from_minute_counts(
+            [("a", ["a-f0"])], np.asarray([[4]]), 1.0, placement="spread"
+        )
+        np.testing.assert_allclose(
+            store.app_invocations("a"), [0.125, 0.375, 0.625, 0.875]
+        )
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            InvocationStore.from_minute_counts(
+                [("a", ["a-f0"])], np.asarray([[1]]), 1.0, placement="bogus"
+            )
+
+
+class TestWorkloadFacade:
+    def test_workload_exposes_store(self, two_app_workload):
+        store = two_app_workload.store
+        assert store.num_apps == two_app_workload.num_apps
+        assert store.num_invocations == two_app_workload.total_invocations
+
+    def test_app_invocations_is_store_view(self, two_app_workload):
+        view = two_app_workload.app_invocations("periodic")
+        assert np.shares_memory(view, two_app_workload.store.times)
+
+    def test_from_store_population_mismatch_rejected(self):
+        workload = make_workload({"a": [1.0], "b": [2.0]}, duration_minutes=10.0)
+        apps = [workload.app("a")]
+        with pytest.raises(ValueError, match="do not match"):
+            Workload.from_store(apps, workload.store)
+
+    def test_unknown_app_and_function_raise_keyerror(self, two_app_workload):
+        with pytest.raises(KeyError):
+            two_app_workload.app_invocations("missing")
+        with pytest.raises(KeyError):
+            two_app_workload.function_invocations("missing")
+
+    def test_subset_keeps_app_block_identity(self, two_app_workload):
+        subset = two_app_workload.subset(["sparse"])
+        np.testing.assert_array_equal(
+            subset.app_invocations("sparse"),
+            two_app_workload.app_invocations("sparse"),
+        )
+
+    def test_multi_trigger_app_merges(self):
+        workload = make_workload(
+            {"a": [5.0, 1.0]},
+            duration_minutes=10.0,
+            triggers={"a": (TriggerType.HTTP, TriggerType.QUEUE)},
+        )
+        assert workload.app_invocations("a").tolist() == [1.0, 5.0]
+        assert workload.num_functions == 2
