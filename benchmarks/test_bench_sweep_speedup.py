@@ -1,0 +1,105 @@
+"""Shared-state sweep engine speedup benchmark (the PR 4 acceptance bar).
+
+Runs the combined Figure 14 + 16 + 18 policy list — the full fixed
+keep-alive grid, the no-unloading bound, the six head/tail cutoff
+configurations, and the four CV-threshold configurations — over the
+session workload (150 apps, 3 days), twice:
+
+* **per-config**: one ``execution=auto`` run per configuration (the
+  closed-form fast path for the fixed family, one banked run per hybrid
+  configuration) — today's baseline;
+* **family**: the shared-state sweep engine
+  (:mod:`repro.simulation.sweep_engine`), which evaluates the fixed grid
+  in one closed-form pass over shared gaps and all ten hybrid
+  configurations from one shared histogram pass plus per-config decision
+  masks.
+
+Asserts the acceptance criterion directly: the family sweep is at least
+3x faster, while the per-application results match the per-config runs —
+cold-start counts exactly, wasted memory within 1e-9.
+
+The module carries the ``slow_bench`` marker, so it stays out of the
+default (tier-1) run; CI exercises it in the nightly/workflow-dispatch
+job (.github/workflows/nightly.yml)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_sweep_speedup.py -m slow_bench
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.simulation.runner import RunnerOptions, WorkloadRunner
+from repro.simulation.sweep import combined_figure_factories
+
+pytestmark = pytest.mark.slow_bench
+
+WASTE_TOLERANCE = 1e-9
+SWEEP_FIGURES = ("fig14", "fig16", "fig18")
+
+
+@pytest.fixture(scope="module")
+def workload(experiment_context):
+    return experiment_context.workload
+
+
+@pytest.fixture(scope="module")
+def factories():
+    return combined_figure_factories(SWEEP_FIGURES)
+
+
+def _best_of(runs: int, fn) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sweep_engine_matches_and_is_at_least_3x(workload, factories):
+    """The PR 4 acceptance criterion, asserted directly."""
+    per_config = WorkloadRunner(workload, RunnerOptions(sweep="per-policy"))
+    family = WorkloadRunner(workload, RunnerOptions(sweep="family"))
+
+    family_results = family.run_policies(factories)  # also warms both paths
+    reference = per_config.run_policies(factories)
+
+    # Equivalence first: a fast sweep that disagrees with the per-config
+    # runs would be worthless.
+    assert set(family_results) == set(reference)
+    for name, expected in reference.items():
+        actual = family_results[name]
+        assert len(actual.app_results) == len(expected.app_results)
+        for reference_app, actual_app in zip(expected.app_results, actual.app_results):
+            assert actual_app.app_id == reference_app.app_id
+            assert actual_app.cold_starts == reference_app.cold_starts
+            assert actual_app.wasted_memory_minutes == pytest.approx(
+                reference_app.wasted_memory_minutes,
+                abs=WASTE_TOLERANCE,
+                rel=WASTE_TOLERANCE,
+            )
+        assert actual.mode_usage() == expected.mode_usage()
+
+    per_config_best = _best_of(2, lambda: per_config.run_policies(factories))
+    family_best = _best_of(3, lambda: family.run_policies(factories))
+    speedup = per_config_best / family_best
+    print(
+        f"\ncombined {'+'.join(SWEEP_FIGURES)} sweep ({len(factories)} configs): "
+        f"per-config best {per_config_best * 1e3:.0f} ms, "
+        f"family best {family_best * 1e3:.0f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+@pytest.mark.parametrize("sweep", ["per-policy", "family"])
+def test_bench_combined_figure_sweep(benchmark, workload, factories, sweep):
+    """Head-to-head pytest-benchmark group: per-config vs family sweep."""
+    runner = WorkloadRunner(workload, RunnerOptions(sweep=sweep))
+    benchmark.group = "combined fig14+16+18 sweep over session workload"
+    results = benchmark.pedantic(
+        runner.run_policies, args=(factories,), iterations=1, rounds=1, warmup_rounds=1
+    )
+    assert len(results) == len(factories)

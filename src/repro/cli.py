@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     repro generate --num-apps 200 --days 3 --out traces/        # write a synthetic trace
     repro characterize --num-apps 200 --days 3                  # Section 3 headline numbers
     repro simulate --policies fixed:10 fixed:60 hybrid:240      # policy comparison table
+    repro sweep --figures fig14 fig16 fig18                     # family sweep in one pass
+    repro sweep --policies fixed:5 fixed:10 fixed:60 hybrid:240 # ... or explicit specs
     repro experiment fig15                                      # one paper figure
     repro experiment all                                        # every registered figure
     repro trace pack traces/ traces/store.npz                   # CSVs -> columnar .npz store
@@ -13,10 +15,12 @@ Usage (after ``pip install -e .``)::
 Every sub-command accepts ``--num-apps``, ``--days``, ``--seed`` and
 ``--max-daily-rate`` to size the synthetic workload; ``--trace-dir`` loads
 an AzurePublicDataset-schema trace from disk instead of generating one.
-``simulate`` and ``experiment`` additionally accept
-``--execution serial|vectorized|banked|parallel|auto`` and ``--workers N``
-to pick the simulation engine (see :mod:`repro.simulation.engine`);
-``auto`` routes banked-capable policies (the hybrid histogram policy)
+``simulate``, ``sweep``, and ``experiment`` additionally accept
+``--execution serial|vectorized|banked|parallel|auto``, ``--workers N``,
+and ``--sweep auto|family|per-policy`` to pick the simulation engine and
+the multi-policy sweep routing (see :mod:`repro.simulation.engine` and
+:mod:`repro.simulation.sweep_engine`); ``auto`` evaluates whole policy
+families in one shared-state pass and routes banked-capable policies
 through one struct-of-arrays policy bank instead of per-app instances.
 """
 
@@ -24,14 +28,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from repro.characterization.report import CharacterizationReport
 from repro.experiments import ExperimentContext, ExperimentScale, experiment_ids, run_experiment
 from repro.policies.registry import parse_policy_spec
-from repro.simulation.engine import EXECUTION_MODES
-from repro.simulation.runner import RunnerOptions, WorkloadRunner
+from repro.simulation.engine import EXECUTION_MODES, SWEEP_MODES
+from repro.simulation.runner import PolicyComparison, RunnerOptions, WorkloadRunner
+from repro.simulation.sweep import BASELINE_KEEPALIVE_MINUTES, combined_figure_factories
 from repro.trace.generator import GeneratorConfig, WorkloadGenerator
 from repro.trace.loader import load_dataset
 from repro.trace.schema import Workload
@@ -39,6 +45,9 @@ from repro.trace.store import InvocationStore
 from repro.trace.writer import write_dataset
 
 MINUTES_PER_DAY = 1440.0
+
+#: Figures the `repro sweep` sub-command can combine into one factory list.
+SWEEP_FIGURES = ("fig14", "fig15", "fig16", "fig17", "fig18")
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -77,10 +86,23 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker-pool size for --execution parallel (default: all cores)",
     )
+    parser.add_argument(
+        "--sweep",
+        choices=SWEEP_MODES,
+        default="auto",
+        help=(
+            "multi-policy sweep routing: auto (share state across policy-"
+            "family configurations under auto/parallel execution), family "
+            "(force the shared-state pass), or per-policy (one run per "
+            "configuration)"
+        ),
+    )
 
 
 def _runner_options(args: argparse.Namespace) -> RunnerOptions:
-    return RunnerOptions(execution=args.execution, workers=args.workers)
+    return RunnerOptions(
+        execution=args.execution, workers=args.workers, sweep=args.sweep
+    )
 
 
 def _build_workload(args: argparse.Namespace) -> Workload:
@@ -125,6 +147,53 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if mode_usage:
         print()
         print(mode_usage)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.policies:
+        factories = [parse_policy_spec(spec) for spec in args.policies]
+    else:
+        factories = combined_figure_factories(args.figures)
+    workload = _build_workload(args)
+    options = _runner_options(args)
+    runner = WorkloadRunner(workload, options)
+
+    groups = runner.sweep_groups(factories)
+    shared = sum(1 for group in groups if group.key is not None and len(group.factories) > 1)
+    print(
+        f"sweep: {len(factories)} configurations in {len(groups)} group(s) "
+        f"({shared} shared-state famil{'y' if shared == 1 else 'ies'}, "
+        f"sweep={options.sweep}, execution={options.execution})"
+    )
+    for group in groups:
+        if group.key is not None and len(group.factories) > 1:
+            members = ", ".join(factory.name for factory in group.factories)
+            print(f"  family {group.key[0]}: {members}")
+
+    start = time.perf_counter()
+    try:
+        results = runner.run_policies(factories)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+
+    baseline = f"fixed-{BASELINE_KEEPALIVE_MINUTES:g}min"
+    if baseline not in results:
+        baseline = next(iter(results))
+    comparison = PolicyComparison(results=results, baseline_name=baseline)
+    print()
+    print(comparison.as_text_table())
+    mode_usage = comparison.mode_usage_table()
+    if mode_usage:
+        print()
+        print(mode_usage)
+    print()
+    print(
+        f"evaluated {len(results)} configurations over "
+        f"{workload.total_invocations:,} invocations in {elapsed:.2f}s"
+    )
     return 0
 
 
@@ -227,6 +296,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy specs, e.g. fixed:10 hybrid:240 hybrid:240:5:99 no-unloading",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help=(
+            "evaluate whole policy families in one shared-state pass "
+            "(the Figure 14-18 parameter sweeps)"
+        ),
+    )
+    _add_workload_arguments(sweep)
+    _add_engine_arguments(sweep)
+    sweep_selection = sweep.add_mutually_exclusive_group()
+    sweep_selection.add_argument(
+        "--figures",
+        nargs="+",
+        choices=SWEEP_FIGURES,
+        default=["fig14", "fig16", "fig18"],
+        help="figure sweeps to combine into one factory list (deduplicated)",
+    )
+    sweep_selection.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        help="explicit policy specs instead of --figures, e.g. fixed:10 hybrid:240",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
 
     trace = subparsers.add_parser(
         "trace", help="inspect and convert trace files (columnar store tooling)"

@@ -401,26 +401,52 @@ class HistogramBank:
             in_bounds: Optional precomputed per-row in-bounds counts for
                 the first ``n`` rows, to avoid recomputing them.
         """
+        bins = self.percentile_bins_prefix(
+            n, (head_percentile, tail_percentile), in_bounds
+        )
+        head = bins[0] * self._bin_width
+        tail = (bins[1] + 1) * self._bin_width
+        return head, tail
+
+    def percentile_bins_prefix(
+        self,
+        n: int,
+        percentiles: np.ndarray | tuple[float, ...],
+        in_bounds: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Percentile bin indices for the first ``n`` rows, without validation.
+
+        Locates the weighted-percentile bin of every (percentile, row)
+        pair with **one** exact integer :func:`numpy.searchsorted` over
+        the flat cumulative view — the batched form of the hot path, used
+        by the sweep engine to record every distinct cutoff percentile of
+        a policy family in one pass.  Same per-element arithmetic as
+        :meth:`head_tail_cutoffs_prefix` (which delegates here): target is
+        ``(q / 100) * in_bounds`` floored at 1e-12, integerized with
+        ``ceil`` (exact, the cumulative counts are integers).  Rows with
+        no in-bounds observations yield finite garbage instead of
+        raising; the caller masks them out.
+
+        Args:
+            n: Number of leading rows to compute bins for.
+            percentiles: Percentile values in ``[0, 100]``.
+            in_bounds: Optional precomputed per-row in-bounds counts.
+
+        Returns:
+            Integer array of shape ``(len(percentiles), n)``: the bin
+            index of each percentile per row, clipped to the last bin.
+            The head cutoff is ``bin * bin_width`` and the tail cutoff
+            ``(bin + 1) * bin_width``.
+        """
         if in_bounds is None:
             in_bounds = self._total_count[:n] - self._oob_count[:n]
         flat = self._cum[:n].reshape(-1)
-        offsets = self._offsets[:n]
-        last_bin = self._num_bins - 1
-
-        # Same per-element float ops as the scalar percentile(): target is
-        # (q / 100) * in_bounds, floored at 1e-12.  Integerizing with ceil
-        # is exact because the cumulative counts are integers:
-        # count(cum < target) == count(cum < ceil(target)).
-        def percentile_bin(q: float, row_starts: np.ndarray) -> np.ndarray:
-            target = np.maximum(q / 100.0 * in_bounds, 1e-12)
-            threshold = np.ceil(target).astype(np.int64) + offsets
-            index = np.searchsorted(flat, threshold, side="left") - row_starts
-            return np.minimum(index, last_bin)
-
-        row_starts = self._row_starts[:n]
-        head = percentile_bin(head_percentile, row_starts) * self._bin_width
-        tail = (percentile_bin(tail_percentile, row_starts) + 1) * self._bin_width
-        return head, tail
+        qs = np.asarray(percentiles, dtype=np.float64)
+        target = np.maximum(qs[:, None] / 100.0 * in_bounds, 1e-12)
+        threshold = np.ceil(target).astype(np.int64) + self._offsets[:n]
+        index = np.searchsorted(flat, threshold.reshape(-1), side="left")
+        index = index.reshape(qs.size, n) - self._row_starts[:n]
+        return np.minimum(index, self._num_bins - 1)
 
     # ------------------------------------------------------------------ #
     # Interop with the scalar histogram

@@ -6,12 +6,17 @@ per-application cold-start percentages, 3rd-quartile cold-start vs
 normalized wasted memory trade-offs, and always-cold application shares.
 
 Drivers forward ``context.runner_options`` to their sweeps, so the CLI's
-``--execution``/``--workers`` flags pick the simulation engine (serial,
-vectorized, banked, or parallel sharded) for every figure.  Under the
-default ``auto`` routing the hybrid-policy runs behind Figures 15–19 use
-the banked struct-of-arrays engine (one policy bank stepping every
-application together) and the fixed-policy runs use the closed-form fast
-path; ``--execution serial`` restores the reference scalar loop.
+``--execution``/``--workers``/``--sweep`` flags pick the simulation
+engine (serial, vectorized, banked, or parallel sharded) and the sweep
+routing for every figure.  Under the default ``auto`` routing each
+figure's policy family is evaluated in one shared-state pass by the
+sweep engine (:mod:`repro.simulation.sweep_engine`): the whole fixed
+keep-alive grid of Figure 14 in one closed-form scan, and the hybrid
+configurations behind Figures 16–19 from one shared histogram-update
+pass with per-configuration decision masks (ARIMA forecasts fitted once
+per application and reused across configurations).  ``--execution
+serial`` (or ``--sweep per-policy``) restores one reference run per
+configuration.
 """
 
 from __future__ import annotations

@@ -13,12 +13,26 @@ and the experiment drivers), e.g.::
     "no-unloading"      the infinite keep-alive baseline
     "hybrid:240"        the hybrid policy with a 4-hour histogram range
     "hybrid:240:5:99"   ... with explicit head/tail cutoff percentiles
+
+Sweep families
+--------------
+Factories additionally declare which *policy family* they belong to and
+which configuration within that family they represent
+(:attr:`PolicyFactory.family` / :attr:`PolicyFactory.family_config`).
+The multi-configuration sweep engine
+(:mod:`repro.simulation.sweep_engine`) groups factories whose
+:attr:`PolicyFactory.sweep_key` matches and evaluates the whole group in
+one pass over the workload, sharing all trace-derived state (per-app
+idle gaps for the constant-keep-alive family; histogram contents, CV
+trajectories, and idle-time forecasts for the hybrid family).  A factory
+without family metadata is simply evaluated on its own — the capability
+is an optimization contract, never a requirement.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.policies.base import KeepAlivePolicy
@@ -28,6 +42,18 @@ from repro.policies.no_unload import NoUnloadingPolicy
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.policies.bank import PolicyBank
 
+#: Family of policies whose decision is a constant ``(prewarm=0, K)`` pair
+#: (the fixed keep-alive grid plus the no-unloading bound, ``K = inf``).
+#: ``family_config`` is the keep-alive window in minutes.
+FAMILY_CONSTANT_KEEPALIVE = "constant-keepalive"
+
+#: Family of hybrid histogram policies (Section 4.2).  ``family_config``
+#: is the :class:`~repro.core.config.HybridPolicyConfig`; configurations
+#: sharing a histogram geometry (range and bin width) also share a sweep
+#: key, because their histogram contents and idle-time forecasts depend
+#: only on the trace, not on the cutoff/pre-warming/CV knobs.
+FAMILY_HYBRID_HISTOGRAM = "hybrid-histogram"
+
 
 @dataclass(frozen=True)
 class PolicyFactory:
@@ -36,10 +62,21 @@ class PolicyFactory:
     Attributes:
         name: Label used in experiment output.
         builder: Zero-argument callable returning a new policy instance.
+        family: Optional sweep-family identifier
+            (:data:`FAMILY_CONSTANT_KEEPALIVE` /
+            :data:`FAMILY_HYBRID_HISTOGRAM`).  Declaring a family is a
+            contract: ``family_config`` must describe exactly the policy
+            ``builder`` creates, because the sweep engine evaluates the
+            configuration directly from the shared family state instead
+            of calling the builder per application.
+        family_config: Family-specific configuration of this factory (the
+            keep-alive minutes, or the hybrid policy configuration).
     """
 
     name: str
     builder: Callable[[], KeepAlivePolicy]
+    family: str | None = None
+    family_config: Any = None
 
     def __call__(self) -> KeepAlivePolicy:
         return self.builder()
@@ -65,6 +102,41 @@ class PolicyFactory:
         """
         return self.create().make_bank(num_apps)
 
+    @property
+    def sweep_key(self) -> tuple[Any, ...] | None:
+        """Hashable key grouping factories that can share one sweep pass.
+
+        Factories with equal keys form one *shareable family*: the sweep
+        engine (:mod:`repro.simulation.sweep_engine`) evaluates them in a
+        single pass over the workload, computing the trace-derived state
+        they have in common only once.  ``None`` marks the factory as
+        unshareable; it is then evaluated on its own.
+        """
+        if self.family is None or self.family_config is None:
+            return None
+        if self.family == FAMILY_CONSTANT_KEEPALIVE:
+            # Every constant-decision policy shares the same per-app idle
+            # gaps, so the whole grid forms one family.
+            return (FAMILY_CONSTANT_KEEPALIVE,)
+        if self.family == FAMILY_HYBRID_HISTOGRAM:
+            config = self.family_config
+            # Histogram contents (and therefore CV and cutoff trajectories)
+            # are shared only across configurations with one geometry.
+            return (
+                FAMILY_HYBRID_HISTOGRAM,
+                config.histogram_range_minutes,
+                config.bin_width_minutes,
+            )
+        return None
+
+    def renamed(self, name: str) -> "PolicyFactory":
+        """Copy of this factory under a different label.
+
+        Keeps the builder and the family metadata, so relabelled sweep
+        configurations (e.g. ``hybrid-cv5``) stay shareable.
+        """
+        return replace(self, name=name)
+
 
 def fixed_keepalive_factory(keepalive_minutes: float) -> PolicyFactory:
     """Factory for :class:`FixedKeepAlivePolicy` with the given window."""
@@ -72,12 +144,19 @@ def fixed_keepalive_factory(keepalive_minutes: float) -> PolicyFactory:
     return PolicyFactory(
         name=f"fixed-{minutes:g}min",
         builder=lambda: FixedKeepAlivePolicy(minutes),
+        family=FAMILY_CONSTANT_KEEPALIVE,
+        family_config=minutes,
     )
 
 
 def no_unloading_factory() -> PolicyFactory:
     """Factory for :class:`NoUnloadingPolicy`."""
-    return PolicyFactory(name="no-unloading", builder=NoUnloadingPolicy)
+    return PolicyFactory(
+        name="no-unloading",
+        builder=NoUnloadingPolicy,
+        family=FAMILY_CONSTANT_KEEPALIVE,
+        family_config=math.inf,
+    )
 
 
 def hybrid_factory(config: Any | None = None, **overrides: Any) -> PolicyFactory:
@@ -103,7 +182,12 @@ def hybrid_factory(config: Any | None = None, **overrides: Any) -> PolicyFactory
         name += "-noarima"
     if not base.enable_prewarming:
         name += "-nopw"
-    return PolicyFactory(name=name, builder=lambda: HybridHistogramPolicy(base))
+    return PolicyFactory(
+        name=name,
+        builder=lambda: HybridHistogramPolicy(base),
+        family=FAMILY_HYBRID_HISTOGRAM,
+        family_config=base,
+    )
 
 
 def _spec_number(value: str, what: str, spec: str) -> float:

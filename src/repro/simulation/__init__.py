@@ -23,12 +23,24 @@ selected by the ``execution`` field of :class:`RunnerOptions` (see
   path where the policy supports it.
 * ``auto`` (default) — ``vectorized``, in-process.
 
+Multi-policy runs additionally route through the **shared-state sweep
+engine** (:mod:`repro.simulation.sweep_engine`): policy families
+declared via :attr:`~repro.policies.registry.PolicyFactory.sweep_key`
+(the whole fixed keep-alive grid; hybrid configurations sharing one
+histogram geometry) are evaluated in a single pass over the workload,
+with per-configuration knobs applied as decision masks over the shared
+trace-derived state.  The ``sweep`` field of :class:`RunnerOptions`
+selects the routing.
+
 ``tests/simulation/test_engine_equivalence.py`` locks the engines
 together: all three produce identical cold-start counts and
-wasted-memory minutes (to 1e-9) for every registered policy family.
+wasted-memory minutes (to 1e-9) for every registered policy family, and
+``tests/simulation/test_sweep_equivalence.py`` does the same for the
+sweep engine against independent per-configuration runs.
 :class:`ParallelWorkloadRunner` is a convenience wrapper pinning the
-parallel engine; ``benchmarks/test_bench_engine_speedup.py`` measures
-the speedups (see benchmarks/conftest.py for how to run it).
+parallel engine; ``benchmarks/test_bench_engine_speedup.py`` and
+``benchmarks/test_bench_sweep_speedup.py`` measure the speedups (see
+benchmarks/conftest.py for how to run them).
 """
 
 from repro.simulation.coldstart import (
@@ -39,6 +51,7 @@ from repro.simulation.coldstart import (
 )
 from repro.simulation.engine import (
     EXECUTION_MODES,
+    SWEEP_MODES,
     SimulationEngine,
     simulate_constant_decision_app,
 )
@@ -65,6 +78,8 @@ from repro.simulation.sweep import (
     FIGURE_16_CUTOFFS,
     FIGURE_18_CV_THRESHOLDS,
     SweepResult,
+    combined_figure_factories,
+    figure_factories,
     sweep_arima_contribution,
     sweep_cutoffs,
     sweep_cv_threshold,
@@ -73,6 +88,12 @@ from repro.simulation.sweep import (
     sweep_hybrid_ranges,
     sweep_prewarming,
 )
+from repro.simulation.sweep_engine import (
+    FactoryGroup,
+    SweepEngine,
+    check_unique_policy_names,
+    group_factories,
+)
 
 __all__ = [
     "AppSimulationTrace",
@@ -80,8 +101,13 @@ __all__ = [
     "InvocationOutcome",
     "simulate_application",
     "EXECUTION_MODES",
+    "SWEEP_MODES",
     "SimulationEngine",
     "simulate_constant_decision_app",
+    "FactoryGroup",
+    "SweepEngine",
+    "check_unique_policy_names",
+    "group_factories",
     "AggregateResult",
     "AppSimResult",
     "merge_results",
@@ -102,6 +128,8 @@ __all__ = [
     "FIGURE_16_CUTOFFS",
     "FIGURE_18_CV_THRESHOLDS",
     "SweepResult",
+    "combined_figure_factories",
+    "figure_factories",
     "sweep_arima_contribution",
     "sweep_cutoffs",
     "sweep_cv_threshold",

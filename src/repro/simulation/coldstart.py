@@ -179,6 +179,17 @@ class ColdStartSimulator:
         )
 
     # ------------------------------------------------------------------ #
+    def validate_times(
+        self, invocation_times_minutes: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """Validate one application's timestamps without a sorting escape hatch.
+
+        Public hook for the engines (the sweep engine in particular) that
+        replay many applications and need the exact validation contract of
+        :meth:`simulate_app`: within ``[0, horizon]``, ascending.
+        """
+        return self._validated_times(invocation_times_minutes)
+
     def _validated_times(
         self,
         invocation_times_minutes: Sequence[float] | np.ndarray,
@@ -216,6 +227,16 @@ class ColdStartSimulator:
         return times
 
     # ------------------------------------------------------------------ #
+    def waste_between(
+        self, previous_time: float, decision: PolicyDecision, next_time: float
+    ) -> float:
+        """Public alias of :meth:`_waste_between` for the engines.
+
+        The sweep engine accumulates tail waste with exactly this
+        per-decision arithmetic (same hook role as :meth:`validate_times`).
+        """
+        return self._waste_between(previous_time, decision, next_time)
+
     def _waste_between(
         self, previous_time: float, decision: PolicyDecision, next_time: float
     ) -> float:

@@ -69,6 +69,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 #: Recognized values of :attr:`RunnerOptions.execution`.
 EXECUTION_MODES: tuple[str, ...] = ("auto", "serial", "vectorized", "banked", "parallel")
 
+#: Recognized values of :attr:`RunnerOptions.sweep` (multi-policy runs):
+#: ``auto`` shares state across policy-family configurations whenever the
+#: execution mode allows it, ``family`` forces the shared-state sweep
+#: engine for every shareable group, ``per-policy`` always evaluates one
+#: policy at a time (the reference used by the equivalence suite).
+SWEEP_MODES: tuple[str, ...] = ("auto", "family", "per-policy")
+
 #: Shards per worker: small enough to keep per-shard overhead negligible,
 #: large enough that uneven per-app costs still balance across the pool.
 _SHARDS_PER_WORKER = 4
@@ -95,12 +102,21 @@ class RunnerOptions:
             including banks), or ``"auto"`` (fastest in-process route).
         workers: Worker-pool size for the parallel engine; ``None`` uses
             the machine's CPU count.  Ignored by the other engines.
+        sweep: Multi-policy sweep routing (``repro.simulation.sweep_engine``):
+            ``"auto"`` evaluates whole policy families in one shared-state
+            pass when ``execution`` is ``auto`` or ``parallel`` (explicit
+            single-engine requests keep the per-policy routing), ``"family"``
+            forces the shared pass for every shareable group regardless of
+            ``execution``, and ``"per-policy"`` disables sharing entirely.
+            Only affects multi-policy runs (``run_policies`` and the
+            ``sweep_*`` functions); single-policy runs are untouched.
     """
 
     use_memory_weights: bool = False
     min_invocations: int = 1
     execution: str = "auto"
     workers: int | None = None
+    sweep: str = "auto"
 
     def __post_init__(self) -> None:
         if self.execution not in EXECUTION_MODES:
@@ -110,6 +126,10 @@ class RunnerOptions:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError("worker count must be at least 1")
+        if self.sweep not in SWEEP_MODES:
+            raise ValueError(
+                f"unknown sweep mode {self.sweep!r}; expected one of {SWEEP_MODES}"
+            )
 
 
 # --------------------------------------------------------------------------- #
@@ -224,6 +244,20 @@ class SimulationEngine:
         self.workload = workload
         self.options = options or RunnerOptions()
         self._simulator = ColdStartSimulator(horizon_minutes=workload.duration_minutes)
+
+    @property
+    def simulator(self) -> ColdStartSimulator:
+        """The simulator carrying the horizon and cold-start conventions."""
+        return self._simulator
+
+    def work_items(self) -> list[_AppWorkItem]:
+        """Per-application inputs, resolved once (see :meth:`_work_items`).
+
+        Public entry point used by the sweep engine, which evaluates whole
+        policy families over the same work items this engine runs single
+        policies over.
+        """
+        return self._work_items()
 
     # ------------------------------------------------------------------ #
     def run_policy(

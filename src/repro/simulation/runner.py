@@ -13,6 +13,17 @@ instances are replaced by one struct-of-arrays policy bank.
 :class:`ParallelWorkloadRunner` is a convenience wrapper that pins the
 parallel engine and a worker count; its shards use banks internally for
 banked-capable policies.
+
+Multi-policy runs (:meth:`WorkloadRunner.run_policies`, and therefore
+every ``sweep_*`` function and experiment driver) route through the
+shared-state sweep engine (:mod:`repro.simulation.sweep_engine`): policy
+families declared via
+:attr:`~repro.policies.registry.PolicyFactory.sweep_key` are evaluated
+in one pass over the workload, with the per-policy engines as the
+fallback for unshareable factories.  The ``sweep`` field of
+:class:`RunnerOptions` controls the routing, and duplicate factory
+names are rejected with a ``ValueError`` instead of silently
+overwriting each other's results.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from typing import Callable, Mapping, Sequence
 from repro.policies.registry import PolicyFactory
 from repro.simulation.engine import RunnerOptions, SimulationEngine
 from repro.simulation.metrics import AggregateResult
+from repro.simulation.sweep_engine import SweepEngine, group_factories
 from repro.trace.schema import Workload
 
 __all__ = [
@@ -41,6 +53,7 @@ class WorkloadRunner:
         self.workload = workload
         self.options = options or RunnerOptions()
         self._engine = SimulationEngine(workload, self.options)
+        self._sweep_engine = SweepEngine(self._engine)
 
     # ------------------------------------------------------------------ #
     def run_policy(
@@ -63,17 +76,32 @@ class WorkloadRunner:
         *,
         progress: Callable[[str, int, int], None] | None = None,
     ) -> dict[str, AggregateResult]:
-        """Simulate several policies and return results keyed by policy name."""
-        results: dict[str, AggregateResult] = {}
-        for factory in factories:
-            per_policy_progress = None
-            if progress is not None:
+        """Simulate several policies and return results keyed by policy name.
 
-                def per_policy_progress(done, total, name=factory.name):
-                    progress(name, done, total)
+        Routed through the shared-state sweep engine: factories declaring
+        a common :attr:`~repro.policies.registry.PolicyFactory.sweep_key`
+        are evaluated as one family in a single pass over the workload
+        (subject to ``options.sweep``); everything else runs per policy
+        through :meth:`run_policy`'s engine.
 
-            results[factory.name] = self.run_policy(factory, progress=per_policy_progress)
-        return results
+        Raises:
+            ValueError: When two factories share a name — results are
+                keyed by name, so duplicates would silently overwrite
+                each other.
+        """
+        return self._sweep_engine.run_policies(factories, progress=progress)
+
+    def sweep_groups(self, factories: Sequence[PolicyFactory]):
+        """How :meth:`run_policies` would group these factories.
+
+        Returns the :class:`~repro.simulation.sweep_engine.FactoryGroup`
+        list the sweep engine would evaluate under this runner's options —
+        shareable families merged, everything else as singletons.  Used by
+        the ``repro sweep`` CLI to preview the grouping without running.
+        """
+        return group_factories(
+            factories, enabled=self._sweep_engine.family_sharing_enabled()
+        )
 
     # ------------------------------------------------------------------ #
     def compare(

@@ -10,16 +10,28 @@ Every sweep accepts a :class:`RunnerOptions` whose ``execution`` field
 selects the simulation engine (``serial``/``vectorized``/``banked``/
 ``parallel``/``auto``, see :mod:`repro.simulation.engine`); e.g.
 ``sweep_fixed_keepalive(workload, options=RunnerOptions(execution="parallel"))``
-shards the fixed-policy family across all cores.  Under ``auto`` the
-hybrid-policy sweeps (Figures 15–19) route through the banked
-struct-of-arrays engine, and the fixed family through the closed-form
-fast path, so a mixed sweep uses the best route per policy.
+shards the fixed-policy family across all cores.
+
+Every sweep runs through :meth:`WorkloadRunner.run_policies` and
+therefore through the shared-state sweep engine
+(:mod:`repro.simulation.sweep_engine`): under the default ``auto``
+routing, the whole fixed keep-alive grid is evaluated in one closed-form
+pass over shared per-app gaps, and hybrid configurations sharing a
+histogram geometry (all of Figures 16–19) share one histogram-update
+pass, with per-configuration cutoffs/CV thresholds evaluated as decision
+masks and ARIMA forecasts fitted once per application.  Pass
+``RunnerOptions(sweep="per-policy")`` to restore the one-run-per-
+configuration reference behaviour.
+
+:func:`figure_factories` exposes each figure's default factory list (and
+:func:`combined_figure_factories` their deduplicated union) for the
+``repro sweep`` CLI and the sweep benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.core.config import HybridPolicyConfig
 from repro.policies.fixed import FIGURE_14_KEEPALIVE_MINUTES
@@ -107,7 +119,11 @@ def _run(
 
     Execution (serial / vectorized / parallel) is governed by
     ``options.execution``; the runner routes every policy through the
-    corresponding engine of :mod:`repro.simulation.engine`.
+    corresponding engine of :mod:`repro.simulation.engine`, and
+    shareable policy families through the sweep engine
+    (:mod:`repro.simulation.sweep_engine`) per ``options.sweep``.
+    Duplicate factory names raise ``ValueError`` (results are keyed by
+    name and would silently overwrite each other).
     """
     baseline_factory = fixed_keepalive_factory(baseline_minutes)
     all_factories = list(factories)
@@ -206,13 +222,17 @@ def sweep_prewarming(
     * ``hybrid-…[5,99]`` — pre-warm from the 5th percentile (default).
     """
     base = base_config or HybridPolicyConfig()
-    factories = [
+    return _run(workload, _prewarming_factories(base), options=options)
+
+
+def _prewarming_factories(base: HybridPolicyConfig) -> list[PolicyFactory]:
+    """The Figure 17 policy list (pre-warming variants + upper bound)."""
+    return [
         hybrid_factory(base.with_overrides(enable_prewarming=False)),
         hybrid_factory(base.with_cutoffs(1.0, 99.0)),
         hybrid_factory(base.with_cutoffs(5.0, 99.0)),
         no_unloading_factory(),
     ]
-    return _run(workload, factories, options=options)
 
 
 # --------------------------------------------------------------------------- #
@@ -227,14 +247,20 @@ def sweep_cv_threshold(
 ) -> SweepResult:
     """Evaluate the hybrid policy for several CV thresholds (4-hour range)."""
     base = base_config or HybridPolicyConfig()
-    factories = []
-    for threshold in thresholds:
-        config = base.with_overrides(cv_threshold=threshold)
-        factory = hybrid_factory(config)
-        factory = PolicyFactory(name=f"hybrid-cv{threshold:g}", builder=factory.builder)
-        factories.append(factory)
+    factories = [_cv_threshold_factory(base, threshold) for threshold in thresholds]
     factories.append(no_unloading_factory())
     return _run(workload, factories, options=options)
+
+
+def _cv_threshold_factory(base: HybridPolicyConfig, threshold: float) -> PolicyFactory:
+    """One Figure 18 configuration, relabelled by its CV threshold.
+
+    ``renamed`` keeps the family metadata, so the whole threshold grid
+    still shares a single histogram pass in the sweep engine.
+    """
+    return hybrid_factory(base.with_overrides(cv_threshold=threshold)).renamed(
+        f"hybrid-cv{threshold:g}"
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -277,14 +303,107 @@ def sweep_arima_contribution(
 
     All three use the same 4-hour horizon, as in Figure 19: the fixed
     keep-alive window and the histogram range are both ``range_minutes``.
+
+    The three policies run through one :meth:`WorkloadRunner.run_policies`
+    call, so the two hybrid variants — which share their histogram
+    geometry — are evaluated from a single shared histogram pass by the
+    sweep engine (the ARIMA-free variant simply never takes the forecast
+    branch).
     """
     base = (base_config or HybridPolicyConfig()).with_overrides(
         histogram_range_minutes=range_minutes
     )
     runner = WorkloadRunner(workload, options)
-    fixed = runner.run_policy(fixed_keepalive_factory(range_minutes))
-    without_arima = runner.run_policy(hybrid_factory(base.with_overrides(enable_arima=False)))
-    full = runner.run_policy(hybrid_factory(base))
+    factories = [
+        fixed_keepalive_factory(range_minutes),
+        hybrid_factory(base.with_overrides(enable_arima=False)),
+        hybrid_factory(base),
+    ]
+    results = runner.run_policies(factories)
     return AlwaysColdComparison(
-        fixed=fixed, hybrid_without_arima=without_arima, hybrid=full
+        fixed=results[factories[0].name],
+        hybrid_without_arima=results[factories[1].name],
+        hybrid=results[factories[2].name],
     )
+
+
+# --------------------------------------------------------------------------- #
+# Default figure factory lists (the `repro sweep` CLI and the benchmarks)
+# --------------------------------------------------------------------------- #
+def figure_factories(
+    figure: str, *, base_config: HybridPolicyConfig | None = None
+) -> list[PolicyFactory]:
+    """The default policy list behind one of the sweep figures.
+
+    Args:
+        figure: ``fig14`` (fixed keep-alive grid + no-unloading),
+            ``fig15`` (fixed grid + hybrid histogram ranges), ``fig16``
+            (head/tail cutoffs), ``fig17`` (pre-warming variants), or
+            ``fig18`` (CV thresholds).
+        base_config: Base hybrid configuration the variants derive from.
+
+    Raises:
+        ValueError: For an unknown figure identifier.
+    """
+    base = base_config or HybridPolicyConfig()
+    if figure == "fig14":
+        factories: list[PolicyFactory] = [
+            fixed_keepalive_factory(m) for m in FIGURE_14_KEEPALIVE_MINUTES
+        ]
+        factories.append(no_unloading_factory())
+        return factories
+    if figure == "fig15":
+        factories = [fixed_keepalive_factory(m) for m in FIGURE_14_KEEPALIVE_MINUTES]
+        factories.extend(
+            hybrid_factory(base.with_range_hours(hours))
+            for hours in FIGURE_15_HYBRID_RANGE_HOURS
+        )
+        return factories
+    if figure == "fig16":
+        factories = [no_unloading_factory()]
+        factories.extend(
+            hybrid_factory(base.with_cutoffs(head, tail))
+            for head, tail in FIGURE_16_CUTOFFS
+        )
+        return factories
+    if figure == "fig17":
+        return _prewarming_factories(base)
+    if figure == "fig18":
+        factories = [
+            _cv_threshold_factory(base, threshold)
+            for threshold in FIGURE_18_CV_THRESHOLDS
+        ]
+        factories.append(no_unloading_factory())
+        return factories
+    raise ValueError(
+        f"unknown sweep figure {figure!r}; expected one of "
+        "fig14, fig15, fig16, fig17, fig18"
+    )
+
+
+def combined_figure_factories(
+    figures: Iterable[str],
+    *,
+    base_config: HybridPolicyConfig | None = None,
+    include_baseline: bool = True,
+) -> list[PolicyFactory]:
+    """Deduplicated union of several figures' policy lists.
+
+    Keeps the first occurrence of each policy name (the figures share the
+    no-unloading bound and often the 10-minute baseline) and optionally
+    appends the 10-minute normalization baseline when absent, so the
+    result can be fed straight to
+    :meth:`~repro.simulation.runner.WorkloadRunner.run_policies`.
+    """
+    factories: list[PolicyFactory] = []
+    seen: set[str] = set()
+    for figure in figures:
+        for factory in figure_factories(figure, base_config=base_config):
+            if factory.name not in seen:
+                seen.add(factory.name)
+                factories.append(factory)
+    if include_baseline:
+        baseline = fixed_keepalive_factory(BASELINE_KEEPALIVE_MINUTES)
+        if baseline.name not in seen:
+            factories.append(baseline)
+    return factories

@@ -1,0 +1,760 @@
+"""Shared-state sweep engine: evaluate whole policy families in one pass.
+
+The paper's headline results (Figures 14-19) are parameter sweeps, and a
+sweep's configurations share almost all of their work:
+
+* every **constant-keep-alive** policy (the fixed grid of Figure 14 plus
+  the no-unloading bound) sees the same per-application idle gaps — only
+  the window length ``K`` changes.  :func:`_evaluate_constant_family`
+  resolves the flat timestamp columns once and broadcasts the whole
+  keep-alive grid against them, reproducing
+  :func:`~repro.simulation.engine.simulate_constant_decision_app` bit for
+  bit per configuration.
+* every **hybrid histogram** policy with one histogram geometry (range
+  and bin width) shares its trace-derived state: histogram contents, the
+  bin-count CV trajectory, and the idle-time (ARIMA) forecasts depend
+  only on the trace, never on the cutoff/pre-warming/CV knobs — the
+  knobs only select *which decision* is made from that state.
+  :func:`_record_hybrid_family` therefore steps the workload through one
+  :class:`~repro.core.histogram_bank.HistogramBank` (the same
+  longest-first lockstep prefix protocol as the banked engine, with the
+  same scalar drain for the few longest applications) and records, per
+  invocation, the CV and the percentile bin of every distinct cutoff
+  percentile any configuration uses.  Each configuration is then
+  evaluated as pure decision *masks* over those recordings — flat
+  vectorized passes with no per-step loop — and ARIMA forecasts are
+  computed lazily, once per (application, invocation), and reused by
+  every configuration that triggers them (:class:`_ArimaForecastMemo`).
+
+Because the recorded quantities are bit-identical to what each
+configuration's own banked (or scalar) run would have computed — the
+bank-equivalence suite locks the shared machinery down — the sweep
+engine's per-configuration results match independent per-configuration
+runs exactly on cold-start counts and within 1e-9 on wasted memory
+(``tests/simulation/test_sweep_equivalence.py``).
+
+:class:`SweepEngine` is the routing layer: it groups a factory list by
+:attr:`~repro.policies.registry.PolicyFactory.sweep_key`, runs each
+shareable family through the matching evaluator (sharding applications
+across a ``fork`` worker pool under ``execution="parallel"``), and falls
+back to :class:`~repro.simulation.engine.SimulationEngine` per policy
+for unshareable factories and singleton groups.
+:meth:`~repro.simulation.runner.WorkloadRunner.run_policies` — and
+therefore every ``sweep_*`` function and experiment driver — routes
+through it; the ``sweep`` field of
+:class:`~repro.simulation.engine.RunnerOptions` selects the behaviour
+(``auto`` / ``family`` / ``per-policy``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.core.forecaster import IdleTimeForecaster
+from repro.core.histogram_bank import HistogramBank
+from repro.core.windows import PolicyDecision
+from repro.policies.registry import (
+    FAMILY_CONSTANT_KEEPALIVE,
+    FAMILY_HYBRID_HISTOGRAM,
+    PolicyFactory,
+)
+from repro.simulation.coldstart import DEFAULT_SCALAR_DRAIN_THRESHOLD
+from repro.simulation.engine import _SHARDS_PER_WORKER, SimulationEngine, _AppWorkItem
+from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.coldstart import ColdStartSimulator
+
+__all__ = [
+    "FactoryGroup",
+    "SweepEngine",
+    "check_unique_policy_names",
+    "group_factories",
+]
+
+#: Zero-count mode counters reported for hybrid-family applications with
+#: no invocations, matching what a fresh bank row reports.
+_EMPTY_HYBRID_MODES = {"histogram": 0, "standard": 0, "arima": 0}
+
+
+def check_unique_policy_names(factories: Sequence[PolicyFactory]) -> None:
+    """Reject factory lists whose names collide.
+
+    Results are keyed by factory name; duplicate names used to overwrite
+    each other silently, losing all but the last configuration's results.
+
+    Raises:
+        ValueError: Naming the colliding factories and the remedy
+            (:meth:`~repro.policies.registry.PolicyFactory.renamed`).
+    """
+    seen: set[str] = set()
+    duplicates: list[str] = []
+    for factory in factories:
+        if factory.name in seen and factory.name not in duplicates:
+            duplicates.append(factory.name)
+        seen.add(factory.name)
+    if duplicates:
+        raise ValueError(
+            f"duplicate policy name(s) {duplicates}: results are keyed by "
+            "name, so duplicates would silently overwrite each other; give "
+            "each configuration a distinct label (PolicyFactory.renamed)"
+        )
+
+
+@dataclass(frozen=True)
+class FactoryGroup:
+    """A maximal run of factories sharing one sweep key.
+
+    ``key`` is ``None`` for unshareable factories (each forms its own
+    group); otherwise every member shares the
+    :attr:`~repro.policies.registry.PolicyFactory.sweep_key`.
+    """
+
+    key: tuple | None
+    factories: tuple[PolicyFactory, ...]
+
+
+def group_factories(
+    factories: Sequence[PolicyFactory], *, enabled: bool = True
+) -> list[FactoryGroup]:
+    """Group a factory list into shareable families.
+
+    Factories with equal (non-``None``) sweep keys are merged into one
+    group, preserving first-appearance order; unshareable factories become
+    singleton groups in place.  With ``enabled=False`` every factory is a
+    singleton (the per-policy routing).
+    """
+    groups: list[FactoryGroup] = []
+    members: dict[tuple, list[PolicyFactory]] = {}
+    ordered_keys: list[tuple | None] = []
+    singletons: dict[int, PolicyFactory] = {}
+    for position, factory in enumerate(factories):
+        key = factory.sweep_key if enabled else None
+        if key is None:
+            ordered_keys.append(None)
+            singletons[len(ordered_keys) - 1] = factory
+            continue
+        if key not in members:
+            members[key] = []
+            ordered_keys.append(key)
+        members[key].append(factory)
+    emitted: set[tuple] = set()
+    for position, key in enumerate(ordered_keys):
+        if key is None:
+            groups.append(FactoryGroup(None, (singletons[position],)))
+        elif key not in emitted:
+            emitted.add(key)
+            groups.append(FactoryGroup(key, tuple(members[key])))
+    return groups
+
+
+class SweepEngine:
+    """Routes multi-policy runs through shared-state family evaluators.
+
+    Args:
+        engine: The single-policy engine whose workload, options, and
+            simulator conventions the sweep shares.  Unshareable factories
+            and singleton groups are delegated straight to it.
+    """
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+        self.options = engine.options
+        self._simulator = engine.simulator
+
+    # ------------------------------------------------------------------ #
+    def run_policies(
+        self,
+        factories: Sequence[PolicyFactory],
+        *,
+        progress: Callable[[str, int, int], None] | None = None,
+    ) -> dict[str, AggregateResult]:
+        """Evaluate several policies, sharing state within policy families.
+
+        Returns results keyed by factory name, in input order.
+
+        Raises:
+            ValueError: When two factories share a name (results would
+                silently overwrite each other).
+        """
+        factories = list(factories)
+        check_unique_policy_names(factories)
+        results: dict[str, AggregateResult] = {}
+        for group in group_factories(factories, enabled=self.family_sharing_enabled()):
+            if group.key is None or len(group.factories) < 2:
+                for factory in group.factories:
+                    per_policy_progress = None
+                    if progress is not None:
+
+                        def per_policy_progress(done, total, name=factory.name):
+                            progress(name, done, total)
+
+                    results[factory.name] = self._engine.run_policy(
+                        factory, progress=per_policy_progress
+                    )
+                continue
+            for name, app_results in self._run_family(group).items():
+                results[name] = merge_results(name, app_results)
+                if progress is not None:
+                    progress(name, len(app_results), len(app_results))
+        return {factory.name: results[factory.name] for factory in factories}
+
+    def family_sharing_enabled(self) -> bool:
+        """Whether shareable groups are evaluated through family passes.
+
+        ``sweep="auto"`` shares under the ``auto`` and ``parallel``
+        execution modes; an explicit single-engine request (``serial``,
+        ``vectorized``, ``banked``) keeps the per-policy routing so those
+        modes stay exact references.  ``"family"`` / ``"per-policy"``
+        force the decision either way.
+        """
+        if self.options.sweep == "family":
+            return True
+        if self.options.sweep == "per-policy":
+            return False
+        return self.options.execution in ("auto", "parallel")
+
+    # ------------------------------------------------------------------ #
+    def _run_family(self, group: FactoryGroup) -> dict[str, list[AppSimResult]]:
+        """Evaluate one shareable family, sharding when running parallel."""
+        items = self._engine.work_items()
+        workers = self._resolve_workers(len(items))
+        if (
+            self.options.execution == "parallel"
+            and workers > 1
+            and len(items) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            return self._run_family_sharded(group, items, workers)
+        return self._evaluate_family_items(group, items)
+
+    def _resolve_workers(self, num_items: int) -> int:
+        workers = self.options.workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(1, min(int(workers), max(num_items, 1)))
+
+    def _evaluate_family_items(
+        self, group: FactoryGroup, items: Sequence[_AppWorkItem]
+    ) -> dict[str, list[AppSimResult]]:
+        """Evaluate one family over a set of work items, in process."""
+        assert group.key is not None
+        if group.key[0] == FAMILY_CONSTANT_KEEPALIVE:
+            return _evaluate_constant_family(group.factories, items, self._simulator)
+        if group.key[0] == FAMILY_HYBRID_HISTOGRAM:
+            return _evaluate_hybrid_family(group.factories, items, self._simulator)
+        raise ValueError(f"unknown policy family {group.key[0]!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def _run_family_sharded(
+        self,
+        group: FactoryGroup,
+        items: Sequence[_AppWorkItem],
+        workers: int,
+    ) -> dict[str, list[AppSimResult]]:
+        """Shard the family evaluation across a ``fork`` worker pool.
+
+        Applications are independent (each row's recordings and decisions
+        are pure functions of its own timestamps), so evaluating a family
+        over contiguous item chunks and concatenating per-configuration
+        results in chunk order reproduces the whole-workload evaluation
+        exactly, independent of the worker count.  The same oversharding
+        factor as the engine's parallel route keeps skewed per-app costs
+        balanced across the pool.
+        """
+        num_shards = min(workers * _SHARDS_PER_WORKER, len(items))
+        bounds = np.linspace(0, len(items), num_shards + 1).astype(int)
+        shards = [
+            list(items[bounds[i] : bounds[i + 1]])
+            for i in range(num_shards)
+            if bounds[i + 1] > bounds[i]
+        ]
+        global _FAMILY_WORKER_STATE
+        context = multiprocessing.get_context("fork")
+        # Same publish-through-fork protocol as the engine's parallel
+        # route: factories hold closures, which travel by fork, and the
+        # lock keeps concurrent runs from forking each other's state.
+        with _FAMILY_WORKER_STATE_LOCK:
+            _FAMILY_WORKER_STATE = (self, group, shards)
+            try:
+                pool = context.Pool(processes=workers)
+            finally:
+                _FAMILY_WORKER_STATE = None
+        ordered: list[dict[str, list[AppSimResult]] | None] = [None] * len(shards)
+        with pool:
+            for shard_id, shard_results in pool.imap_unordered(
+                _evaluate_family_shard_by_id, range(len(shards))
+            ):
+                ordered[shard_id] = shard_results
+        merged: dict[str, list[AppSimResult]] = {
+            factory.name: [] for factory in group.factories
+        }
+        for shard_results in ordered:
+            assert shard_results is not None
+            for name, app_results in shard_results.items():
+                merged[name].extend(app_results)
+        return merged
+
+
+#: Family-evaluation state inherited by forked pool workers; guarded by
+#: the lock from assignment until the pool has forked (see the engine's
+#: identical protocol).
+_FAMILY_WORKER_STATE: tuple[SweepEngine, FactoryGroup, list] | None = None
+_FAMILY_WORKER_STATE_LOCK = threading.Lock()
+
+
+def _evaluate_family_shard_by_id(
+    shard_id: int,
+) -> tuple[int, dict[str, list[AppSimResult]]]:
+    """Worker entry point: evaluate one family over one item shard."""
+    assert _FAMILY_WORKER_STATE is not None, "worker state not initialized before fork"
+    engine, group, shards = _FAMILY_WORKER_STATE
+    return shard_id, engine._evaluate_family_items(group, shards[shard_id])
+
+
+# --------------------------------------------------------------------------- #
+# Constant-keep-alive family (Figure 14): closed form over shared gaps
+# --------------------------------------------------------------------------- #
+def _evaluate_constant_family(
+    factories: Sequence[PolicyFactory],
+    items: Sequence[_AppWorkItem],
+    simulator: "ColdStartSimulator",
+) -> dict[str, list[AppSimResult]]:
+    """Evaluate the whole keep-alive grid against per-app gaps computed once.
+
+    The flat timestamp column, its per-invocation start/arrival views, and
+    the validation pass are shared by every configuration; each ``K`` then
+    costs a handful of flat array operations.  All per-term arithmetic —
+    including the app-contiguous slices fed to ``np.sum`` — is identical
+    to :func:`~repro.simulation.engine.simulate_constant_decision_app`, so
+    each configuration's results are bit-for-bit what its own vectorized
+    run produces.
+    """
+    horizon = simulator.horizon_minutes
+    times_list = [simulator.validate_times(item.times) for item in items]
+    counts = np.array([times.size for times in times_list], dtype=np.int64)
+    flat = (
+        np.concatenate(times_list) if times_list else np.zeros(0, dtype=np.float64)
+    )
+    offsets = np.zeros(len(items), dtype=np.int64)
+    if len(items):
+        np.cumsum(counts[:-1], out=offsets[1:])
+    starts = flat[:-1]
+    arrivals = flat[1:]
+
+    results: dict[str, list[AppSimResult]] = {}
+    for factory in factories:
+        keepalive = float(factory.family_config)
+        window_end = starts + keepalive
+        cold_gap = arrivals > window_end
+        effective_end = np.minimum(np.minimum(window_end, arrivals), horizon)
+        waste_terms = np.maximum(effective_end - starts, 0.0)
+        app_results: list[AppSimResult] = []
+        for index, item in enumerate(items):
+            n = int(counts[index])
+            if n == 0:
+                app_results.append(
+                    AppSimResult(
+                        app_id=item.app_id,
+                        invocations=0,
+                        cold_starts=0,
+                        wasted_memory_minutes=0.0,
+                        memory_mb=item.memory_mb,
+                    )
+                )
+                continue
+            o = int(offsets[index])
+            # Gap terms live at flat positions [o, o + n - 1); the entry at
+            # o + n - 1 pairs this app's last invocation with the next
+            # app's first and is never read.
+            cold_starts = int(np.count_nonzero(cold_gap[o : o + n - 1]))
+            if simulator.first_invocation_cold:
+                cold_starts += 1
+            wasted = float(np.sum(waste_terms[o : o + n - 1]))
+            if simulator.count_tail_waste:
+                last = flat[o + n - 1]
+                tail_end = min(last + keepalive, horizon)
+                if tail_end > last:
+                    wasted += tail_end - float(last)
+            app_results.append(
+                AppSimResult(
+                    app_id=item.app_id,
+                    invocations=n,
+                    cold_starts=cold_starts,
+                    wasted_memory_minutes=wasted,
+                    memory_mb=item.memory_mb,
+                )
+            )
+        results[factory.name] = app_results
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Hybrid histogram family (Figures 15-19): one recording pass, K config scans
+# --------------------------------------------------------------------------- #
+@dataclass
+class _HybridFamilyRecording:
+    """Per-invocation shared state of one hybrid family, in CSR layout.
+
+    Applications are ordered longest-first (the banked stepping order);
+    application ``r`` occupies flat positions ``[offsets[r],
+    offsets[r] + counts[r])``, one per invocation in time order.  Every
+    recorded value is exactly what a scalar (or banked) hybrid policy of
+    this geometry observes at that invocation's decision point.
+    """
+
+    order: np.ndarray  #: sorted row -> work-item index
+    counts: np.ndarray  #: invocations per sorted row
+    offsets: np.ndarray  #: CSR start per sorted row
+    times: np.ndarray  #: flat timestamps, sorted-app order
+    cv: np.ndarray  #: bin-count CV at each decision point
+    bins: dict[float, np.ndarray]  #: percentile -> bin index per invocation
+    total: np.ndarray  #: idle times observed at each decision point
+    oob: np.ndarray  #: ... of which out of the histogram range
+    range_minutes: float
+    bin_width_minutes: float
+
+
+def _record_hybrid_family(
+    items: Sequence[_AppWorkItem],
+    simulator: "ColdStartSimulator",
+    range_minutes: float,
+    bin_width_minutes: float,
+    percentiles: Sequence[float],
+    drain_threshold: int = DEFAULT_SCALAR_DRAIN_THRESHOLD,
+) -> _HybridFamilyRecording:
+    """One shared pass over the workload recording per-invocation state.
+
+    Mirrors the banked engine's grouped stepping: applications are
+    assigned rows longest-first and stepped in lockstep prefixes through
+    one :class:`HistogramBank`; once ``drain_threshold`` or fewer rows
+    remain active, each survivor is cloned into a scalar
+    :class:`~repro.core.histogram.IdleTimeHistogram`
+    (:meth:`HistogramBank.extract_row` preserves the exact Welford state)
+    and recorded to the end through the scalar code path — both paths
+    produce bit-identical CV and percentile-bin trajectories, which the
+    bank-equivalence suite locks down.
+    """
+    num = len(items)
+    times_list = [simulator.validate_times(item.times) for item in items]
+    counts = np.array([times.size for times in times_list], dtype=np.int64)
+    order = np.argsort(-counts, kind="stable")
+    counts_sorted = counts[order]
+    flat = (
+        np.concatenate([times_list[int(i)] for i in order])
+        if num
+        else np.zeros(0, dtype=np.float64)
+    )
+    offsets = np.zeros(num, dtype=np.int64)
+    if num:
+        np.cumsum(counts_sorted[:-1], out=offsets[1:])
+    max_count = int(counts_sorted[0]) if num else 0
+    occupancy = np.bincount(counts_sorted, minlength=max_count + 1)
+    active_per_step = num - np.cumsum(occupancy)[:max_count]
+
+    total_invocations = int(counts.sum())
+    cv = np.zeros(total_invocations, dtype=np.float64)
+    percentiles = list(percentiles)
+    bins = {q: np.zeros(total_invocations, dtype=np.int64) for q in percentiles}
+    qs = np.asarray(percentiles, dtype=np.float64)
+    qs_fraction = qs / 100.0
+
+    bank = HistogramBank(
+        num, range_minutes=range_minutes, bin_width_minutes=bin_width_minutes
+    )
+    num_bins = bank.num_bins
+    for step in range(max_count):
+        active = int(active_per_step[step])
+        if active <= drain_threshold:
+            # Scalar drain: record the few longest applications to the end
+            # through scalar histograms resumed from their bank rows.
+            for row in range(active):
+                o = int(offsets[row])
+                histogram = bank.extract_row(row)
+                for k in range(step, int(counts_sorted[row])):
+                    if k > 0:
+                        histogram.observe(float(flat[o + k] - flat[o + k - 1]))
+                    position = o + k
+                    cv[position] = histogram.bin_count_cv
+                    in_bounds = histogram.in_bounds_count
+                    if in_bounds:
+                        # The scalar percentile() bin search, batched over
+                        # every distinct percentile of the family.
+                        cumulative = np.cumsum(histogram.counts)
+                        targets = np.maximum(qs_fraction * in_bounds, 1e-12)
+                        indices = np.minimum(
+                            np.searchsorted(cumulative, targets, side="left"),
+                            num_bins - 1,
+                        )
+                        for qi, q in enumerate(percentiles):
+                            bins[q][position] = indices[qi]
+            break
+        positions = offsets[:active] + step
+        if step > 0:
+            bank.observe_prefix(flat[positions] - flat[positions - 1])
+        cv[positions] = bank.bin_count_cv_prefix(active)
+        in_bounds = bank.in_bounds_count[:active]
+        bin_matrix = bank.percentile_bins_prefix(active, qs, in_bounds)
+        for qi, q in enumerate(percentiles):
+            bins[q][positions] = bin_matrix[qi]
+
+    # Observation counters are pure gap counts; compute them flat instead
+    # of recording them.  total at decision k is k (one idle time per
+    # preceding gap); oob counts the gaps at or beyond the range, with
+    # exactly the ``idle < range`` comparison the histogram applies.
+    total = (
+        np.arange(total_invocations, dtype=np.int64)
+        - np.repeat(offsets, counts_sorted)
+        if total_invocations
+        else np.zeros(0, dtype=np.int64)
+    )
+    oob = np.zeros(total_invocations, dtype=np.int64)
+    if total_invocations:
+        gaps = np.zeros(total_invocations, dtype=np.float64)
+        gaps[1:] = flat[1:] - flat[:-1]
+        gaps[offsets[counts_sorted > 0]] = 0.0
+        oob_flag = (gaps >= range_minutes).astype(np.int64)
+        cumulative = np.cumsum(oob_flag)
+        bases = np.repeat(cumulative[offsets[counts_sorted > 0]], counts_sorted[counts_sorted > 0])
+        oob = cumulative - bases
+    return _HybridFamilyRecording(
+        order=order,
+        counts=counts_sorted,
+        offsets=offsets,
+        times=flat,
+        cv=cv,
+        bins=bins,
+        total=total,
+        oob=oob,
+        range_minutes=range_minutes,
+        bin_width_minutes=bin_width_minutes,
+    )
+
+
+class _ArimaForecastMemo:
+    """Idle-time forecasts shared across a family's configurations.
+
+    The ARIMA branch is a pure function of the retained idle-time history,
+    which depends only on the trace (and the history capacity) — never on
+    the configuration's margins or thresholds.  Each (invocation, history
+    capacity) pair is therefore fitted at most once per sweep, and every
+    configuration that triggers the branch at that invocation reuses the
+    forecast, applying only its own margin arithmetic.
+    """
+
+    def __init__(self, recording: _HybridFamilyRecording) -> None:
+        self._recording = recording
+        self._predictions: dict[tuple[int, int], float] = {}
+
+    def predictions(self, positions: np.ndarray, max_history: int) -> np.ndarray:
+        """Forecast idle times for the given flat invocation positions."""
+        return np.array(
+            [self._prediction(int(position), max_history) for position in positions],
+            dtype=np.float64,
+        )
+
+    def fitted_count(self) -> int:
+        """Number of distinct forecasts computed so far (for tests)."""
+        return len(self._predictions)
+
+    def _prediction(self, position: int, max_history: int) -> float:
+        key = (position, max_history)
+        cached = self._predictions.get(key)
+        if cached is not None:
+            return cached
+        recording = self._recording
+        row = int(np.searchsorted(recording.offsets, position, side="right") - 1)
+        o = int(recording.offsets[row])
+        step = position - o
+        # The forecaster's history at decision step k is the last
+        # min(k, capacity) idle gaps, oldest first — reconstructed
+        # directly from the timestamps, exactly the values the banked
+        # ring (or the scalar deque) holds at that point.
+        start = max(1, step - max_history + 1)
+        history = (
+            recording.times[o + start : o + step + 1]
+            - recording.times[o + start - 1 : o + step]
+        )
+        forecaster = IdleTimeForecaster.from_history(history, max_history=max_history)
+        value = float(forecaster.predict_next_idle_time()[0])
+        self._predictions[key] = value
+        return value
+
+
+def _evaluate_hybrid_family(
+    factories: Sequence[PolicyFactory],
+    items: Sequence[_AppWorkItem],
+    simulator: "ColdStartSimulator",
+) -> dict[str, list[AppSimResult]]:
+    """Evaluate every configuration of one hybrid family from one recording."""
+    configs = [factory.family_config for factory in factories]
+    reference = configs[0]
+    assert all(
+        config.histogram_range_minutes == reference.histogram_range_minutes
+        and config.bin_width_minutes == reference.bin_width_minutes
+        for config in configs
+    ), "hybrid family members must share the histogram geometry"
+    percentiles = sorted(
+        {config.head_percentile for config in configs}
+        | {config.tail_percentile for config in configs}
+    )
+    recording = _record_hybrid_family(
+        items,
+        simulator,
+        reference.histogram_range_minutes,
+        reference.bin_width_minutes,
+        percentiles,
+    )
+    memo = _ArimaForecastMemo(recording)
+    return {
+        factory.name: _evaluate_hybrid_config(recording, config, memo, items, simulator)
+        for factory, config in zip(factories, configs)
+    }
+
+
+def _evaluate_hybrid_config(
+    recording: _HybridFamilyRecording,
+    config,
+    memo: _ArimaForecastMemo,
+    items: Sequence[_AppWorkItem],
+    simulator: "ColdStartSimulator",
+) -> list[AppSimResult]:
+    """One configuration's decisions, cold starts, and waste from recordings.
+
+    Every float operation mirrors :class:`~repro.policies.bank.
+    HybridPolicyBank.on_invocations` (masks, margin arithmetic, the
+    no-pre-warming transform) and the banked stepping loop's cold/waste
+    terms, evaluated flat over all invocations at once instead of one
+    lockstep step at a time.  Decisions never depend on cold/warm
+    outcomes, so the flat evaluation is exact.
+    """
+    total = recording.total
+    oob = recording.oob
+    in_bounds = total - oob
+    if config.enable_arima:
+        oob_fraction = np.where(total > 0, oob / np.maximum(total, 1), 0.0)
+        mask_arima = (total >= config.oob_min_observations) & (
+            oob_fraction > config.oob_fraction_threshold
+        )
+    else:
+        mask_arima = None
+    mask_histogram = (in_bounds >= config.min_observations) & (
+        recording.cv >= config.cv_threshold
+    )
+    if mask_arima is not None:
+        mask_histogram &= ~mask_arima
+        mask_standard = ~(mask_arima | mask_histogram)
+    else:
+        mask_standard = ~mask_histogram
+
+    bin_width = recording.bin_width_minutes
+    head = recording.bins[config.head_percentile] * bin_width
+    tail = (recording.bins[config.tail_percentile] + 1) * bin_width
+    row_prewarm = head * (1.0 - config.prewarm_margin)
+    keepalive_end = tail * (1.0 + config.keepalive_margin)
+    row_prewarm = np.where(row_prewarm < bin_width, 0.0, row_prewarm)
+    row_keepalive = np.maximum(keepalive_end - row_prewarm, bin_width)
+    prewarm = np.where(mask_histogram, row_prewarm, 0.0)
+    keepalive = np.where(
+        mask_histogram, row_keepalive, config.histogram_range_minutes
+    )
+
+    if mask_arima is not None and mask_arima.any():
+        positions = np.nonzero(mask_arima)[0]
+        predictions = memo.predictions(positions, config.arima_max_history)
+        prewarm[positions] = np.maximum(
+            predictions * (1.0 - config.arima_margin), 0.0
+        )
+        keepalive[positions] = np.maximum(
+            2.0 * config.arima_margin * predictions, bin_width
+        )
+
+    if not config.enable_prewarming:
+        # "Hybrid No PW" (Figure 17): keep the tail-derived keep-alive but
+        # never unload right after the execution.
+        unloads = prewarm > 0
+        keepalive = np.where(unloads, prewarm + keepalive, keepalive)
+        prewarm = np.where(unloads, 0.0, prewarm)
+
+    # Cold/warm outcomes and idle-loaded waste from consecutive decisions,
+    # flat: position i's decision governs the gap to position i + 1 of the
+    # same application (the entry pairing an application's last invocation
+    # with the next application's first is masked off below).
+    times = recording.times
+    horizon = simulator.horizon_minutes
+    num_invocations = times.size
+    counts = recording.counts
+    offsets = recording.offsets
+    populated = counts > 0
+    first_positions = offsets[populated]
+    cold = np.zeros(num_invocations, dtype=bool)
+    terms = np.zeros(num_invocations, dtype=np.float64)
+    if num_invocations:
+        load_start = times + prewarm
+        load_end = load_start + keepalive
+        warm = (load_start[:-1] <= times[1:]) & (times[1:] <= load_end[:-1])
+        cold[1:] = ~warm
+        cold[first_positions] = simulator.first_invocation_cold
+        effective_end = np.minimum(np.minimum(load_end[:-1], times[1:]), horizon)
+        terms[1:] = np.maximum(effective_end - load_start[:-1], 0.0)
+        terms[first_positions] = 0.0
+
+    num_rows = len(items)
+    populated_rows = int(np.count_nonzero(populated))
+    if populated_rows:
+        starts = offsets[:populated_rows]
+        cold_counts = np.add.reduceat(cold.astype(np.int64), starts)
+        wasted = np.add.reduceat(terms, starts)
+        histogram_counts = np.add.reduceat(mask_histogram.astype(np.int64), starts)
+        standard_counts = np.add.reduceat(mask_standard.astype(np.int64), starts)
+        if mask_arima is not None:
+            arima_counts = np.add.reduceat(mask_arima.astype(np.int64), starts)
+        else:
+            arima_counts = np.zeros(populated_rows, dtype=np.int64)
+
+    results: list[AppSimResult | None] = [None] * num_rows
+    for row in range(num_rows):
+        item = items[int(recording.order[row])]
+        n = int(counts[row])
+        if n == 0:
+            results[int(recording.order[row])] = AppSimResult(
+                app_id=item.app_id,
+                invocations=0,
+                cold_starts=0,
+                wasted_memory_minutes=0.0,
+                memory_mb=item.memory_mb,
+                mode_counts=dict(_EMPTY_HYBRID_MODES),
+            )
+            continue
+        last = int(offsets[row]) + n - 1
+        wasted_minutes = float(wasted[row])
+        if simulator.count_tail_waste:
+            wasted_minutes += simulator.waste_between(
+                float(times[last]),
+                PolicyDecision(
+                    prewarm_minutes=float(prewarm[last]),
+                    keepalive_minutes=float(keepalive[last]),
+                ),
+                horizon,
+            )
+        results[int(recording.order[row])] = AppSimResult(
+            app_id=item.app_id,
+            invocations=n,
+            cold_starts=int(cold_counts[row]),
+            wasted_memory_minutes=wasted_minutes,
+            memory_mb=item.memory_mb,
+            mode_counts={
+                "histogram": int(histogram_counts[row]),
+                "standard": int(standard_counts[row]),
+                "arima": int(arima_counts[row]),
+            },
+            oob_idle_times=int(oob[last]),
+        )
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]

@@ -9,6 +9,7 @@ from repro.core.hybrid import HybridHistogramPolicy
 from repro.policies.fixed import FixedKeepAlivePolicy
 from repro.policies.no_unload import NoUnloadingPolicy
 from repro.policies.registry import (
+    PolicyFactory,
     fixed_keepalive_factory,
     hybrid_factory,
     no_unloading_factory,
@@ -120,6 +121,43 @@ class TestBankCapabilities:
             assert not factory.supports_banked
             with pytest.raises(NotImplementedError):
                 factory.make_bank(2)
+
+
+class TestSweepFamilyCapability:
+    def test_fixed_family_metadata(self):
+        factory = fixed_keepalive_factory(45)
+        assert factory.family == "constant-keepalive"
+        assert factory.family_config == 45.0
+        assert factory.sweep_key == ("constant-keepalive",)
+
+    def test_no_unloading_family_metadata(self):
+        factory = no_unloading_factory()
+        assert factory.family == "constant-keepalive"
+        assert factory.family_config == float("inf")
+        assert factory.sweep_key == fixed_keepalive_factory(10).sweep_key
+
+    def test_hybrid_family_metadata(self):
+        config = HybridPolicyConfig(histogram_range_minutes=120.0)
+        factory = hybrid_factory(config)
+        assert factory.family == "hybrid-histogram"
+        assert factory.family_config == config
+        assert factory.sweep_key == ("hybrid-histogram", 120.0, 1.0)
+
+    def test_parsed_specs_carry_family_metadata(self):
+        assert parse_policy_spec("fixed:20").sweep_key == ("constant-keepalive",)
+        assert parse_policy_spec("hybrid:240").sweep_key == ("hybrid-histogram", 240.0, 1.0)
+
+    def test_bare_factory_has_no_sweep_key(self):
+        bare = PolicyFactory(name="bare", builder=lambda: FixedKeepAlivePolicy(5.0))
+        assert bare.family is None
+        assert bare.sweep_key is None
+
+    def test_renamed_keeps_builder_and_family(self):
+        factory = hybrid_factory(cv_threshold=5.0)
+        renamed = factory.renamed("hybrid-cv5")
+        assert renamed.name == "hybrid-cv5"
+        assert renamed.sweep_key == factory.sweep_key
+        assert renamed.create().config.cv_threshold == 5.0
 
 
 class TestSuite:

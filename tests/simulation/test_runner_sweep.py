@@ -69,6 +69,27 @@ class TestWorkloadRunner:
         result = run_policy_over_workload(two_app_workload, fixed_keepalive_factory(10))
         assert result.policy_name == "fixed-10min"
 
+    @pytest.mark.parametrize("sweep", ["auto", "family", "per-policy"])
+    def test_duplicate_factory_names_rejected(self, two_app_workload, sweep):
+        """Regression: duplicate names used to silently overwrite results."""
+        runner = WorkloadRunner(two_app_workload, RunnerOptions(sweep=sweep))
+        duplicates = [fixed_keepalive_factory(10), fixed_keepalive_factory(10.0)]
+        with pytest.raises(ValueError, match="duplicate policy name"):
+            runner.run_policies(duplicates)
+        with pytest.raises(ValueError, match="duplicate policy name"):
+            runner.compare(duplicates)
+
+    def test_duplicate_names_rejected_in_sweeps(self, two_app_workload):
+        """The same guard covers the figure sweeps' internal _run."""
+        with pytest.raises(ValueError, match="duplicate policy name"):
+            sweep_fixed_keepalive(two_app_workload, keepalive_minutes=(10, 10))
+
+    def test_distinctly_named_duplicates_still_allowed(self, two_app_workload):
+        runner = WorkloadRunner(two_app_workload)
+        renamed = fixed_keepalive_factory(10).renamed("fixed-10min-bis")
+        results = runner.run_policies([fixed_keepalive_factory(10), renamed])
+        assert set(results) == {"fixed-10min", "fixed-10min-bis"}
+
 
 class TestSweeps:
     def test_fixed_keepalive_sweep_is_monotone(self, medium_workload):

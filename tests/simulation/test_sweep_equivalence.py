@@ -1,0 +1,356 @@
+"""Sweep-equivalence suite: the shared-state sweep engine vs per-config runs.
+
+The sweep engine (:mod:`repro.simulation.sweep_engine`) evaluates a whole
+policy family in one pass over the workload — shared per-app gaps for the
+constant-keep-alive grid, one shared histogram pass plus per-config
+decision masks for the hybrid family.  This suite locks down the contract
+that makes that safe: for every figure family (14, 16, 17, 18, and the
+Figure 19 ARIMA comparison) and for mixed shareable/unshareable factory
+lists, the per-application results match independent per-configuration
+runs — cold-start counts exactly, wasted memory within 1e-9, decision-mode
+counters and OOB counts exactly — and the family path composes with the
+parallel sharded engine unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.simulation.sweep_engine as sweep_engine_module
+from repro.core.config import HybridPolicyConfig
+from repro.core.histogram import IdleTimeHistogram
+from repro.core.histogram_bank import HistogramBank
+from repro.policies.fixed import FixedKeepAlivePolicy
+from repro.policies.registry import (
+    FAMILY_CONSTANT_KEEPALIVE,
+    FAMILY_HYBRID_HISTOGRAM,
+    PolicyFactory,
+    fixed_keepalive_factory,
+    hybrid_factory,
+    no_unloading_factory,
+)
+from repro.simulation.runner import RunnerOptions, WorkloadRunner
+from repro.simulation.sweep import (
+    FIGURE_16_CUTOFFS,
+    FIGURE_18_CV_THRESHOLDS,
+    combined_figure_factories,
+    figure_factories,
+    sweep_arima_contribution,
+)
+from repro.simulation.sweep_engine import group_factories
+from tests.conftest import make_workload
+from tests.simulation.test_bank_equivalence import (
+    assert_app_results_match,
+    random_app_streams,
+)
+
+HORIZON = 3 * 1440.0
+
+
+@pytest.fixture(scope="module")
+def streams_workload():
+    """All four stream archetypes (dense, ARIMA-triggering, tiny, bursty)."""
+    streams = random_app_streams(2020, num_apps=32)
+    return make_workload(
+        {app_id: list(times) for app_id, times in streams.items()},
+        duration_minutes=HORIZON,
+    )
+
+
+def run_both(workload, factories, **options):
+    """One per-policy reference run and one family run of the same list."""
+    reference = WorkloadRunner(
+        workload, RunnerOptions(sweep="per-policy", **options)
+    ).run_policies(factories)
+    family = WorkloadRunner(
+        workload, RunnerOptions(sweep="family", **options)
+    ).run_policies(factories)
+    return reference, family
+
+
+def assert_results_match(reference, family):
+    assert list(family) == list(reference)
+    for name in reference:
+        assert_app_results_match(
+            list(reference[name].app_results), list(family[name].app_results)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Grouping and the factory capability
+# --------------------------------------------------------------------------- #
+class TestFactoryGrouping:
+    def test_sweep_keys(self):
+        assert fixed_keepalive_factory(10).sweep_key == (FAMILY_CONSTANT_KEEPALIVE,)
+        assert no_unloading_factory().sweep_key == (FAMILY_CONSTANT_KEEPALIVE,)
+        hybrid = hybrid_factory()
+        assert hybrid.sweep_key == (FAMILY_HYBRID_HISTOGRAM, 240.0, 1.0)
+        # Different geometry -> different family.
+        assert hybrid_factory(histogram_range_minutes=60.0).sweep_key != hybrid.sweep_key
+        # Knob-only variants share the key (that is the whole point).
+        assert hybrid_factory(cv_threshold=7.0).sweep_key == hybrid.sweep_key
+        assert hybrid_factory(enable_arima=False).sweep_key == hybrid.sweep_key
+
+    def test_bare_factory_is_unshareable(self):
+        bare = PolicyFactory(name="custom", builder=lambda: FixedKeepAlivePolicy(7.0))
+        assert bare.sweep_key is None
+
+    def test_renamed_preserves_family_metadata(self):
+        renamed = hybrid_factory(cv_threshold=5.0).renamed("hybrid-cv5")
+        assert renamed.name == "hybrid-cv5"
+        assert renamed.sweep_key == hybrid_factory().sweep_key
+        assert renamed.family_config.cv_threshold == 5.0
+
+    def test_grouping_preserves_order_and_isolates_unshareable(self):
+        bare = PolicyFactory(name="custom", builder=lambda: FixedKeepAlivePolicy(7.0))
+        factories = [
+            fixed_keepalive_factory(10),
+            hybrid_factory(),
+            bare,
+            no_unloading_factory(),
+            hybrid_factory(cv_threshold=5.0).renamed("hybrid-cv5"),
+            hybrid_factory(histogram_range_minutes=60.0),
+        ]
+        groups = group_factories(factories)
+        assert [group.key and group.key[0] for group in groups] == [
+            FAMILY_CONSTANT_KEEPALIVE,
+            FAMILY_HYBRID_HISTOGRAM,
+            None,
+            FAMILY_HYBRID_HISTOGRAM,
+        ]
+        assert [factory.name for factory in groups[0].factories] == [
+            "fixed-10min",
+            "no-unloading",
+        ]
+        assert [factory.name for factory in groups[1].factories] == [
+            "hybrid-4h",
+            "hybrid-cv5",
+        ]
+        assert groups[3].factories[0].name == "hybrid-1h"
+
+    def test_grouping_disabled_yields_singletons(self):
+        factories = [fixed_keepalive_factory(10), no_unloading_factory()]
+        groups = group_factories(factories, enabled=False)
+        assert [group.key for group in groups] == [None, None]
+
+    def test_sharing_enabled_per_options(self):
+        workload = make_workload({"a": [1.0, 2.0]}, duration_minutes=10.0)
+
+        def enabled(**options):
+            runner = WorkloadRunner(workload, RunnerOptions(**options))
+            return runner._sweep_engine.family_sharing_enabled()
+
+        assert enabled()
+        assert enabled(execution="parallel")
+        assert not enabled(execution="serial")
+        assert not enabled(execution="banked")
+        assert enabled(execution="serial", sweep="family")
+        assert not enabled(sweep="per-policy")
+
+    def test_unknown_sweep_mode_rejected(self):
+        with pytest.raises(ValueError, match="sweep mode"):
+            RunnerOptions(sweep="bogus")
+
+
+# --------------------------------------------------------------------------- #
+# Figure families against independent per-configuration runs
+# --------------------------------------------------------------------------- #
+class TestFamilyEquivalence:
+    def test_fig14_constant_family(self, streams_workload):
+        factories = figure_factories("fig14")
+        reference, family = run_both(streams_workload, factories)
+        assert_results_match(reference, family)
+
+    def test_fig16_cutoff_family(self, streams_workload):
+        factories = figure_factories("fig16")
+        reference, family = run_both(streams_workload, factories)
+        assert_results_match(reference, family)
+        # The six cutoff configurations must actually share one pass.
+        groups = group_factories(factories)
+        hybrid = next(g for g in groups if g.key and g.key[0] == FAMILY_HYBRID_HISTOGRAM)
+        assert len(hybrid.factories) == len(FIGURE_16_CUTOFFS)
+
+    def test_fig17_prewarming_family(self, streams_workload):
+        factories = figure_factories("fig17")
+        reference, family = run_both(streams_workload, factories)
+        assert_results_match(reference, family)
+
+    def test_fig18_cv_threshold_family(self, streams_workload):
+        factories = figure_factories("fig18")
+        reference, family = run_both(streams_workload, factories)
+        assert_results_match(reference, family)
+        assert {factory.name for factory in factories} >= {
+            f"hybrid-cv{threshold:g}" for threshold in FIGURE_18_CV_THRESHOLDS
+        }
+
+    def test_arima_and_tiny_apps_are_exercised(self, streams_workload):
+        """The archetype workload must hit the ARIMA and sub-min_observations
+        paths, or the family equivalence above proves nothing."""
+        factories = [hybrid_factory()]
+        result = WorkloadRunner(streams_workload).run_policies(factories)["hybrid-4h"]
+        assert result.mode_usage().get("arima", 0) > 0
+        assert any(
+            r.invocations < HybridPolicyConfig().min_observations
+            for r in result.app_results
+        )
+
+    def test_fig19_arima_comparison_shares_hybrid_pass(self, streams_workload):
+        per_policy = sweep_arima_contribution(
+            streams_workload, options=RunnerOptions(sweep="per-policy")
+        )
+        shared = sweep_arima_contribution(
+            streams_workload, options=RunnerOptions(sweep="family")
+        )
+        for attribute in ("fixed", "hybrid_without_arima", "hybrid"):
+            assert_app_results_match(
+                list(getattr(per_policy, attribute).app_results),
+                list(getattr(shared, attribute).app_results),
+            )
+
+    def test_mixed_shareable_and_unshareable_list(self, streams_workload):
+        bare = PolicyFactory(name="custom-7min", builder=lambda: FixedKeepAlivePolicy(7.0))
+        factories = [
+            fixed_keepalive_factory(10),
+            hybrid_factory(),
+            bare,
+            no_unloading_factory(),
+            hybrid_factory(cv_threshold=5.0).renamed("hybrid-cv5"),
+        ]
+        reference, family = run_both(streams_workload, factories)
+        assert_results_match(reference, family)
+        # The bare factory really runs per policy (it has no family), and
+        # matches a plain 7-minute fixed run.
+        fixed7 = WorkloadRunner(streams_workload).run_policy(fixed_keepalive_factory(7))
+        assert_app_results_match(
+            list(fixed7.app_results), list(family["custom-7min"].app_results)
+        )
+
+    def test_combined_figure_list(self, streams_workload):
+        factories = combined_figure_factories(("fig14", "fig16", "fig18"))
+        assert len({factory.name for factory in factories}) == len(factories)
+        reference, family = run_both(streams_workload, factories)
+        assert_results_match(reference, family)
+
+    def test_edge_case_streams(self):
+        workload = make_workload(
+            {
+                "empty": [],
+                "single": [700.0],
+                "duplicates": [10.0, 10.0, 10.0, 400.0, 400.0],
+                "at-horizon": [500.0, HORIZON],
+                "dense": list(np.linspace(0.0, HORIZON, 97)),
+            },
+            duration_minutes=HORIZON,
+        )
+        factories = [
+            fixed_keepalive_factory(10),
+            no_unloading_factory(),
+            hybrid_factory(),
+            hybrid_factory(cv_threshold=0.0).renamed("hybrid-cv0"),
+        ]
+        reference, family = run_both(
+            workload, factories, min_invocations=0
+        )
+        assert_results_match(reference, family)
+
+    def test_memory_weights_flow_through(self, streams_workload):
+        factories = figure_factories("fig14")[:3] + [hybrid_factory()]
+        reference, family = run_both(
+            streams_workload, factories, use_memory_weights=True
+        )
+        assert_results_match(reference, family)
+        result = next(iter(family.values()))
+        assert any(r.memory_mb != 1.0 for r in result.app_results)
+
+    def test_parallel_sharding_matches_in_process(self, streams_workload):
+        factories = combined_figure_factories(("fig14", "fig16"))
+        in_process = WorkloadRunner(
+            streams_workload, RunnerOptions(sweep="family")
+        ).run_policies(factories)
+        for workers in (1, 3):
+            sharded = WorkloadRunner(
+                streams_workload,
+                RunnerOptions(execution="parallel", workers=workers, sweep="family"),
+            ).run_policies(factories)
+            assert_results_match(in_process, sharded)
+
+
+# --------------------------------------------------------------------------- #
+# ARIMA forecast memoization (one fit per app/invocation per sweep)
+# --------------------------------------------------------------------------- #
+class TestArimaForecastSharing:
+    def test_configs_reuse_forecasts(self, streams_workload, monkeypatch):
+        fits = []
+        original = sweep_engine_module.IdleTimeForecaster.from_history.__func__
+
+        def counting_from_history(cls, history, **kwargs):
+            fits.append(len(history))
+            return original(cls, history, **kwargs)
+
+        monkeypatch.setattr(
+            sweep_engine_module.IdleTimeForecaster,
+            "from_history",
+            classmethod(counting_from_history),
+        )
+        # Two configurations whose ARIMA triggers coincide (only margins
+        # differ): the family pass must fit each (app, invocation) once.
+        factories = [
+            hybrid_factory(),
+            hybrid_factory(arima_margin=0.30).renamed("hybrid-wide-margin"),
+        ]
+        runner = WorkloadRunner(streams_workload, RunnerOptions(sweep="family"))
+        results = runner.run_policies(factories)
+        arima_decisions = results["hybrid-4h"].mode_usage()["arima"]
+        assert arima_decisions > 0
+        assert results["hybrid-wide-margin"].mode_usage()["arima"] == arima_decisions
+        # One fit per triggering invocation — not one per (config, invocation).
+        assert len(fits) == arima_decisions
+
+    def test_duplicate_forecasts_not_refit_within_one_config(
+        self, streams_workload, monkeypatch
+    ):
+        calls = []
+        original = sweep_engine_module._ArimaForecastMemo._prediction
+
+        def counting_prediction(self, position, max_history):
+            calls.append(position)
+            return original(self, position, max_history)
+
+        monkeypatch.setattr(
+            sweep_engine_module._ArimaForecastMemo, "_prediction", counting_prediction
+        )
+        factories = [hybrid_factory(), hybrid_factory(cv_threshold=5.0).renamed("cv5")]
+        WorkloadRunner(streams_workload, RunnerOptions(sweep="family")).run_policies(
+            factories
+        )
+        assert calls  # the branch fired
+        # Every position is looked up once per config; the memo makes the
+        # second config's lookups cache hits (asserted via fit counting
+        # above), and lookups themselves stay bounded.
+        assert len(calls) == 2 * len(set(calls))
+
+
+# --------------------------------------------------------------------------- #
+# Batched percentile-bin lookup against the scalar histogram
+# --------------------------------------------------------------------------- #
+class TestPercentileBinsPrefix:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_scalar_percentile_bins(self, seed):
+        rng = np.random.default_rng(seed)
+        num_apps = 6
+        bank = HistogramBank(num_apps, range_minutes=60.0, bin_width_minutes=1.0)
+        scalars = [IdleTimeHistogram(60.0, 1.0) for _ in range(num_apps)]
+        for _ in range(50):
+            idle = rng.uniform(0.0, 80.0, size=num_apps)
+            bank.observe_prefix(idle)
+            for scalar, value in zip(scalars, idle):
+                scalar.observe(value)
+        percentiles = (0.0, 1.0, 5.0, 50.0, 95.0, 99.0, 100.0)
+        bins = bank.percentile_bins_prefix(num_apps, percentiles)
+        for row, scalar in enumerate(scalars):
+            for qi, q in enumerate(percentiles):
+                assert bins[qi, row] * 1.0 == scalar.percentile(q, rounding="down"), (
+                    row,
+                    q,
+                )

@@ -90,6 +90,29 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["trace"])
 
+    def test_sweep_figures(self, capsys):
+        assert main(["sweep", *SMALL, "--figures", "fig14", "fig18"]) == 0
+        output = capsys.readouterr().out
+        assert "shared-state famil" in output
+        assert "family constant-keepalive" in output
+        assert "family hybrid-histogram" in output
+        assert "fixed-10min" in output
+        assert "hybrid-cv2" in output
+        assert "configurations over" in output
+
+    def test_sweep_explicit_policies(self, capsys):
+        assert (
+            main(["sweep", *SMALL, "--policies", "fixed:5", "fixed:10", "no-unloading"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "family constant-keepalive" in output
+        assert "no-unloading" in output
+
+    def test_sweep_rejects_duplicate_policies(self, capsys):
+        assert main(["sweep", *SMALL, "--policies", "fixed:10", "fixed:10"]) == 2
+        assert "duplicate policy name" in capsys.readouterr().err
+
     def test_experiment_single(self, capsys):
         assert main(["experiment", "fig2", *SMALL]) == 0
         output = capsys.readouterr().out
