@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     repro sweep --policies fixed:5 fixed:10 fixed:60 hybrid:240 # ... or explicit specs
     repro experiment fig15                                      # one paper figure
     repro experiment all                                        # every registered figure
+    repro replay --policies fixed:10 hybrid:240 --seeds 3       # platform replay campaign
+    repro replay --invoker-counts 4 8 18 --workers 4            # cluster-shape scan
     repro trace pack traces/ traces/store.npz                   # CSVs -> columnar .npz store
     repro trace info traces/store.npz                           # store shape + memory footprint
 
@@ -34,12 +36,20 @@ from typing import Sequence
 
 from repro.characterization.report import CharacterizationReport
 from repro.experiments import ExperimentContext, ExperimentScale, experiment_ids, run_experiment
+from repro.platform.campaign import (
+    ClusterScenario,
+    ReplayCampaign,
+    heterogeneous_memory_scenario,
+)
+from repro.platform.cluster import ClusterConfig
+from repro.platform.replay import ReplayConfig
 from repro.policies.registry import parse_policy_spec
 from repro.simulation.engine import EXECUTION_MODES, SWEEP_MODES
 from repro.simulation.runner import PolicyComparison, RunnerOptions, WorkloadRunner
 from repro.simulation.sweep import BASELINE_KEEPALIVE_MINUTES, combined_figure_factories
 from repro.trace.generator import GeneratorConfig, WorkloadGenerator
 from repro.trace.loader import load_dataset
+from repro.trace.sampling import sample_mid_range_apps
 from repro.trace.schema import Workload
 from repro.trace.store import InvocationStore
 from repro.trace.writer import write_dataset
@@ -241,6 +251,64 @@ def _cmd_trace_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    factories = [parse_policy_spec(spec) for spec in args.policies]
+    if args.sample_apps:
+        workload = sample_mid_range_apps(
+            workload, num_apps=args.sample_apps, seed=args.seed
+        )
+    replay_minutes = min(args.minutes, workload.duration_minutes)
+
+    scenarios: list[ClusterScenario] = []
+    single_shape = len(args.invoker_counts) == 1 and len(args.invoker_memory_mb) == 1
+    for count in args.invoker_counts:
+        for memory_mb in args.invoker_memory_mb:
+            name = (
+                "cluster"
+                if single_shape
+                else f"inv{count}-mem{memory_mb:g}mb"
+            )
+            scenarios.append(
+                ClusterScenario(
+                    name=name,
+                    config=ClusterConfig(
+                        num_invokers=count, invoker_memory_mb=memory_mb
+                    ),
+                )
+            )
+    if args.hetero_memory_mb:
+        scenarios.append(heterogeneous_memory_scenario(args.hetero_memory_mb))
+
+    try:
+        campaign = ReplayCampaign(
+            workload,
+            factories,
+            scenarios=scenarios,
+            seeds=[args.seed + offset for offset in range(args.seeds)],
+            replay_config=ReplayConfig(duration_minutes=replay_minutes, seed=args.seed),
+            workers=args.workers,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"replay campaign: {len(factories)} polic{'y' if len(factories) == 1 else 'ies'}"
+        f" x {len(scenarios)} scenario(s) x {args.seeds} seed(s) = "
+        f"{campaign.num_replays} replays ({workload.num_apps} apps, "
+        f"{workload.total_invocations:,} trace invocations, "
+        f"{replay_minutes:g} min replay window)"
+    )
+    start = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - start
+    print()
+    print(result.as_text_table())
+    print()
+    print(f"completed {campaign.num_replays} replays in {elapsed:.2f}s")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = ExperimentScale(
         num_apps=args.num_apps,
@@ -346,6 +414,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed for sub-minute placement"
     )
     trace_pack.set_defaults(handler=_cmd_trace_pack)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help=(
+            "replay the workload on the FaaS cluster substrate across "
+            "(policy x seed x cluster shape) scenarios"
+        ),
+    )
+    _add_workload_arguments(replay)
+    replay.add_argument(
+        "--policies",
+        nargs="+",
+        default=["fixed:10", "hybrid:240"],
+        help="policy specs to replay, e.g. fixed:10 hybrid:240",
+    )
+    replay.add_argument(
+        "--minutes",
+        type=float,
+        default=480.0,
+        help="replay window in minutes (the paper uses 480 = 8 hours)",
+    )
+    replay.add_argument(
+        "--sample-apps",
+        type=int,
+        default=68,
+        help=(
+            "mid-range-popularity sample size (68 in the paper); "
+            "0 replays the whole workload"
+        ),
+    )
+    replay.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="number of duration-sampling seeds (multi-seed error bars)",
+    )
+    replay.add_argument(
+        "--invoker-counts",
+        type=int,
+        nargs="+",
+        default=[18],
+        help="invoker counts to scan (scenario axis)",
+    )
+    replay.add_argument(
+        "--invoker-memory-mb",
+        type=float,
+        nargs="+",
+        default=[3584.0],
+        help="per-invoker memory budgets to scan (scenario axis)",
+    )
+    replay.add_argument(
+        "--hetero-memory-mb",
+        type=float,
+        nargs="+",
+        default=None,
+        help=(
+            "add one heterogeneous-fleet scenario with these per-invoker "
+            "budgets (one invoker per value)"
+        ),
+    )
+    replay.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fork-pool size for the campaign (default: all cores)",
+    )
+    replay.set_defaults(handler=_cmd_replay)
 
     experiment = subparsers.add_parser(
         "experiment", help="run one or more paper figure/table experiments"

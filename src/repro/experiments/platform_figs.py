@@ -4,8 +4,14 @@
 discrete-event FaaS cluster under the default 10-minute fixed keep-alive
 policy and under the hybrid policy (4-hour histogram range), reproducing
 the cold-start CDF comparison of Figure 20 plus the memory and latency
-deltas quoted in the text.  ``tbl-overhead`` measures the policy's own
-decision cost, the analogue of the paper's controller-overhead numbers.
+deltas quoted in the text.  The replay runs as a multi-seed
+:class:`~repro.platform.campaign.ReplayCampaign`, so every headline
+number carries an error bar (``*_std`` columns) instead of the paper's
+single-run point estimate.  ``platform-scaling`` sweeps the scenario
+axes the paper only gestures at — invoker-count scaling, per-invoker
+memory pressure (eviction-rate curves), and heterogeneous invoker
+memory.  ``tbl-overhead`` measures the policy's own decision cost, the
+analogue of the paper's controller-overhead numbers.
 """
 
 from __future__ import annotations
@@ -22,10 +28,27 @@ from repro.experiments.common import (
     ExperimentResult,
     register_experiment,
 )
+from repro.platform.campaign import (
+    ClusterScenario,
+    ReplayCampaign,
+    heterogeneous_memory_scenario,
+    invoker_count_scenarios,
+    memory_pressure_scenarios,
+)
 from repro.platform.cluster import ClusterConfig
-from repro.platform.replay import ReplayConfig, compare_policies_on_platform
+from repro.platform.replay import ReplayConfig
 from repro.policies.registry import fixed_keepalive_factory, hybrid_factory
 from repro.trace.sampling import sample_mid_range_apps
+
+#: Seeds per fig20 policy replay: enough for error bars, cheap enough for CI.
+FIG20_SEEDS = 3
+
+
+def _campaign_workers(context: ExperimentContext) -> int:
+    options = context.runner_options
+    if options is not None and options.workers is not None:
+        return options.workers
+    return 1
 
 
 @register_experiment("fig20")
@@ -35,61 +58,146 @@ def openwhisk_comparison(context: ExperimentContext) -> ExperimentResult:
     num_apps = min(68, max(workload.num_apps // 3, 8))
     replay_minutes = min(480.0, workload.duration_minutes)
     subset = sample_mid_range_apps(workload, num_apps=num_apps, seed=context.scale.seed)
-    results = compare_policies_on_platform(
+    scenario = ClusterScenario("paper-18-invokers", ClusterConfig(num_invokers=18))
+    campaign = ReplayCampaign(
         subset,
         [fixed_keepalive_factory(10.0), hybrid_factory(HybridPolicyConfig())],
-        replay_config=ReplayConfig(duration_minutes=replay_minutes, seed=context.scale.seed),
-        cluster_config=ClusterConfig(num_invokers=18),
+        scenarios=[scenario],
+        seeds=[context.scale.seed + offset for offset in range(FIG20_SEEDS)],
+        replay_config=ReplayConfig(
+            duration_minutes=replay_minutes, seed=context.scale.seed
+        ),
+        workers=_campaign_workers(context),
     )
+    result = campaign.run()
+
     rows = []
-    for name, result in results.items():
-        summary = result.summary()
+    for campaign_row in result.rows():
         rows.append(
             {
-                "policy": name,
-                "invocations": summary["total_invocations"],
-                "cold_start_pct": summary["cold_start_pct"],
-                "third_quartile_app_cold_start_pct": summary[
+                "policy": campaign_row["policy"],
+                "invocations": campaign_row["invocations"],
+                "seeds": campaign_row["seeds"],
+                "cold_start_pct": campaign_row["cold_start_pct"],
+                "cold_start_pct_std": campaign_row["cold_start_pct_std"],
+                "third_quartile_app_cold_start_pct": campaign_row[
                     "third_quartile_app_cold_start_pct"
                 ],
-                "average_memory_mb": summary["average_memory_mb"],
-                "average_latency_s": summary["average_latency_seconds"],
-                "p99_latency_s": summary["p99_latency_seconds"],
-                "prewarm_loads": summary["prewarm_loads"],
+                "third_quartile_app_cold_start_pct_std": campaign_row[
+                    "third_quartile_app_cold_start_pct_std"
+                ],
+                "average_memory_mb": campaign_row["average_memory_mb"],
+                "average_latency_s": campaign_row["average_latency_seconds"],
+                "average_latency_s_std": campaign_row["average_latency_seconds_std"],
+                "p99_latency_s": campaign_row["p99_latency_seconds"],
+                "p99_latency_s_std": campaign_row["p99_latency_seconds_std"],
+                "prewarm_loads": campaign_row["prewarm_loads"],
             }
         )
-    fixed = results["fixed-10min"]
-    hybrid = next(result for name, result in results.items() if name.startswith("hybrid"))
+    by_policy = {row["policy"]: row for row in rows}
+    fixed = by_policy["fixed-10min"]
+    hybrid = next(row for name, row in by_policy.items() if name.startswith("hybrid"))
     memory_delta = _relative_change(
-        fixed.metrics.average_memory_mb(), hybrid.metrics.average_memory_mb()
+        fixed["average_memory_mb"], hybrid["average_memory_mb"]
     )
     latency_delta = _relative_change(
-        fixed.metrics.average_latency_seconds(), hybrid.metrics.average_latency_seconds()
+        fixed["average_latency_s"], hybrid["average_latency_s"]
     )
-    p99_delta = _relative_change(
-        fixed.metrics.p99_latency_seconds(), hybrid.metrics.p99_latency_seconds()
-    )
+    p99_delta = _relative_change(fixed["p99_latency_s"], hybrid["p99_latency_s"])
     cold_delta = _relative_change(
-        fixed.metrics.third_quartile_cold_start_percentage(),
-        hybrid.metrics.third_quartile_cold_start_percentage(),
+        fixed["third_quartile_app_cold_start_pct"],
+        hybrid["third_quartile_app_cold_start_pct"],
     )
     return ExperimentResult(
         experiment_id="fig20",
         title="Cold-start behaviour of fixed vs hybrid policies on the FaaS platform",
         rows=rows,
         series={
-            "fixed_cdf": fixed.metrics.cold_start_cdf(),
-            "hybrid_cdf": hybrid.metrics.cold_start_cdf(),
+            "fixed_cdf": result.mean_cold_start_cdf("fixed-10min", scenario.name),
+            "hybrid_cdf": result.mean_cold_start_cdf(
+                str(hybrid["policy"]), scenario.name
+            ),
         },
         notes=[
             "paper: the hybrid policy cuts cold starts substantially, reduces worker "
             "memory by 15.6% and average/99th-percentile execution time by "
             "32.5%/82.4% on the 8-hour OpenWhisk replay",
-            f"measured: 3rd-quartile cold starts change {cold_delta:+.1f}%, "
-            f"memory {memory_delta:+.1f}%, average latency {latency_delta:+.1f}%, "
-            f"p99 latency {p99_delta:+.1f}%",
+            f"measured ({FIG20_SEEDS}-seed mean): 3rd-quartile cold starts change "
+            f"{cold_delta:+.1f}%, memory {memory_delta:+.1f}%, average latency "
+            f"{latency_delta:+.1f}%, p99 latency {p99_delta:+.1f}%",
+            f"replayed {int(fixed['invocations'])} invocations from "
+            f"{subset.num_apps} mid-range-popularity applications, "
+            f"{FIG20_SEEDS} duration-sampling seeds per policy",
+        ],
+    )
+
+
+@register_experiment("platform-scaling")
+def platform_scaling(context: ExperimentContext) -> ExperimentResult:
+    """Cluster-shape scan: invoker counts, memory pressure, mixed fleets.
+
+    Replays a mid-range-popularity sample across a grid of cluster
+    scenarios under the fixed-10min and hybrid policies, reporting the
+    eviction-rate curves and cold-start percentages the paper's single
+    18-invoker deployment cannot show.
+    """
+    workload = context.workload
+    num_apps = min(32, max(workload.num_apps // 4, 6))
+    replay_minutes = min(240.0, workload.duration_minutes)
+    subset = sample_mid_range_apps(workload, num_apps=num_apps, seed=context.scale.seed)
+    base = ClusterConfig(num_invokers=4, invoker_memory_mb=1024.0)
+    scenarios = (
+        invoker_count_scenarios([2, 4, 8], base=base)
+        + memory_pressure_scenarios([512.0, 2048.0], base=base)
+        + [heterogeneous_memory_scenario([512.0, 1024.0, 2048.0, 4096.0], base=base)]
+    )
+    campaign = ReplayCampaign(
+        subset,
+        [fixed_keepalive_factory(10.0), hybrid_factory(HybridPolicyConfig())],
+        scenarios=scenarios,
+        seeds=(context.scale.seed,),
+        replay_config=ReplayConfig(
+            duration_minutes=replay_minutes, seed=context.scale.seed
+        ),
+        workers=_campaign_workers(context),
+    )
+    result = campaign.run()
+    rows = []
+    for campaign_row in result.rows():
+        invocations = float(campaign_row["invocations"])
+        evictions = float(campaign_row["evictions"])
+        rows.append(
+            {
+                "scenario": campaign_row["scenario"],
+                "policy": campaign_row["policy"],
+                "invocations": invocations,
+                "cold_start_pct": campaign_row["cold_start_pct"],
+                "evictions": evictions,
+                "evictions_per_1k": 1000.0 * evictions / invocations
+                if invocations
+                else 0.0,
+                "average_memory_mb": campaign_row["average_memory_mb"],
+                "average_latency_s": campaign_row["average_latency_seconds"],
+            }
+        )
+    by_key = {(row["policy"], row["scenario"]): row for row in rows}
+    fixed_small = by_key[("fixed-10min", "mem-512mb")]
+    fixed_large = by_key[("fixed-10min", "mem-2048mb")]
+    few = by_key[("fixed-10min", "invokers-2")]
+    many = by_key[("fixed-10min", "invokers-8")]
+    return ExperimentResult(
+        experiment_id="platform-scaling",
+        title="Cluster scaling scenarios: invoker count, memory pressure, mixed fleets",
+        rows=rows,
+        notes=[
+            "expected shape: shrinking per-invoker memory raises the eviction rate "
+            "(memory-pressure cold starts), adding invokers lowers it",
+            f"measured: evictions/1k invocations {fixed_small['evictions_per_1k']:.2f} "
+            f"at 512 MB vs {fixed_large['evictions_per_1k']:.2f} at 2048 MB; "
+            f"{few['evictions_per_1k']:.2f} with 2 invokers vs "
+            f"{many['evictions_per_1k']:.2f} with 8",
             f"replayed {int(rows[0]['invocations'])} invocations from "
-            f"{subset.num_apps} mid-range-popularity applications",
+            f"{subset.num_apps} mid-range applications per scenario",
         ],
     )
 

@@ -1,9 +1,18 @@
 """OpenWhisk-like FaaS platform substrate (Sections 4.3 and 5.3)."""
 
+from repro.platform.campaign import (
+    CampaignCell,
+    CampaignResult,
+    ClusterScenario,
+    ReplayCampaign,
+    heterogeneous_memory_scenario,
+    invoker_count_scenarios,
+    memory_pressure_scenarios,
+)
 from repro.platform.cluster import ClusterConfig, FaasCluster
 from repro.platform.container import Container, ContainerState
 from repro.platform.controller import Controller, ControllerStats
-from repro.platform.events import EventHandle, EventLoop
+from repro.platform.events import EventHandle, EventLoop, SubmissionSource
 from repro.platform.invoker import ColdStartModel, Invoker
 from repro.platform.loadbalancer import LoadBalancer, PlacementDecision
 from repro.platform.messages import (
@@ -15,12 +24,22 @@ from repro.platform.messages import (
 from repro.platform.metrics import AppInvocationStats, PlatformMetrics
 from repro.platform.replay import (
     ReplayConfig,
+    ReplayFeed,
     ReplayResult,
     TraceReplayer,
     compare_policies_on_platform,
 )
 
 __all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "ClusterScenario",
+    "ReplayCampaign",
+    "heterogeneous_memory_scenario",
+    "invoker_count_scenarios",
+    "memory_pressure_scenarios",
+    "SubmissionSource",
+    "ReplayFeed",
     "ClusterConfig",
     "FaasCluster",
     "Container",

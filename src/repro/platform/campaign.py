@@ -1,0 +1,326 @@
+"""Replicated platform replay campaigns over (policy × seed × cluster).
+
+The paper's OpenWhisk experiment is a single hand-sized replay: one
+cluster shape, one seed, two policies.  :class:`ReplayCampaign` turns the
+platform layer into a scenario engine — it fans every combination of
+policy factory, sampling seed, and :class:`ClusterScenario` (a named
+:class:`~repro.platform.cluster.ClusterConfig`) out over the simulation
+engine's shared fork pool
+(:func:`~repro.simulation.engine.fork_pool_map`), reassembling results by
+task index so the campaign outcome is byte-identical no matter how many
+workers ran.
+
+Scenario builders cover the axes the paper only gestures at:
+
+* :func:`invoker_count_scenarios` — invoker-count scaling at fixed
+  per-invoker memory;
+* :func:`memory_pressure_scenarios` — shrinking per-invoker memory to
+  trace eviction-rate curves;
+* :func:`heterogeneous_memory_scenario` — mixed-size invoker fleets.
+
+Each replay's outcome travels back as a :class:`CampaignCell` holding
+the scalar summary plus the per-app cold-start percentages (the Figure
+20 CDF input) — small, picklable, and sufficient for multi-seed error
+bars.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.platform.cluster import ClusterConfig
+from repro.platform.replay import ReplayConfig, ReplayFeed, TraceReplayer
+from repro.policies.registry import PolicyFactory
+from repro.simulation.engine import fork_pool_map
+from repro.simulation.sweep_engine import check_unique_policy_names
+from repro.trace.schema import Workload
+
+#: Summary keys aggregated (mean ± population std across seeds) per row.
+AGGREGATED_METRICS: tuple[str, ...] = (
+    "cold_start_pct",
+    "third_quartile_app_cold_start_pct",
+    "average_latency_seconds",
+    "p99_latency_seconds",
+    "average_memory_mb",
+    "evictions",
+    "prewarm_loads",
+)
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """A named cluster shape replayed by a campaign."""
+
+    name: str
+    config: ClusterConfig
+
+
+def invoker_count_scenarios(
+    counts: Sequence[int], base: ClusterConfig | None = None
+) -> list[ClusterScenario]:
+    """One scenario per invoker count (homogeneous memory from ``base``)."""
+    base = base or ClusterConfig()
+    return [
+        ClusterScenario(name=f"invokers-{count}", config=base.scaled(count))
+        for count in counts
+    ]
+
+
+def memory_pressure_scenarios(
+    memories_mb: Sequence[float], base: ClusterConfig | None = None
+) -> list[ClusterScenario]:
+    """One scenario per per-invoker memory budget (eviction-rate curves)."""
+    base = base or ClusterConfig()
+    return [
+        ClusterScenario(
+            name=f"mem-{memory_mb:g}mb",
+            config=replace(
+                base, invoker_memory_mb=float(memory_mb), invoker_memories_mb=None
+            ),
+        )
+        for memory_mb in memories_mb
+    ]
+
+
+def heterogeneous_memory_scenario(
+    invoker_memories_mb: Sequence[float],
+    *,
+    name: str = "heterogeneous",
+    base: ClusterConfig | None = None,
+) -> ClusterScenario:
+    """A mixed-size invoker fleet (one invoker per listed budget)."""
+    base = base or ClusterConfig()
+    memories = tuple(float(m) for m in invoker_memories_mb)
+    return ClusterScenario(
+        name=name,
+        config=replace(
+            base, num_invokers=len(memories), invoker_memories_mb=memories
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Outcome of one (policy, scenario, seed) replay."""
+
+    policy_name: str
+    scenario_name: str
+    seed: int
+    summary: Mapping[str, float]
+    app_cold_start_pct: np.ndarray
+
+
+@dataclass
+class CampaignResult:
+    """All cells of a campaign plus per-(policy, scenario) aggregation."""
+
+    cells: list[CampaignCell]
+    seeds: tuple[int, ...] = field(default_factory=tuple)
+
+    def cell(self, policy_name: str, scenario_name: str, seed: int) -> CampaignCell:
+        for cell in self.cells:
+            if (
+                cell.policy_name == policy_name
+                and cell.scenario_name == scenario_name
+                and cell.seed == seed
+            ):
+                return cell
+        raise KeyError((policy_name, scenario_name, seed))
+
+    def group(self, policy_name: str, scenario_name: str) -> list[CampaignCell]:
+        """The per-seed cells of one (policy, scenario) pair, seed order."""
+        return [
+            cell
+            for cell in self.cells
+            if cell.policy_name == policy_name and cell.scenario_name == scenario_name
+        ]
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """One aggregated row per (policy, scenario): mean ± std over seeds.
+
+        The mean lands under the plain metric name and the population
+        standard deviation (the multi-seed error bar) under
+        ``<metric>_std``; ``invocations`` is seed-independent and kept
+        exact.
+        """
+        rows: list[dict[str, float | str]] = []
+        seen: set[tuple[str, str]] = set()
+        for cell in self.cells:
+            key = (cell.policy_name, cell.scenario_name)
+            if key in seen:
+                continue
+            seen.add(key)
+            group = self.group(*key)
+            row: dict[str, float | str] = {
+                "policy": cell.policy_name,
+                "scenario": cell.scenario_name,
+                "seeds": float(len(group)),
+                "invocations": float(group[0].summary["total_invocations"]),
+            }
+            for metric in AGGREGATED_METRICS:
+                values = np.asarray([g.summary[metric] for g in group], dtype=float)
+                row[metric] = float(values.mean())
+                row[f"{metric}_std"] = float(values.std())
+            rows.append(row)
+        return rows
+
+    def mean_cold_start_cdf(
+        self, policy_name: str, scenario_name: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Seed-averaged per-app cold-start CDF of one (policy, scenario)."""
+        grid = np.linspace(0.0, 100.0, 101)
+        group = self.group(policy_name, scenario_name)
+        fractions = np.zeros_like(grid)
+        contributing = 0
+        for cell in group:
+            values = np.sort(np.asarray(cell.app_cold_start_pct, dtype=float))
+            if values.size == 0:
+                continue
+            fractions += np.searchsorted(values, grid, side="right") / values.size
+            contributing += 1
+        if contributing:
+            fractions /= contributing
+        return grid, fractions
+
+    def as_text_table(self, *, metrics: Sequence[str] | None = None) -> str:
+        """Plain-text rendering of the aggregated rows (CLI output)."""
+        metrics = tuple(metrics or AGGREGATED_METRICS[:5])
+        header = ["policy", "scenario", "seeds", "invocations"]
+        for metric in metrics:
+            header.append(metric)
+            header.append(f"{metric}_std")
+        lines = [" | ".join(f"{column:>28}" for column in header)]
+        lines.append("-" * len(lines[0]))
+        for row in self.rows():
+            cells = [str(row["policy"]), str(row["scenario"])]
+            cells.append(f"{row['seeds']:.0f}")
+            cells.append(f"{row['invocations']:.0f}")
+            for metric in metrics:
+                cells.append(f"{row[metric]:.4f}")
+                cells.append(f"{row[f'{metric}_std']:.4f}")
+            lines.append(" | ".join(f"{cell:>28}" for cell in cells))
+        return "\n".join(lines)
+
+
+class ReplayCampaign:
+    """Fans (policy × scenario × seed) platform replays over a fork pool.
+
+    Args:
+        workload: Workload to replay (typically a mid-range-popularity
+            sample, as in Section 5.3).
+        policy_factories: Policies to replay; duplicate names are
+            rejected (results are keyed by name).
+        scenarios: Named cluster shapes; duplicate names are rejected.
+            Defaults to the paper's 18-invoker cluster.
+        seeds: Execution-duration sampling seeds; one full replay per
+            seed.  Defaults to the replay config's seed.
+        replay_config: Replay window and duration cap; its ``seed``
+            field is overridden per campaign seed.
+        workers: Fork-pool size (``None``: all cores).  Results are
+            independent of the worker count.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy_factories: Sequence[PolicyFactory],
+        *,
+        scenarios: Sequence[ClusterScenario] | None = None,
+        seeds: Sequence[int] | None = None,
+        replay_config: ReplayConfig | None = None,
+        workers: int | None = None,
+    ) -> None:
+        self.workload = workload
+        self.policy_factories = list(policy_factories)
+        if not self.policy_factories:
+            raise ValueError("campaign needs at least one policy factory")
+        self.replay_config = replay_config or ReplayConfig()
+        self.scenarios = list(
+            scenarios
+            if scenarios is not None
+            else [ClusterScenario(name="default", config=ClusterConfig())]
+        )
+        if not self.scenarios:
+            raise ValueError("campaign needs at least one cluster scenario")
+        if seeds is None:
+            seeds = (self.replay_config.seed,)
+        self.seeds = tuple(int(s) for s in seeds)
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        self.workers = workers
+        check_unique_policy_names(self.policy_factories)
+        _reject_duplicate_scenario_names(
+            [scenario.name for scenario in self.scenarios]
+        )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate campaign seeds {list(self.seeds)}")
+
+    @property
+    def num_replays(self) -> int:
+        return len(self.policy_factories) * len(self.scenarios) * len(self.seeds)
+
+    def run(
+        self, *, progress: Callable[[int, int], None] | None = None
+    ) -> CampaignResult:
+        """Run every (policy, scenario, seed) replay; deterministic order."""
+        tasks = [
+            (factory, scenario, seed)
+            for factory in self.policy_factories
+            for scenario in self.scenarios
+            for seed in self.seeds
+        ]
+        # The submission stream depends only on (workload, replay seed):
+        # build one feed per seed up front and share it across every
+        # (policy, scenario) cell — forked workers inherit the columns.
+        feeds = {
+            seed: ReplayFeed(self.workload, replace(self.replay_config, seed=seed))
+            for seed in self.seeds
+        }
+
+        def run_task(task_id: int) -> CampaignCell:
+            factory, scenario, seed = tasks[task_id]
+            replayer = TraceReplayer(
+                self.workload,
+                replay_config=replace(self.replay_config, seed=seed),
+                cluster_config=scenario.config,
+                feed=feeds[seed],
+            )
+            result = replayer.run(factory)
+            return CampaignCell(
+                policy_name=factory.name,
+                scenario_name=scenario.name,
+                seed=seed,
+                summary=result.summary(),
+                app_cold_start_pct=result.metrics.app_cold_start_percentages(),
+            )
+
+        done = 0
+
+        def on_result(task_id: int, cell: object) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(done, len(tasks))
+
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        cells = fork_pool_map(run_task, len(tasks), workers, on_result=on_result)
+        return CampaignResult(cells=list(cells), seeds=self.seeds)
+
+
+def _reject_duplicate_scenario_names(names: Sequence[str]) -> None:
+    seen: set[str] = set()
+    duplicates = []
+    for name in names:
+        if name in seen:
+            duplicates.append(name)
+        seen.add(name)
+    if duplicates:
+        raise ValueError(
+            f"duplicate scenario name(s) {duplicates}: campaign results are "
+            "keyed by scenario name, so duplicates would silently overwrite "
+            "each other"
+        )

@@ -2,17 +2,20 @@
 
 The default configuration mirrors the paper's OpenWhisk deployment
 (Section 5.1): one controller plus 18 invoker VMs, each with a few GB of
-memory for worker containers.
+memory for worker containers.  Beyond the paper's single shape, the
+configuration spans the scenario axes the replay campaigns sweep:
+invoker-count scaling, per-invoker memory pressure, and heterogeneous
+per-invoker memory (:attr:`ClusterConfig.invoker_memories_mb`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.platform.controller import Controller
-from repro.platform.events import EventLoop
+from repro.platform.events import EventLoop, SubmissionSource
 from repro.platform.invoker import ColdStartModel, Invoker
 from repro.platform.loadbalancer import LoadBalancer
 from repro.platform.metrics import PlatformMetrics
@@ -27,6 +30,9 @@ class ClusterConfig:
         num_invokers: Number of invoker VMs (18 in the paper's experiment).
         invoker_memory_mb: Container memory budget per invoker (the paper's
             invoker VMs have 4 GB; a slice is reserved for the system).
+        invoker_memories_mb: Optional heterogeneous per-invoker memory
+            budgets; when set it must list exactly ``num_invokers``
+            values and overrides ``invoker_memory_mb``.
         container_start_mean_seconds: Mean container cold-start latency.
         runtime_bootstrap_seconds: Extra execution time paid by cold
             invocations for language-runtime start-up.
@@ -37,6 +43,7 @@ class ClusterConfig:
 
     num_invokers: int = 18
     invoker_memory_mb: float = 3584.0
+    invoker_memories_mb: tuple[float, ...] | None = None
     container_start_mean_seconds: float = 1.2
     runtime_bootstrap_seconds: float = 0.35
     overload_threshold: float = 0.9
@@ -47,10 +54,40 @@ class ClusterConfig:
             raise ValueError("cluster needs at least one invoker")
         if self.invoker_memory_mb <= 0:
             raise ValueError("invoker memory must be positive")
+        if self.invoker_memories_mb is not None:
+            memories = tuple(float(m) for m in self.invoker_memories_mb)
+            object.__setattr__(self, "invoker_memories_mb", memories)
+            if len(memories) != self.num_invokers:
+                raise ValueError(
+                    "invoker_memories_mb must list one budget per invoker "
+                    f"({len(memories)} values for {self.num_invokers} invokers)"
+                )
+            if any(m <= 0 for m in memories):
+                raise ValueError("invoker memory must be positive")
         if self.container_start_mean_seconds <= 0:
             raise ValueError("container start latency must be positive")
         if self.runtime_bootstrap_seconds < 0:
             raise ValueError("runtime bootstrap latency must be non-negative")
+
+    @classmethod
+    def heterogeneous(
+        cls, invoker_memories_mb: tuple[float, ...] | list[float], **kwargs
+    ) -> "ClusterConfig":
+        """A cluster whose invoker count follows the per-invoker budgets."""
+        memories = tuple(float(m) for m in invoker_memories_mb)
+        return cls(
+            num_invokers=len(memories), invoker_memories_mb=memories, **kwargs
+        )
+
+    def memory_plan(self) -> tuple[float, ...]:
+        """The per-invoker memory budgets this configuration describes."""
+        if self.invoker_memories_mb is not None:
+            return self.invoker_memories_mb
+        return (self.invoker_memory_mb,) * self.num_invokers
+
+    def scaled(self, num_invokers: int) -> "ClusterConfig":
+        """The same cluster with a different (homogeneous) invoker count."""
+        return replace(self, num_invokers=num_invokers, invoker_memories_mb=None)
 
 
 class FaasCluster:
@@ -68,13 +105,13 @@ class FaasCluster:
         self.invokers = [
             Invoker(
                 invoker_id=index,
-                memory_capacity_mb=self.config.invoker_memory_mb,
+                memory_capacity_mb=memory_mb,
                 loop=self.loop,
                 metrics=self.metrics,
                 cold_start_model=cold_start_model,
                 rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
             )
-            for index in range(self.config.num_invokers)
+            for index, memory_mb in enumerate(self.config.memory_plan())
         ]
         self.load_balancer = LoadBalancer(
             self.invokers, overload_threshold=self.config.overload_threshold
@@ -89,11 +126,22 @@ class FaasCluster:
     # ------------------------------------------------------------------ #
     @property
     def total_memory_mb(self) -> float:
-        return self.config.num_invokers * self.config.invoker_memory_mb
+        return float(sum(self.config.memory_plan()))
 
-    def run(self, until_seconds: float | None = None) -> PlatformMetrics:
-        """Run the event loop to completion (or a horizon) and finalize metrics."""
-        end = self.loop.run(until_seconds)
+    def run(
+        self,
+        until_seconds: float | None = None,
+        *,
+        source: SubmissionSource | None = None,
+    ) -> PlatformMetrics:
+        """Run the event loop to completion (or a horizon) and finalize metrics.
+
+        Args:
+            until_seconds: Optional horizon for the event loop.
+            source: Optional submission source (the columnar replay
+                feed's cursor) merged with the event stream.
+        """
+        end = self.loop.run(until_seconds, source=source)
         self.controller.drain()
         # Draining may schedule nothing, but unloads are immediate; record the
         # observation window end for memory averaging.

@@ -24,7 +24,7 @@ class ContainerState(enum.Enum):
     UNLOADED = "unloaded"
 
 
-@dataclass
+@dataclass(slots=True)
 class Container:
     """One loaded application image on one invoker.
 
@@ -84,13 +84,14 @@ class Container:
 
     def begin_invocation(self, now_seconds: float) -> None:
         """Account for one invocation starting on this container."""
-        if not self.is_loaded:
+        state = self.state
+        if state is ContainerState.UNLOADED:
             raise RuntimeError(f"container for {self.app_id} is unloaded")
-        if not self.has_capacity():
+        if self.in_flight >= self.concurrency_limit:
             raise RuntimeError(f"container for {self.app_id} is at its concurrency limit")
         self.in_flight += 1
         self.total_invocations += 1
-        if self.state is not ContainerState.STARTING:
+        if state is not ContainerState.STARTING:
             self.state = ContainerState.BUSY
         del now_seconds
 

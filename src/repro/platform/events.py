@@ -1,11 +1,30 @@
 """Discrete-event simulation engine for the FaaS platform substrate.
 
-A minimal, deterministic event loop: events are ``(time, sequence,
-callback)`` triples ordered by time with FIFO tie-breaking, and the
-simulation advances by popping the earliest event.  All platform
-components (controller, invokers, containers) schedule their work through
-one :class:`EventLoop` instance, which makes the whole platform
-reproducible and easy to unit-test.
+A minimal, deterministic event loop: events are ``[time, sequence,
+callback, cancelled]`` records ordered by time with FIFO tie-breaking,
+and the simulation advances by draining the earliest timestamp.  All
+platform components (controller, invokers, containers) schedule their
+work through one :class:`EventLoop` instance, which makes the whole
+platform reproducible and easy to unit-test.
+
+Three properties matter for replaying production-scale traces:
+
+* **flat event records** — events are plain lists, so the heap compares
+  ``(time, sequence)`` prefixes at C speed instead of dispatching into a
+  generated dataclass ``__lt__`` for every sift;
+* **batched drain** — :meth:`EventLoop.run` pops *every* event sharing
+  the earliest timestamp in one go and then executes the batch in FIFO
+  order, so bursts of same-timestamp events (completion storms, expiring
+  keep-alives) cost one horizon check instead of one per event;
+* **submission sources** — instead of pre-scheduling one closure per
+  trace invocation into the heap, a cursor-driven
+  :class:`SubmissionSource` (the columnar replay feed) is merged with
+  the event stream at run time: the loop interleaves ``source.emit()``
+  calls with event batches in global time order, with submissions
+  winning ties, exactly as if every submission had been scheduled before
+  any dynamic event.  The heap then only ever holds the *in-flight*
+  events (executions, keep-alive expiries, pre-warms), not the whole
+  trace.
 
 Times are in **seconds** inside the platform substrate (container starts
 and function executions are sub-minute); the trace replayer converts from
@@ -16,16 +35,32 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
+
+#: Field offsets of an event record ``[time, sequence, callback, cancelled]``.
+_TIME, _SEQUENCE, _CALLBACK, _CANCELLED = 0, 1, 2, 3
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+class SubmissionSource(Protocol):
+    """A cursor of externally driven work merged with the event stream.
+
+    The loop repeatedly asks for :meth:`next_time` and, when the cursor's
+    timestamp is at or before the earliest queued event, advances the
+    clock to it and calls :meth:`emit` (which typically submits one trace
+    invocation to the controller and moves the cursor forward).
+    Submissions at the same timestamp as queued events run *first* —
+    mirroring the reference path, where every submission was scheduled
+    before any dynamic event and therefore carried a lower sequence
+    number.
+    """
+
+    def next_time(self) -> float | None:
+        """Timestamp of the next submission, or ``None`` when drained."""
+        ...
+
+    def emit(self) -> None:
+        """Perform the next submission at the current loop time."""
+        ...
 
 
 class EventHandle:
@@ -33,35 +68,33 @@ class EventHandle:
 
     __slots__ = ("_event",)
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: list) -> None:
         self._event = event
 
     def cancel(self) -> None:
         """Cancel the event; a cancelled event's callback never runs."""
-        self._event.cancelled = True
+        self._event[_CANCELLED] = True
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event[_CANCELLED]
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._event[_TIME]
 
 
 class EventLoop:
-    """Deterministic discrete-event loop."""
+    """Deterministic discrete-event loop with batched same-time draining."""
 
     def __init__(self) -> None:
-        self._queue: list[_ScheduledEvent] = []
+        self._queue: list[list] = []
         self._sequence = itertools.count()
-        self._now = 0.0
+        #: Current simulation time in seconds.  A plain attribute (it is
+        #: read on every scheduling decision of every platform component);
+        #: only the loop itself writes it.
+        self.now = 0.0
         self._processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def pending_events(self) -> int:
@@ -70,60 +103,101 @@ class EventLoop:
 
     @property
     def processed_events(self) -> int:
-        """Number of callbacks executed so far."""
+        """Number of callbacks (and source submissions) executed so far."""
         return self._processed
 
     def schedule(self, delay_seconds: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay_seconds`` from now."""
         if delay_seconds < 0:
             raise ValueError("cannot schedule an event in the past")
-        return self.schedule_at(self._now + delay_seconds, callback)
-
-    def schedule_at(self, time_seconds: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at an absolute simulation time."""
-        if time_seconds < self._now:
-            raise ValueError(
-                f"cannot schedule at {time_seconds} before current time {self._now}"
-            )
-        event = _ScheduledEvent(
-            time=float(time_seconds), sequence=next(self._sequence), callback=callback
-        )
+        # Inlined schedule_at (one event per execution makes this hot).
+        event = [self.now + delay_seconds, next(self._sequence), callback, False]
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
-    def run(self, until_seconds: Optional[float] = None) -> float:
-        """Run until the queue drains or the horizon is reached.
+    def schedule_at(self, time_seconds: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time_seconds < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_seconds} before current time {self.now}"
+            )
+        event = [float(time_seconds), next(self._sequence), callback, False]
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(
+        self,
+        until_seconds: Optional[float] = None,
+        *,
+        source: SubmissionSource | None = None,
+    ) -> float:
+        """Run until the queue (and the source) drain or the horizon is hit.
 
         Args:
-            until_seconds: Optional horizon; events scheduled after it stay
-                in the queue and the clock stops at the horizon.
+            until_seconds: Optional horizon; events (and submissions)
+                scheduled after it stay put and the clock stops at the
+                horizon.
+            source: Optional :class:`SubmissionSource` merged with the
+                event stream in time order (submissions first on ties).
 
         Returns:
             The simulation time when the run stopped.
         """
-        while self._queue:
-            event = self._queue[0]
-            if until_seconds is not None and event.time > until_seconds:
-                self._now = until_seconds
-                return self._now
-            heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
+        next_submission = source.next_time() if source is not None else None
+        while True:
+            head_time = queue[0][_TIME] if queue else None
+            if next_submission is not None and (
+                head_time is None or next_submission <= head_time
+            ):
+                # Submission next; ties go to the source (see class docs).
+                if until_seconds is not None and next_submission > until_seconds:
+                    break
+                self.now = next_submission
+                source.emit()  # type: ignore[union-attr]
+                processed += 1
+                next_submission = source.next_time()  # type: ignore[union-attr]
                 continue
-            self._now = event.time
-            event.callback()
-            self._processed += 1
-        if until_seconds is not None:
-            self._now = max(self._now, until_seconds)
-        return self._now
+            if head_time is None:
+                break
+            if until_seconds is not None and head_time > until_seconds:
+                break
+            # Batched drain: pop every event sharing the earliest timestamp,
+            # then execute in FIFO (sequence) order.  Cancellation is checked
+            # at execution time, so an earlier callback in the batch can
+            # still cancel a later one; the clock only advances when a
+            # callback actually runs (cancelled stragglers do not move it).
+            # The one-event batch (the common case) skips the batch list.
+            event = heappop(queue)
+            if not (queue and queue[0][_TIME] == head_time):
+                if not event[_CANCELLED]:
+                    self.now = head_time
+                    event[_CALLBACK]()
+                    processed += 1
+                continue
+            batch = [event]
+            while queue and queue[0][_TIME] == head_time:
+                batch.append(heappop(queue))
+            for event in batch:
+                if not event[_CANCELLED]:
+                    self.now = head_time
+                    event[_CALLBACK]()
+                    processed += 1
+        self._processed += processed
+        if until_seconds is not None and until_seconds > self.now:
+            self.now = until_seconds
+        return self.now
 
     def step(self) -> bool:
         """Process exactly one (non-cancelled) event; returns False when empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
-            if event.cancelled:
+            if event[_CANCELLED]:
                 continue
-            self._now = event.time
-            event.callback()
+            self.now = event[_TIME]
+            event[_CALLBACK]()
             self._processed += 1
             return True
         return False

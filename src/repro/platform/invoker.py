@@ -81,15 +81,25 @@ class Invoker:
         self.on_completion = on_completion
         self.on_unload = on_unload
         self._containers: dict[str, Container] = {}
+        # Lazy keep-alive bookkeeping: the authoritative expiry time per
+        # application lives in _keepalive_deadline; _keepalive_handles
+        # tracks at most one outstanding expiry event per application,
+        # which re-arms itself when the deadline has moved later instead
+        # of being cancelled and re-pushed on every completion.
         self._keepalive_handles: dict[str, EventHandle] = {}
+        self._keepalive_deadline: dict[str, float] = {}
         self._activation_counter = 0
+        self._used_memory_mb = 0.0
 
     # ------------------------------------------------------------------ #
     # Capacity accounting
     # ------------------------------------------------------------------ #
     @property
     def used_memory_mb(self) -> float:
-        return sum(c.memory_mb for c in self._containers.values() if c.is_loaded)
+        # Maintained incrementally on container create/unload: every
+        # container in the dict is loaded (unloading removes it), and the
+        # load balancer queries this on every placement.
+        return self._used_memory_mb
 
     @property
     def free_memory_mb(self) -> float:
@@ -101,10 +111,10 @@ class Invoker:
         return self.used_memory_mb / self.memory_capacity_mb
 
     def container_for(self, app_id: str) -> Optional[Container]:
-        container = self._containers.get(app_id)
-        if container is not None and container.is_loaded:
-            return container
-        return None
+        # Every container in the dict is loaded: _unload() removes the
+        # entry in the same step that marks the container UNLOADED, so no
+        # per-call state check is needed on this (very hot) lookup.
+        return self._containers.get(app_id)
 
     def loaded_app_ids(self) -> list[str]:
         return [app_id for app_id, c in self._containers.items() if c.is_loaded]
@@ -114,8 +124,9 @@ class Invoker:
     # ------------------------------------------------------------------ #
     def handle_activation(self, message: ActivationMessage) -> None:
         """Execute one activation, creating a container if needed."""
-        now = self.loop.now
-        container = self.container_for(message.app_id)
+        loop = self.loop
+        now = loop.now
+        container = self._containers.get(message.app_id)
         cold = container is None
         if cold:
             container = self._create_container(message.app_id, message.memory_mb)
@@ -131,7 +142,7 @@ class Invoker:
         def _finish() -> None:
             self._finish_activation(message, container, cold, queued, startup)
 
-        self.loop.schedule(finish_delay, _finish)
+        loop.schedule(finish_delay, _finish)
 
     def _finish_activation(
         self,
@@ -144,6 +155,7 @@ class Invoker:
         now = self.loop.now
         container.mark_warm(now)
         container.end_invocation(now)
+        execution_seconds = message.execution_seconds
         completion = CompletionMessage(
             activation_id=message.activation_id,
             app_id=message.app_id,
@@ -152,9 +164,9 @@ class Invoker:
             cold_start=cold,
             queued_seconds=queued,
             startup_seconds=startup,
-            execution_seconds=message.execution_seconds,
+            execution_seconds=execution_seconds,
         )
-        self.metrics.record_completion(completion)
+        self.metrics.record(message.app_id, cold, queued, startup, execution_seconds)
         if container.in_flight == 0:
             self._apply_post_execution_policy(message, container)
         if self.on_completion is not None:
@@ -203,6 +215,7 @@ class Invoker:
             warm_at_seconds=now + startup,
         )
         self._containers[app_id] = container
+        self._used_memory_mb += container.memory_mb
         self.loop.schedule(startup, lambda: container.mark_warm(self.loop.now))
         return container
 
@@ -219,28 +232,50 @@ class Invoker:
             if not idle:
                 break
             victim = min(idle, key=lambda c: c.last_idle_at_seconds)
-            self.metrics.record_eviction()
+            self.metrics.record_eviction(self.invoker_id)
             self._unload(victim.app_id, reason="memory-pressure")
 
     def _schedule_keepalive(self, app_id: str, keepalive_seconds: float) -> None:
-        self._cancel_keepalive(app_id)
         if keepalive_seconds == float("inf"):
+            self._keepalive_deadline.pop(app_id, None)
             return
-
-        def _expire() -> None:
-            container = self.container_for(app_id)
-            if container is None or container.in_flight > 0:
+        deadline = self.loop.now + max(keepalive_seconds, 0.0)
+        self._keepalive_deadline[app_id] = deadline
+        handle = self._keepalive_handles.get(app_id)
+        if handle is not None and not handle.cancelled:
+            if handle.time <= deadline:
+                # The outstanding expiry fires first and re-arms itself to
+                # the (later) deadline: no cancel, no extra heap entry.
                 return
-            self._unload(app_id, reason="keepalive-expired")
-
-        self._keepalive_handles[app_id] = self.loop.schedule(
-            max(keepalive_seconds, 0.0), _expire
+            handle.cancel()
+        self._keepalive_handles[app_id] = self.loop.schedule_at(
+            deadline, lambda: self._expire_keepalive(app_id)
         )
 
+    def _expire_keepalive(self, app_id: str) -> None:
+        deadline = self._keepalive_deadline.get(app_id)
+        if deadline is None:
+            # Deadline was cleared (new activation, unload, or infinite
+            # keep-alive) after this event was queued: stale, drop it.
+            self._keepalive_handles.pop(app_id, None)
+            return
+        if deadline > self.loop.now:
+            # The keep-alive was extended while this event was in flight;
+            # re-arm exactly at the authoritative deadline.
+            self._keepalive_handles[app_id] = self.loop.schedule_at(
+                deadline, lambda: self._expire_keepalive(app_id)
+            )
+            return
+        self._keepalive_handles.pop(app_id, None)
+        self._keepalive_deadline.pop(app_id, None)
+        container = self._containers.get(app_id)
+        if container is None or container.in_flight > 0:
+            return
+        self._unload(app_id, reason="keepalive-expired")
+
     def _cancel_keepalive(self, app_id: str) -> None:
-        handle = self._keepalive_handles.pop(app_id, None)
-        if handle is not None:
-            handle.cancel()
+        # Clearing the deadline is enough: a stale expiry event no-ops.
+        self._keepalive_deadline.pop(app_id, None)
 
     def _unload(self, app_id: str, *, reason: str) -> None:
         container = self._containers.get(app_id)
@@ -250,6 +285,7 @@ class Invoker:
         loaded = container.unload(self.loop.now)
         self.metrics.record_container_unload(self.invoker_id, container.memory_mb, loaded)
         del self._containers[app_id]
+        self._used_memory_mb -= container.memory_mb
         if self.on_unload is not None:
             self.on_unload(
                 ContainerUnloadNotice(

@@ -35,9 +35,9 @@ def _coprime_step(num_invokers: int, app_hash: int) -> int:
     return candidate
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class PlacementDecision:
-    """Outcome of one scheduling decision."""
+    """Outcome of one scheduling decision (one is created per activation)."""
 
     invoker: Invoker
     home_invoker_id: int
@@ -55,20 +55,31 @@ class LoadBalancer:
             raise ValueError("overload threshold must be in (0, 1]")
         self._invokers = list(invokers)
         self.overload_threshold = overload_threshold
+        # (home index, ring step) per application: the hash and co-prime
+        # derivation are pure functions of (app id, ring size), and place()
+        # runs once per replayed invocation.
+        self._ring_cache: dict[str, tuple[int, int]] = {}
 
     @property
     def invokers(self) -> list[Invoker]:
         return list(self._invokers)
 
+    def _ring(self, app_id: str) -> tuple[int, int]:
+        cached = self._ring_cache.get(app_id)
+        if cached is None:
+            app_hash = _stable_hash(app_id)
+            count = len(self._invokers)
+            cached = (app_hash % count, _coprime_step(count, app_hash))
+            self._ring_cache[app_id] = cached
+        return cached
+
     def home_invoker(self, app_id: str) -> Invoker:
-        return self._invokers[_stable_hash(app_id) % len(self._invokers)]
+        return self._invokers[self._ring(app_id)[0]]
 
     def place(self, app_id: str, memory_mb: float) -> PlacementDecision:
         """Pick the invoker that should run the next activation of an app."""
-        app_hash = _stable_hash(app_id)
         count = len(self._invokers)
-        home_index = app_hash % count
-        step = _coprime_step(count, app_hash)
+        home_index, step = self._ring(app_id)
 
         # First pass: prefer any invoker that already holds a warm container
         # for the application, starting from the home node.

@@ -11,10 +11,17 @@ pre-warm is scheduled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+# ActivationMessage and CompletionMessage are created once per replayed
+# invocation — the two hottest allocations of the whole platform.  They
+# are ``slots=True`` and deliberately *not* frozen: a frozen dataclass
+# routes every field through ``object.__setattr__`` during construction,
+# which is measurable at hundreds of thousands of messages.  Treat them
+# as immutable by convention.
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ActivationMessage:
     """Request to execute one function invocation on an invoker.
 
@@ -42,7 +49,7 @@ class ActivationMessage:
     prewarm_seconds: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrewarmMessage:
     """Request to load an application container ahead of an expected invocation."""
 
@@ -52,7 +59,7 @@ class PrewarmMessage:
     memory_mb: float
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CompletionMessage:
     """Reported by an invoker to the controller when an activation finishes."""
 
@@ -71,7 +78,7 @@ class CompletionMessage:
         return self.queued_seconds + self.startup_seconds + self.execution_seconds
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContainerUnloadNotice:
     """Sent by an invoker when it unloads an application container."""
 

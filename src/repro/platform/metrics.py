@@ -11,11 +11,20 @@ The OpenWhisk experiment of the paper reports, per policy:
   micro-benchmarks).
 
 :class:`PlatformMetrics` accumulates the raw observations during the
-replay and exposes those summaries.
+replay and exposes those summaries.  Internally the per-completion
+observations live in **columnar accumulators** — flat append-only
+columns (application code, cold flag, queued/startup/execution seconds)
+plus a string-to-code table for application ids — so recording a
+completion is a handful of C-level appends and every summary (CDFs,
+per-app cold-start percentages, latency percentiles) is an array
+reduction over the columns instead of a Python loop over message
+objects.  At production replay scale (hundreds of thousands of
+completions) this is what keeps the metrics layer off the critical path.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Mapping
@@ -39,14 +48,38 @@ class AppInvocationStats:
         return 100.0 * self.cold_starts / self.invocations
 
 
+def _column(values: array, dtype: np.dtype | type) -> np.ndarray:
+    """Numpy copy of an ``array`` column (one C memcpy).
+
+    A copy rather than a ``frombuffer`` view: a view would export the
+    column's buffer and make any later ``append`` (recording while a
+    caller still holds the array) raise ``BufferError``.
+    """
+    if not len(values):
+        return np.empty(0, dtype=dtype)
+    return np.frombuffer(values, dtype=dtype).copy()
+
+
 class PlatformMetrics:
-    """Accumulates completions and invoker memory usage over a replay."""
+    """Accumulates completions and invoker memory usage over a replay.
+
+    Completion observations are stored as aligned flat columns in
+    first-recorded order; application ids are interned to integer codes
+    in first-seen order (matching the insertion order the dict-based
+    implementation exposed through :attr:`per_app`).
+    """
 
     def __init__(self) -> None:
-        self._per_app: dict[str, AppInvocationStats] = defaultdict(AppInvocationStats)
-        self._completions: list[CompletionMessage] = []
+        # Columnar completion accumulators, aligned element for element.
+        self._app_code_of: dict[str, int] = {}
+        self._completion_app = array("q")  # application code per completion
+        self._completion_cold = array("b")  # 1 for cold starts
+        self._completion_queued = array("d")
+        self._completion_startup = array("d")
+        self._completion_execution = array("d")
         # Memory integral per invoker: MB × seconds of loaded containers.
         self._memory_mb_seconds: dict[int, float] = defaultdict(float)
+        self._evictions_by_invoker: dict[int, int] = defaultdict(int)
         self._observation_end_seconds = 0.0
         self._prewarm_loads = 0
         self._evictions = 0
@@ -54,12 +87,33 @@ class PlatformMetrics:
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
+    def record(
+        self,
+        app_id: str,
+        cold: bool,
+        queued_seconds: float,
+        startup_seconds: float,
+        execution_seconds: float,
+    ) -> None:
+        """Record one completion from scalars (the invoker's hot path)."""
+        codes = self._app_code_of
+        code = codes.get(app_id)
+        if code is None:
+            code = codes[app_id] = len(codes)
+        self._completion_app.append(code)
+        self._completion_cold.append(1 if cold else 0)
+        self._completion_queued.append(queued_seconds)
+        self._completion_startup.append(startup_seconds)
+        self._completion_execution.append(execution_seconds)
+
     def record_completion(self, completion: CompletionMessage) -> None:
-        stats = self._per_app[completion.app_id]
-        stats.invocations += 1
-        if completion.cold_start:
-            stats.cold_starts += 1
-        self._completions.append(completion)
+        self.record(
+            completion.app_id,
+            completion.cold_start,
+            completion.queued_seconds,
+            completion.startup_seconds,
+            completion.execution_seconds,
+        )
 
     def record_container_unload(
         self, invoker_id: int, memory_mb: float, loaded_seconds: float
@@ -70,23 +124,51 @@ class PlatformMetrics:
     def record_prewarm_load(self) -> None:
         self._prewarm_loads += 1
 
-    def record_eviction(self) -> None:
+    def record_eviction(self, invoker_id: int | None = None) -> None:
         self._evictions += 1
+        if invoker_id is not None:
+            self._evictions_by_invoker[invoker_id] += 1
 
     def finish(self, end_time_seconds: float) -> None:
         """Mark the end of the observation window."""
         self._observation_end_seconds = max(self._observation_end_seconds, end_time_seconds)
 
     # ------------------------------------------------------------------ #
+    # Columns (read-only views used by the summaries)
+    # ------------------------------------------------------------------ #
+    @property
+    def app_codes(self) -> np.ndarray:
+        """Application code of every completion, recording order."""
+        return _column(self._completion_app, np.int64)
+
+    @property
+    def cold_flags(self) -> np.ndarray:
+        """Cold-start flag (0/1) of every completion, recording order."""
+        return _column(self._completion_cold, np.int8)
+
+    @property
+    def app_ids(self) -> tuple[str, ...]:
+        """Application ids in first-seen (code) order."""
+        return tuple(self._app_code_of)
+
+    def _per_app_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """(invocations, cold starts) per application code."""
+        num_apps = len(self._app_code_of)
+        codes = self.app_codes
+        invocations = np.bincount(codes, minlength=num_apps)
+        cold = np.bincount(codes[self.cold_flags != 0], minlength=num_apps)
+        return invocations, cold
+
+    # ------------------------------------------------------------------ #
     # Summaries
     # ------------------------------------------------------------------ #
     @property
     def total_invocations(self) -> int:
-        return len(self._completions)
+        return len(self._completion_app)
 
     @property
     def total_cold_starts(self) -> int:
-        return sum(1 for completion in self._completions if completion.cold_start)
+        return int(np.count_nonzero(self.cold_flags))
 
     @property
     def prewarm_loads(self) -> int:
@@ -96,13 +178,27 @@ class PlatformMetrics:
     def evictions(self) -> int:
         return self._evictions
 
+    def evictions_by_invoker(self) -> Mapping[int, int]:
+        """Memory-pressure evictions per invoker id."""
+        return dict(self._evictions_by_invoker)
+
     @property
     def per_app(self) -> Mapping[str, AppInvocationStats]:
-        return dict(self._per_app)
+        invocations, cold = self._per_app_counts()
+        return {
+            app_id: AppInvocationStats(
+                invocations=int(invocations[code]), cold_starts=int(cold[code])
+            )
+            for app_id, code in self._app_code_of.items()
+        }
 
     def app_cold_start_percentages(self) -> np.ndarray:
-        return np.asarray(
-            [stats.cold_start_percentage for stats in self._per_app.values()], dtype=float
+        invocations, cold = self._per_app_counts()
+        return np.divide(
+            100.0 * cold,
+            invocations,
+            out=np.zeros(invocations.size, dtype=float),
+            where=invocations > 0,
         )
 
     def cold_start_cdf(self) -> tuple[np.ndarray, np.ndarray]:
@@ -122,18 +218,18 @@ class PlatformMetrics:
 
     def latencies_seconds(self) -> np.ndarray:
         """End-to-end latencies (queue + start-up + execution) in seconds."""
-        return np.asarray(
-            [completion.end_to_end_seconds for completion in self._completions], dtype=float
+        return (
+            _column(self._completion_queued, np.float64)
+            + _column(self._completion_startup, np.float64)
+            + _column(self._completion_execution, np.float64)
         )
 
     def execution_seconds(self, *, include_startup: bool = True) -> np.ndarray:
         """Observed execution times; cold runtime bootstrap counts when included."""
+        execution = _column(self._completion_execution, np.float64)
         if include_startup:
-            return np.asarray(
-                [c.startup_seconds + c.execution_seconds for c in self._completions],
-                dtype=float,
-            )
-        return np.asarray([c.execution_seconds for c in self._completions], dtype=float)
+            return _column(self._completion_startup, np.float64) + execution
+        return execution
 
     def average_latency_seconds(self) -> float:
         values = self.latencies_seconds()

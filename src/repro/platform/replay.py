@@ -1,11 +1,30 @@
 """Trace replay onto the FaaS platform (the FaaSProfiler stand-in).
 
 The paper drives its OpenWhisk deployment with FaaSProfiler, replaying a
-scaled-down trace (68 mid-popularity applications, 8 hours) and collecting
-cold-start and latency results.  :class:`TraceReplayer` plays a
-:class:`~repro.trace.schema.Workload` into a :class:`FaasCluster`: every
-invocation becomes a ``controller.submit`` at its trace timestamp, with an
-execution duration drawn from the function's execution profile.
+scaled-down trace (68 mid-popularity applications, 8 hours) and
+collecting cold-start and latency results.  :class:`TraceReplayer` plays
+a :class:`~repro.trace.schema.Workload` into a :class:`FaasCluster`:
+every invocation becomes a ``controller.submit`` at its trace timestamp,
+with an execution duration drawn from the function's execution profile.
+
+The replay is fed **columnar**: :class:`ReplayFeed` builds flat
+submission columns straight from the workload's
+:class:`~repro.trace.store.InvocationStore` CSR layout — per-function
+horizon cuts are ``searchsorted`` prefixes of the sorted timestamp
+column, time conversion and duration sampling are vectorized per
+function block, and one stable argsort orders the whole stream —
+and a cursor over those columns is merged with the cluster's
+:class:`~repro.platform.events.EventLoop` at run time (see
+:class:`~repro.platform.events.SubmissionSource`).  The event heap
+therefore never holds the trace itself, only the in-flight platform
+events, which is what lets one process replay the full multi-day
+150-app workload instead of the paper's hand-sized 8-hour slice.
+
+The submission stream is ordered exactly as the reference
+(pre-scheduling) path ordered it — globally by arrival time, ties broken
+by function population order — so the refactor is equivalence-locked
+against the seed implementation: identical cold starts, latencies, and
+policy decisions.
 """
 
 from __future__ import annotations
@@ -17,6 +36,7 @@ import numpy as np
 from repro.platform.cluster import ClusterConfig, FaasCluster
 from repro.platform.metrics import PlatformMetrics
 from repro.policies.registry import PolicyFactory
+from repro.simulation.sweep_engine import check_unique_policy_names
 from repro.trace.schema import Workload
 
 SECONDS_PER_MINUTE = 60.0
@@ -28,7 +48,8 @@ class ReplayConfig:
 
     Attributes:
         duration_minutes: Portion of the workload to replay (the paper's
-            OpenWhisk runs last 8 hours = 480 minutes).
+            OpenWhisk runs last 8 hours = 480 minutes).  Invocations at
+            or beyond the horizon are not submitted.
         seed: Seed for execution-time sampling.
         max_execution_seconds: Safety cap on sampled execution durations so
             a single extreme log-normal draw cannot occupy a container for
@@ -62,8 +83,127 @@ class ReplayResult:
         return data
 
 
+class ReplayFeed:
+    """Columnar submission stream for one (workload, replay config) pair.
+
+    Built once and reused across policies and cluster shapes: the
+    columns depend only on the trace and the sampling seed, matching the
+    reference path where every policy's replay re-created the same RNG.
+    Duration sampling consumes the generator in function population
+    order, function by function, drawing exactly for the invocations
+    inside the horizon — the same draws, in the same order, as the
+    reference per-function loop.
+    """
+
+    __slots__ = (
+        "num_submissions",
+        "_arrival_seconds",
+        "_app_ids",
+        "_function_ids",
+        "_durations",
+        "_memory_mb",
+    )
+
+    def __init__(self, workload: Workload, config: ReplayConfig) -> None:
+        store = workload.store
+        rng = np.random.default_rng(config.seed)
+        horizon = config.duration_minutes
+        function_offsets = store.function_offsets
+
+        time_pieces: list[np.ndarray] = []
+        code_pieces: list[np.ndarray] = []
+        duration_pieces: list[np.ndarray] = []
+        # Functions iterate in population order == store code order; the
+        # per-function slices are time-sorted, so each piece is sorted.
+        for code, spec in enumerate(workload.functions()):
+            if function_offsets[code] == function_offsets[code + 1]:
+                continue
+            times = store.function_slice_until(code, horizon)
+            if times.size == 0:
+                continue
+            durations = spec.execution.sample_seconds(rng, size=times.size)
+            np.minimum(durations, config.max_execution_seconds, out=durations)
+            time_pieces.append(times)
+            code_pieces.append(np.full(times.size, code, dtype=np.int64))
+            duration_pieces.append(durations)
+
+        if time_pieces:
+            times = np.concatenate(time_pieces)
+            codes = np.concatenate(code_pieces)
+            durations = np.concatenate(duration_pieces)
+        else:
+            times = np.empty(0, dtype=np.float64)
+            codes = np.empty(0, dtype=np.int64)
+            durations = np.empty(0, dtype=np.float64)
+
+        # Global arrival order with the reference path's tie-breaking:
+        # the stream is function-major going in, so a stable time sort
+        # leaves simultaneous submissions in function population order —
+        # exactly the order pre-scheduled closures carried as heap
+        # sequence numbers.
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        codes = codes[order]
+        durations = durations[order]
+        app_codes = store.function_app_idx[codes]
+
+        memory_by_app = [app.memory.average_mb for app in workload.apps]
+        self.num_submissions = int(times.size)
+        # Python-native columns: the cursor compares and passes scalars a
+        # quarter of a million times, and plain floats/strings beat numpy
+        # scalar boxing on that path.
+        self._arrival_seconds = (times * SECONDS_PER_MINUTE).tolist()
+        self._durations = durations.tolist()
+        self._app_ids = [store.app_ids[i] for i in app_codes.tolist()]
+        self._function_ids = [store.function_ids[i] for i in codes.tolist()]
+        self._memory_mb = [memory_by_app[i] for i in app_codes.tolist()]
+
+    def cursor(self, cluster: FaasCluster) -> "_FeedCursor":
+        """A fresh submission cursor feeding this stream into ``cluster``."""
+        return _FeedCursor(self, cluster)
+
+
+class _FeedCursor:
+    """Cursor adapting a :class:`ReplayFeed` to the event loop's source API."""
+
+    __slots__ = ("_index", "_n", "_times", "_apps", "_functions", "_durations", "_memory", "_submit")
+
+    def __init__(self, feed: ReplayFeed, cluster: FaasCluster) -> None:
+        self._index = 0
+        self._n = feed.num_submissions
+        self._times = feed._arrival_seconds
+        self._apps = feed._app_ids
+        self._functions = feed._function_ids
+        self._durations = feed._durations
+        self._memory = feed._memory_mb
+        self._submit = cluster.controller.submit
+
+    def next_time(self) -> float | None:
+        index = self._index
+        if index >= self._n:
+            return None
+        return self._times[index]
+
+    def emit(self) -> None:
+        index = self._index
+        self._index = index + 1
+        self._submit(
+            self._apps[index],
+            self._functions[index],
+            execution_seconds=self._durations[index],
+            memory_mb=self._memory[index],
+        )
+
+
 class TraceReplayer:
-    """Replays a workload against a cluster running one policy."""
+    """Replays a workload against a cluster running one policy.
+
+    The columnar :class:`ReplayFeed` is built lazily on the first run and
+    shared across runs (policies only change the cluster, never the
+    submission stream).  Callers replaying the same (workload, replay
+    config) under many cluster shapes — the campaigns — pass a pre-built
+    ``feed`` to skip rebuilding the stream per replayer.
+    """
 
     def __init__(
         self,
@@ -71,48 +211,29 @@ class TraceReplayer:
         *,
         replay_config: ReplayConfig | None = None,
         cluster_config: ClusterConfig | None = None,
+        feed: ReplayFeed | None = None,
     ) -> None:
         self.workload = workload
         self.replay_config = replay_config or ReplayConfig()
         self.cluster_config = cluster_config or ClusterConfig()
+        self._feed = feed
+
+    @property
+    def feed(self) -> ReplayFeed:
+        """The columnar submission stream (built once, then cached)."""
+        if self._feed is None:
+            self._feed = ReplayFeed(self.workload, self.replay_config)
+        return self._feed
 
     def run(self, policy_factory: PolicyFactory) -> ReplayResult:
         """Replay the workload under one policy and collect platform metrics."""
         config = self.replay_config
         cluster = FaasCluster(policy_factory, self.cluster_config)
-        rng = np.random.default_rng(config.seed)
         horizon_seconds = config.duration_minutes * SECONDS_PER_MINUTE
 
-        submissions = 0
-        # Iterate the columnar store directly: per-function timestamps are
-        # read-only slices/gathers of the flat column, never dict lookups.
-        store = self.workload.store
-        function_offsets = store.function_offsets
-        for app in self.workload.apps:
-            memory_mb = app.memory.average_mb
-            for function in app.functions:
-                code = store.function_index(function.function_id)
-                if function_offsets[code] == function_offsets[code + 1]:
-                    continue
-                times = store.function_slice(code)
-                times = times[times < config.duration_minutes]
-                if times.size == 0:
-                    continue
-                durations = function.execution.sample_seconds(rng, size=times.size)
-                durations = np.minimum(durations, config.max_execution_seconds)
-                for timestamp, duration in zip(times, durations):
-                    self._schedule_submission(
-                        cluster,
-                        arrival_seconds=float(timestamp) * SECONDS_PER_MINUTE,
-                        app_id=app.app_id,
-                        function_id=function.function_id,
-                        execution_seconds=float(duration),
-                        memory_mb=memory_mb,
-                    )
-                    submissions += 1
-
-        # Let in-flight work finish: run past the horizon until quiescent.
-        metrics = cluster.run()
+        # Stream submissions from the columnar feed, merged with the
+        # event loop in time order; then let in-flight work finish.
+        metrics = cluster.run(source=self.feed.cursor(cluster))
         metrics.finish(max(horizon_seconds, cluster.loop.now))
         return ReplayResult(
             policy_name=policy_factory.name,
@@ -123,26 +244,6 @@ class TraceReplayer:
             prewarm_messages=cluster.controller.stats.prewarm_messages,
         )
 
-    @staticmethod
-    def _schedule_submission(
-        cluster: FaasCluster,
-        *,
-        arrival_seconds: float,
-        app_id: str,
-        function_id: str,
-        execution_seconds: float,
-        memory_mb: float,
-    ) -> None:
-        cluster.loop.schedule_at(
-            arrival_seconds,
-            lambda: cluster.controller.submit(
-                app_id,
-                function_id,
-                execution_seconds=execution_seconds,
-                memory_mb=memory_mb,
-            ),
-        )
-
 
 def compare_policies_on_platform(
     workload: Workload,
@@ -151,7 +252,14 @@ def compare_policies_on_platform(
     replay_config: ReplayConfig | None = None,
     cluster_config: ClusterConfig | None = None,
 ) -> dict[str, ReplayResult]:
-    """Replay the same workload under several policies (Figure 20)."""
+    """Replay the same workload under several policies (Figure 20).
+
+    Raises:
+        ValueError: When two factories share a name — results are keyed
+            by name, so duplicates would silently overwrite each other
+            (the same guard ``run_policies``/``compare`` apply).
+    """
+    check_unique_policy_names(policy_factories)
     replayer = TraceReplayer(
         workload, replay_config=replay_config, cluster_config=cluster_config
     )

@@ -405,41 +405,19 @@ class SimulationEngine:
             if bounds[i + 1] > bounds[i]
         ]
 
-        if workers == 1 or "fork" not in multiprocessing.get_all_start_methods():
-            # In-process fallback: same shard partitioning, same results.
-            merged: list[AppSimResult] = []
-            done = 0
-            for shard in shards:
-                merged.extend(self._run_shard_items(shard, factory, keepalive, use_bank))
-                done += len(shard)
-                if progress is not None:
-                    progress(done, total)
-            return merged
-
-        global _WORKER_STATE
-        context = multiprocessing.get_context("fork")
-        # The lock covers assignment through fork: once Pool() has forked its
-        # workers they hold an inherited copy of the state, so the parent can
-        # clear the global immediately and concurrent runs cannot observe
-        # (or fork with) each other's state.
-        with _WORKER_STATE_LOCK:
-            _WORKER_STATE = (self, factory, keepalive, use_bank, shards)
-            try:
-                pool = context.Pool(processes=workers)
-            finally:
-                _WORKER_STATE = None
-        ordered: list[list[AppSimResult] | None] = [None] * len(shards)
         done = 0
-        with pool:
-            for shard_id, results in pool.imap_unordered(
-                _run_shard_by_id, range(len(shards))
-            ):
-                ordered[shard_id] = results
-                done += len(results)
-                if progress is not None:
-                    progress(done, total)
-        assert all(shard is not None for shard in ordered)
-        return [result for shard in ordered for result in shard]  # type: ignore[union-attr]
+
+        def run_shard(shard_id: int) -> list[AppSimResult]:
+            return self._run_shard_items(shards[shard_id], factory, keepalive, use_bank)
+
+        def on_result(shard_id: int, results: list[AppSimResult]) -> None:
+            nonlocal done
+            done += len(results)
+            if progress is not None:
+                progress(done, total)
+
+        ordered = fork_pool_map(run_shard, len(shards), workers, on_result=on_result)
+        return [result for shard in ordered for result in shard]
 
     def _run_shard_items(
         self,
@@ -453,17 +431,76 @@ class SimulationEngine:
         return [self._simulate_item(item, factory, keepalive) for item in shard]
 
 
-#: Engine state inherited by forked pool workers (factories hold closures
-#: that cannot be pickled, so they travel by fork instead of by pickle).
-#: Guarded by _WORKER_STATE_LOCK from assignment until the pool has forked.
-_WORKER_STATE: (
-    tuple[SimulationEngine, PolicyFactory, float | None, bool, list] | None
-) = None
-_WORKER_STATE_LOCK = threading.Lock()
+# --------------------------------------------------------------------------- #
+# Shared fork-pool infrastructure
+# --------------------------------------------------------------------------- #
+#: Task closure inherited by forked pool workers (engine shards and replay
+#: campaigns capture policy factories, which hold closures that cannot be
+#: pickled, so the whole task travels by fork instead of by pickle).
+#: Guarded by _POOL_TASK_LOCK from assignment until the pool has forked.
+_POOL_TASK: Callable[[int], object] | None = None
+_POOL_TASK_LOCK = threading.Lock()
 
 
-def _run_shard_by_id(shard_id: int) -> tuple[int, list[AppSimResult]]:
-    """Worker entry point: simulate one shard of applications."""
-    assert _WORKER_STATE is not None, "worker state not initialized before fork"
-    engine, factory, keepalive, use_bank, shards = _WORKER_STATE
-    return shard_id, engine._run_shard_items(shards[shard_id], factory, keepalive, use_bank)
+def _pool_entry(task_id: int) -> tuple[int, object]:
+    """Worker entry point: run one task of the forked closure."""
+    assert _POOL_TASK is not None, "pool task not initialized before fork"
+    return task_id, _POOL_TASK(task_id)
+
+
+def fork_pool_map(
+    task: Callable[[int], object],
+    num_tasks: int,
+    workers: int,
+    *,
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
+    """Run ``task(task_id)`` for every id over a fork-based worker pool.
+
+    The shared parallel backbone of the simulation engine's sharded runs
+    and of the platform replay campaigns: tasks are dispatched to forked
+    workers (the closure is inherited through fork, so it may capture
+    unpicklable state — only the *results* must pickle), and the returned
+    list is ordered by task id regardless of completion order or worker
+    count.  Falls back to an in-process loop (same results) when only one
+    worker is requested or the platform lacks ``fork``.
+
+    Args:
+        task: Closure mapping a task id in ``range(num_tasks)`` to a
+            picklable result.
+        num_tasks: Number of tasks.
+        workers: Maximum pool size (clamped to ``num_tasks``).
+        on_result: Optional callback invoked as ``(task_id, result)`` in
+            completion order (progress reporting).
+    """
+    if num_tasks == 0:
+        return []
+    workers = max(1, min(int(workers), num_tasks))
+    if workers == 1 or "fork" not in multiprocessing.get_all_start_methods():
+        results = []
+        for task_id in range(num_tasks):
+            result = task(task_id)
+            results.append(result)
+            if on_result is not None:
+                on_result(task_id, result)
+        return results
+
+    global _POOL_TASK
+    context = multiprocessing.get_context("fork")
+    # The lock covers assignment through fork: once Pool() has forked its
+    # workers they hold an inherited copy of the task, so the parent can
+    # clear the global immediately and concurrent runs cannot observe
+    # (or fork with) each other's state.
+    with _POOL_TASK_LOCK:
+        _POOL_TASK = task
+        try:
+            pool = context.Pool(processes=workers)
+        finally:
+            _POOL_TASK = None
+    ordered: list = [None] * num_tasks
+    with pool:
+        for task_id, result in pool.imap_unordered(_pool_entry, range(num_tasks)):
+            ordered[task_id] = result
+            if on_result is not None:
+                on_result(task_id, result)
+    return ordered

@@ -50,7 +50,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -65,7 +64,12 @@ from repro.policies.registry import (
     PolicyFactory,
 )
 from repro.simulation.coldstart import DEFAULT_SCALAR_DRAIN_THRESHOLD
-from repro.simulation.engine import _SHARDS_PER_WORKER, SimulationEngine, _AppWorkItem
+from repro.simulation.engine import (
+    _SHARDS_PER_WORKER,
+    SimulationEngine,
+    _AppWorkItem,
+    fork_pool_map,
+)
 from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -275,23 +279,14 @@ class SweepEngine:
             for i in range(num_shards)
             if bounds[i + 1] > bounds[i]
         ]
-        global _FAMILY_WORKER_STATE
-        context = multiprocessing.get_context("fork")
-        # Same publish-through-fork protocol as the engine's parallel
-        # route: factories hold closures, which travel by fork, and the
-        # lock keeps concurrent runs from forking each other's state.
-        with _FAMILY_WORKER_STATE_LOCK:
-            _FAMILY_WORKER_STATE = (self, group, shards)
-            try:
-                pool = context.Pool(processes=workers)
-            finally:
-                _FAMILY_WORKER_STATE = None
-        ordered: list[dict[str, list[AppSimResult]] | None] = [None] * len(shards)
-        with pool:
-            for shard_id, shard_results in pool.imap_unordered(
-                _evaluate_family_shard_by_id, range(len(shards))
-            ):
-                ordered[shard_id] = shard_results
+        # The engine's shared fork pool: the task closure (carrying the
+        # group's factories, which hold unpicklable closures) travels by
+        # fork, and the results come back ordered by shard index.
+        ordered = fork_pool_map(
+            lambda shard_id: self._evaluate_family_items(group, shards[shard_id]),
+            len(shards),
+            workers,
+        )
         merged: dict[str, list[AppSimResult]] = {
             factory.name: [] for factory in group.factories
         }
@@ -300,22 +295,6 @@ class SweepEngine:
             for name, app_results in shard_results.items():
                 merged[name].extend(app_results)
         return merged
-
-
-#: Family-evaluation state inherited by forked pool workers; guarded by
-#: the lock from assignment until the pool has forked (see the engine's
-#: identical protocol).
-_FAMILY_WORKER_STATE: tuple[SweepEngine, FactoryGroup, list] | None = None
-_FAMILY_WORKER_STATE_LOCK = threading.Lock()
-
-
-def _evaluate_family_shard_by_id(
-    shard_id: int,
-) -> tuple[int, dict[str, list[AppSimResult]]]:
-    """Worker entry point: evaluate one family over one item shard."""
-    assert _FAMILY_WORKER_STATE is not None, "worker state not initialized before fork"
-    engine, group, shards = _FAMILY_WORKER_STATE
-    return shard_id, engine._evaluate_family_items(group, shards[shard_id])
 
 
 # --------------------------------------------------------------------------- #

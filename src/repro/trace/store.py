@@ -578,6 +578,21 @@ class InvocationStore:
             return self.times[start:stop]
         return _readonly(self.times[rows])
 
+    def function_slice_until(
+        self, function_index: int, horizon_minutes: float
+    ) -> np.ndarray:
+        """One function's sorted timestamps strictly before a horizon.
+
+        Because per-function slices are time-sorted, the horizon cut is a
+        ``searchsorted`` prefix — no boolean mask is materialized.  This
+        is the platform replay feed's accessor.
+        """
+        times = self.function_slice(function_index)
+        if times.size == 0 or times[-1] < horizon_minutes:
+            return times
+        cut = int(np.searchsorted(times, horizon_minutes, side="left"))
+        return times[:cut]
+
     def function_invocations(self, function_id: str) -> np.ndarray:
         return self.function_slice(self._function_index[function_id])
 

@@ -25,7 +25,8 @@ def context():
 
 EXPECTED_IDS = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "tbl-overhead",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "platform-scaling", "tbl-overhead",
 }
 
 
@@ -147,6 +148,43 @@ class TestPlatformDrivers:
             hybrid_row["third_quartile_app_cold_start_pct"]
             <= fixed_row["third_quartile_app_cold_start_pct"] + 1e-9
         )
+
+    def test_fig20_reports_multi_seed_error_bars(self, context):
+        result = run_experiment("fig20", context)
+        for row in result.rows:
+            assert row["seeds"] >= 2
+            assert row["cold_start_pct_std"] >= 0.0
+            assert row["average_latency_s_std"] >= 0.0
+        assert "fixed_cdf" in result.series
+        assert "hybrid_cdf" in result.series
+        grid, fractions = result.series["fixed_cdf"]
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_platform_scaling_covers_every_scenario_axis(self, context):
+        result = run_experiment("platform-scaling", context)
+        scenarios = {row["scenario"] for row in result.rows}
+        assert {
+            "invokers-2",
+            "invokers-4",
+            "invokers-8",
+            "mem-512mb",
+            "mem-2048mb",
+            "heterogeneous",
+        } <= scenarios
+        by_key = {(row["policy"], row["scenario"]): row for row in result.rows}
+        # Eviction-rate curve: shrinking per-invoker memory cannot reduce
+        # memory-pressure evictions, and adding invokers cannot increase them.
+        assert (
+            by_key[("fixed-10min", "mem-512mb")]["evictions_per_1k"]
+            >= by_key[("fixed-10min", "mem-2048mb")]["evictions_per_1k"]
+        )
+        assert (
+            by_key[("fixed-10min", "invokers-2")]["evictions_per_1k"]
+            >= by_key[("fixed-10min", "invokers-8")]["evictions_per_1k"]
+        )
+        # Every scenario replays the identical submission stream.
+        invocations = {row["invocations"] for row in result.rows}
+        assert len(invocations) == 1
 
     def test_overhead_microbenchmark(self, context):
         result = run_experiment("tbl-overhead", context)

@@ -1,0 +1,347 @@
+"""Equivalence lock for the columnar replay feed and the replay campaign.
+
+The refactored :class:`~repro.platform.replay.TraceReplayer` streams
+submissions from a columnar :class:`~repro.platform.replay.ReplayFeed`
+merged with the event loop; the seed implementation pre-scheduled one
+closure per invocation into the event heap.  ``reference_replay`` below
+is that seed path, kept operation for operation (same iteration order,
+same RNG consumption, same float conversions), so these tests pin the
+refactor to the original semantics: identical cold starts (total and
+per application), latencies within 1e-9, and campaign results
+independent of the worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.campaign import (
+    ClusterScenario,
+    ReplayCampaign,
+    heterogeneous_memory_scenario,
+    invoker_count_scenarios,
+    memory_pressure_scenarios,
+)
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.replay import (
+    ReplayConfig,
+    TraceReplayer,
+    compare_policies_on_platform,
+)
+from repro.policies.registry import fixed_keepalive_factory, hybrid_factory
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+from repro.trace.schema import Workload
+from tests.conftest import make_workload
+
+#: Small cluster with real memory pressure so evictions and ring walks
+#: are exercised, not just the happy path.
+PRESSURED_CLUSTER = ClusterConfig(num_invokers=3, invoker_memory_mb=1024.0, seed=5)
+
+
+def reference_replay(
+    workload: Workload,
+    policy_factory,
+    replay_config: ReplayConfig,
+    cluster_config: ClusterConfig,
+):
+    """The seed's pre-scheduling replay path (the equivalence reference)."""
+    cluster = FaasCluster(policy_factory, cluster_config)
+    rng = np.random.default_rng(replay_config.seed)
+    store = workload.store
+    function_offsets = store.function_offsets
+    for app in workload.apps:
+        memory_mb = app.memory.average_mb
+        for function in app.functions:
+            code = store.function_index(function.function_id)
+            if function_offsets[code] == function_offsets[code + 1]:
+                continue
+            times = store.function_slice(code)
+            times = times[times < replay_config.duration_minutes]
+            if times.size == 0:
+                continue
+            durations = function.execution.sample_seconds(rng, size=times.size)
+            durations = np.minimum(durations, replay_config.max_execution_seconds)
+            for timestamp, duration in zip(times, durations):
+
+                def submit(
+                    app_id=app.app_id,
+                    function_id=function.function_id,
+                    execution=float(duration),
+                    memory=memory_mb,
+                ) -> None:
+                    cluster.controller.submit(
+                        app_id, function_id, execution_seconds=execution, memory_mb=memory
+                    )
+
+                cluster.loop.schedule_at(float(timestamp) * 60.0, submit)
+    metrics = cluster.run()
+    metrics.finish(max(replay_config.duration_minutes * 60.0, cluster.loop.now))
+    return metrics
+
+
+@pytest.fixture(scope="module")
+def replay_workload() -> Workload:
+    """A generated workload with multi-function apps and bursty arrivals."""
+    config = GeneratorConfig(
+        num_apps=40, duration_minutes=1440.0, seed=9, max_daily_rate=900.0
+    )
+    return WorkloadGenerator(config).generate()
+
+
+def assert_metrics_equivalent(reference, refactored) -> None:
+    assert refactored.total_invocations == reference.total_invocations
+    assert refactored.total_cold_starts == reference.total_cold_starts
+    # Per-app cold starts exact, in the same first-seen order.
+    ref_apps = reference.per_app
+    new_apps = refactored.per_app
+    assert list(new_apps) == list(ref_apps)
+    for app_id, stats in ref_apps.items():
+        assert new_apps[app_id].invocations == stats.invocations
+        assert new_apps[app_id].cold_starts == stats.cold_starts
+    # Completion-by-completion agreement: same order, same flags, same
+    # latencies to within 1e-9 (the dynamics are identical; only the
+    # bookkeeping layout changed).
+    np.testing.assert_array_equal(refactored.cold_flags, reference.cold_flags)
+    np.testing.assert_allclose(
+        refactored.latencies_seconds(), reference.latencies_seconds(), atol=1e-9
+    )
+    ref_summary = reference.summary()
+    new_summary = refactored.summary()
+    assert set(new_summary) == set(ref_summary)
+    for key, value in ref_summary.items():
+        assert new_summary[key] == pytest.approx(value, abs=1e-9), key
+
+
+class TestFeedEquivalence:
+    @pytest.mark.parametrize("duration_minutes", [480.0, 1440.0])
+    def test_fixed_policy_matches_reference(self, replay_workload, duration_minutes):
+        config = ReplayConfig(duration_minutes=duration_minutes, seed=21)
+        reference = reference_replay(
+            replay_workload, fixed_keepalive_factory(10.0), config, PRESSURED_CLUSTER
+        )
+        result = TraceReplayer(
+            replay_workload, replay_config=config, cluster_config=PRESSURED_CLUSTER
+        ).run(fixed_keepalive_factory(10.0))
+        assert reference.evictions > 0, "cluster sized to exercise memory pressure"
+        assert_metrics_equivalent(reference, result.metrics)
+
+    def test_hybrid_policy_matches_reference(self, replay_workload):
+        """The hybrid policy exercises policy updates and pre-warm loads."""
+        config = ReplayConfig(duration_minutes=720.0, seed=3)
+        reference = reference_replay(
+            replay_workload, hybrid_factory(), config, PRESSURED_CLUSTER
+        )
+        result = TraceReplayer(
+            replay_workload, replay_config=config, cluster_config=PRESSURED_CLUSTER
+        ).run(hybrid_factory())
+        assert_metrics_equivalent(reference, result.metrics)
+
+    def test_feed_is_cached_and_shared_across_policies(self, replay_workload):
+        replayer = TraceReplayer(
+            replay_workload,
+            replay_config=ReplayConfig(duration_minutes=240.0, seed=2),
+            cluster_config=PRESSURED_CLUSTER,
+        )
+        first = replayer.feed
+        replayer.run(fixed_keepalive_factory(10.0))
+        replayer.run(fixed_keepalive_factory(60.0))
+        assert replayer.feed is first
+
+
+class TestReplayEdgeCases:
+    def test_empty_apps_inside_window_are_skipped(self):
+        workload = make_workload(
+            {
+                "active": [1.0, 5.0, 20.0],
+                "late": [500.0, 900.0],  # entirely beyond the replay window
+                "never": [],  # no invocations at all
+            },
+            duration_minutes=1440.0,
+        )
+        config = ReplayConfig(duration_minutes=100.0, seed=1)
+        result = TraceReplayer(
+            workload, replay_config=config, cluster_config=PRESSURED_CLUSTER
+        ).run(fixed_keepalive_factory(10.0))
+        assert result.metrics.total_invocations == 3
+        assert set(result.metrics.per_app) == {"active"}
+        reference = reference_replay(
+            workload, fixed_keepalive_factory(10.0), config, PRESSURED_CLUSTER
+        )
+        assert_metrics_equivalent(reference, result.metrics)
+
+    def test_invocation_exactly_on_horizon_is_excluded(self):
+        workload = make_workload(
+            {"edge": [0.0, 50.0, 100.0, 200.0]}, duration_minutes=1440.0
+        )
+        config = ReplayConfig(duration_minutes=100.0, seed=1)
+        result = TraceReplayer(
+            workload, replay_config=config, cluster_config=PRESSURED_CLUSTER
+        ).run(fixed_keepalive_factory(10.0))
+        # Strictly-before semantics: the invocation at minute 100 of a
+        # 100-minute replay is not submitted (matching the seed path).
+        assert result.metrics.total_invocations == 2
+        reference = reference_replay(
+            workload, fixed_keepalive_factory(10.0), config, PRESSURED_CLUSTER
+        )
+        assert_metrics_equivalent(reference, result.metrics)
+
+    def test_zero_duration_executions_replay_cleanly(self):
+        """(Near-)zero execution times: same-timestamp completion storms."""
+        apps = {f"a{i}": [0.0, 0.0, 1.0, 1.0, 2.0] for i in range(4)}
+        workload = make_workload(apps, duration_minutes=10.0)
+        # Zero-width execution profile: samples clip to at most 1e-6 s.
+        for app in workload.apps:
+            object.__setattr__(app.functions[0].execution, "average_seconds", 0.0)
+            object.__setattr__(app.functions[0].execution, "minimum_seconds", 0.0)
+            object.__setattr__(app.functions[0].execution, "maximum_seconds", 0.0)
+        config = ReplayConfig(duration_minutes=10.0, seed=4)
+        result = TraceReplayer(
+            workload, replay_config=config, cluster_config=PRESSURED_CLUSTER
+        ).run(fixed_keepalive_factory(10.0))
+        assert result.metrics.total_invocations == 20
+        latencies = result.metrics.latencies_seconds()
+        assert latencies.size == 20
+        assert np.all(latencies >= 0.0)
+        reference = reference_replay(
+            workload, fixed_keepalive_factory(10.0), config, PRESSURED_CLUSTER
+        )
+        assert_metrics_equivalent(reference, result.metrics)
+
+    def test_exactly_zero_execution_through_controller(self):
+        """A literal 0-second execution still completes and is recorded."""
+        cluster = FaasCluster(fixed_keepalive_factory(10.0), PRESSURED_CLUSTER)
+        for _ in range(2):
+            cluster.loop.schedule_at(
+                5.0,
+                lambda: cluster.controller.submit(
+                    "app", "fn", execution_seconds=0.0, memory_mb=64.0
+                ),
+            )
+        metrics = cluster.run()
+        assert metrics.total_invocations == 2
+        assert np.all(metrics.latencies_seconds() >= 0.0)
+
+
+class TestDuplicateNameGuard:
+    def test_compare_policies_rejects_duplicate_names(self, replay_workload):
+        with pytest.raises(ValueError, match="duplicate policy name"):
+            compare_policies_on_platform(
+                replay_workload,
+                [fixed_keepalive_factory(10.0), fixed_keepalive_factory(10.0)],
+            )
+
+    def test_campaign_rejects_duplicate_policy_names(self, replay_workload):
+        with pytest.raises(ValueError, match="duplicate policy name"):
+            ReplayCampaign(
+                replay_workload,
+                [fixed_keepalive_factory(10.0), fixed_keepalive_factory(10.0)],
+            )
+
+    def test_campaign_rejects_duplicate_scenario_names(self, replay_workload):
+        scenario = ClusterScenario("same", ClusterConfig(num_invokers=2))
+        with pytest.raises(ValueError, match="duplicate scenario name"):
+            ReplayCampaign(
+                replay_workload,
+                [fixed_keepalive_factory(10.0)],
+                scenarios=[scenario, scenario],
+            )
+
+    def test_campaign_rejects_duplicate_seeds(self, replay_workload):
+        with pytest.raises(ValueError, match="duplicate campaign seeds"):
+            ReplayCampaign(
+                replay_workload, [fixed_keepalive_factory(10.0)], seeds=[1, 1]
+            )
+
+    def test_campaign_rejects_empty_seeds(self, replay_workload):
+        with pytest.raises(ValueError, match="at least one seed"):
+            ReplayCampaign(
+                replay_workload, [fixed_keepalive_factory(10.0)], seeds=[]
+            )
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign_workload(self) -> Workload:
+        config = GeneratorConfig(
+            num_apps=16, duration_minutes=480.0, seed=14, max_daily_rate=600.0
+        )
+        return WorkloadGenerator(config).generate()
+
+    def _campaign(self, workload: Workload, workers: int) -> ReplayCampaign:
+        return ReplayCampaign(
+            workload,
+            [fixed_keepalive_factory(10.0), fixed_keepalive_factory(60.0)],
+            scenarios=invoker_count_scenarios(
+                [1, 2], base=ClusterConfig(invoker_memory_mb=1024.0)
+            ),
+            seeds=(3, 4),
+            replay_config=ReplayConfig(duration_minutes=120.0, seed=3),
+            workers=workers,
+        )
+
+    def test_results_independent_of_worker_count(self, campaign_workload):
+        serial = self._campaign(campaign_workload, workers=1).run()
+        forked = self._campaign(campaign_workload, workers=3).run()
+        assert len(serial.cells) == len(forked.cells) == 8
+        for cell_a, cell_b in zip(serial.cells, forked.cells):
+            assert cell_a.policy_name == cell_b.policy_name
+            assert cell_a.scenario_name == cell_b.scenario_name
+            assert cell_a.seed == cell_b.seed
+            # Every simulated quantity matches exactly; the controller's
+            # own wall-clock overhead measurement is the one legitimately
+            # nondeterministic entry.
+            summary_a = {k: v for k, v in cell_a.summary.items() if k != "controller_overhead_us"}
+            summary_b = {k: v for k, v in cell_b.summary.items() if k != "controller_overhead_us"}
+            assert summary_a == summary_b
+            np.testing.assert_array_equal(
+                cell_a.app_cold_start_pct, cell_b.app_cold_start_pct
+            )
+        assert serial.rows() == forked.rows()
+
+    def test_rows_aggregate_across_seeds(self, campaign_workload):
+        result = self._campaign(campaign_workload, workers=1).run()
+        rows = result.rows()
+        assert len(rows) == 4  # 2 policies x 2 scenarios
+        for row in rows:
+            assert row["seeds"] == 2.0
+            assert row["cold_start_pct_std"] >= 0.0
+        # Longer keep-alive cannot increase cold starts on any scenario.
+        by_key = {(row["policy"], row["scenario"]): row for row in rows}
+        for scenario in ("invokers-1", "invokers-2"):
+            assert (
+                by_key[("fixed-60min", scenario)]["cold_start_pct"]
+                <= by_key[("fixed-10min", scenario)]["cold_start_pct"] + 1e-9
+            )
+
+    def test_mean_cdf_and_table(self, campaign_workload):
+        result = self._campaign(campaign_workload, workers=1).run()
+        grid, fractions = result.mean_cold_start_cdf("fixed-10min", "invokers-2")
+        assert grid.size == fractions.size == 101
+        assert fractions[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(fractions) >= -1e-12)
+        table = result.as_text_table()
+        assert "fixed-10min" in table
+        assert "invokers-2" in table
+
+    def test_scenario_builders(self):
+        pressure = memory_pressure_scenarios([512.0, 2048.0])
+        assert [s.name for s in pressure] == ["mem-512mb", "mem-2048mb"]
+        assert pressure[0].config.invoker_memory_mb == 512.0
+        hetero = heterogeneous_memory_scenario([512.0, 1024.0, 4096.0])
+        assert hetero.config.num_invokers == 3
+        assert hetero.config.memory_plan() == (512.0, 1024.0, 4096.0)
+        counts = invoker_count_scenarios([2, 4])
+        assert counts[1].config.num_invokers == 4
+
+    def test_heterogeneous_config_validation(self):
+        with pytest.raises(ValueError, match="one budget per invoker"):
+            ClusterConfig(num_invokers=2, invoker_memories_mb=(512.0,))
+        with pytest.raises(ValueError, match="memory must be positive"):
+            ClusterConfig.heterogeneous([512.0, -1.0])
+
+    def test_heterogeneous_cluster_builds_mixed_invokers(self):
+        config = ClusterConfig.heterogeneous([256.0, 2048.0])
+        cluster = FaasCluster(fixed_keepalive_factory(10.0), config)
+        assert [inv.memory_capacity_mb for inv in cluster.invokers] == [256.0, 2048.0]
+        assert cluster.total_memory_mb == 2304.0

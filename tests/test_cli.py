@@ -90,6 +90,55 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["trace"])
 
+    def test_replay_campaign(self, capsys):
+        assert (
+            main(
+                [
+                    "replay",
+                    *SMALL,
+                    "--policies",
+                    "fixed:10",
+                    "fixed:60",
+                    "--minutes",
+                    "120",
+                    "--sample-apps",
+                    "6",
+                    "--seeds",
+                    "2",
+                    "--invoker-counts",
+                    "2",
+                    "4",
+                    "--invoker-memory-mb",
+                    "1024",
+                    "--hetero-memory-mb",
+                    "512",
+                    "2048",
+                    "--workers",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "replay campaign: 2 policies x 3 scenario(s) x 2 seed(s)" in output
+        assert "inv2-mem1024mb" in output
+        assert "heterogeneous" in output
+        assert "fixed-60min" in output
+        assert "completed 12 replays" in output
+
+    def test_replay_rejects_zero_seeds(self, capsys):
+        assert main(["replay", *SMALL, "--seeds", "0", "--sample-apps", "4"]) == 2
+        assert "at least one seed" in capsys.readouterr().err
+
+    def test_replay_rejects_duplicate_policies(self, capsys):
+        assert (
+            main(
+                ["replay", *SMALL, "--policies", "fixed:10", "fixed:10", "--sample-apps", "4"]
+            )
+            == 2
+        )
+        assert "duplicate policy name" in capsys.readouterr().err
+
     def test_sweep_figures(self, capsys):
         assert main(["sweep", *SMALL, "--figures", "fig14", "fig18"]) == 0
         output = capsys.readouterr().out
