@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     repro experiment all                                        # every registered figure
     repro replay --policies fixed:10 hybrid:240 --seeds 3       # platform replay campaign
     repro replay --invoker-counts 4 8 18 --workers 4            # cluster-shape scan
+    repro replay --faults 0 2 6 --balancer ring least-loaded    # fault & balancer axes
+    repro replay --faults 2 --autoscale 2:8                     # crashes + elastic fleet
     repro trace pack traces/ traces/store.npz                   # CSVs -> columnar .npz store
     repro trace info traces/store.npz                           # store shape + memory footprint
 
@@ -31,17 +33,21 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
 from repro.characterization.report import CharacterizationReport
 from repro.experiments import ExperimentContext, ExperimentScale, experiment_ids, run_experiment
+from repro.platform.autoscaler import AutoscalerConfig
 from repro.platform.campaign import (
     ClusterScenario,
     ReplayCampaign,
     heterogeneous_memory_scenario,
 )
 from repro.platform.cluster import ClusterConfig
+from repro.platform.faults import FaultPlan
+from repro.platform.loadbalancer import BALANCER_STRATEGIES
 from repro.platform.replay import ReplayConfig
 from repro.policies.registry import parse_policy_spec
 from repro.simulation.engine import EXECUTION_MODES, SWEEP_MODES
@@ -251,6 +257,66 @@ def _cmd_trace_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compose_fault_scenarios(
+    scenarios: list[ClusterScenario], args: argparse.Namespace
+) -> list[ClusterScenario]:
+    """Cross the cluster-shape scenarios with the fault/balancer axes.
+
+    ``--faults`` (crash rates per invoker-hour) and ``--balancer`` are
+    scenario axes; ``--autoscale MIN:MAX``, ``--restart-seconds``,
+    ``--message-delay-ms``, ``--retry-limit``, and ``--fault-seed``
+    apply to every scenario.  Rate 0 with no message delay keeps the
+    scenario fault-free (byte-identical to a plain replay).
+    """
+    autoscaler = None
+    if args.autoscale:
+        try:
+            low, high = (int(part) for part in args.autoscale.split(":"))
+        except ValueError:
+            raise ValueError(
+                f"--autoscale expects MIN:MAX, got {args.autoscale!r}"
+            ) from None
+        autoscaler = AutoscalerConfig(min_invokers=low, max_invokers=high)
+
+    def plan_for(rate: float) -> FaultPlan | None:
+        if rate <= 0 and args.message_delay_ms <= 0:
+            return None
+        return FaultPlan(
+            crash_rate_per_hour=rate,
+            restart_delay_seconds=args.restart_seconds,
+            message_delay_seconds=args.message_delay_ms / 1000.0,
+            retry_limit=args.retry_limit,
+            seed=args.fault_seed,
+        )
+
+    balancers = args.balancer
+    fault_rates = args.faults if args.faults else [0.0]
+    composed = []
+    for scenario in scenarios:
+        for strategy in balancers:
+            name = scenario.name
+            if len(balancers) > 1 or strategy != "ring":
+                name = f"{name}-{strategy}"
+            for rate in fault_rates:
+                cell_name = name
+                if args.faults:
+                    cell_name = f"{name}-crash{rate:g}ph"
+                if autoscaler is not None:
+                    cell_name = f"{cell_name}-auto"
+                composed.append(
+                    ClusterScenario(
+                        name=cell_name,
+                        config=replace(
+                            scenario.config,
+                            balancer=strategy,
+                            fault_plan=plan_for(rate),
+                            autoscaler=autoscaler,
+                        ),
+                    )
+                )
+    return composed
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     workload = _build_workload(args)
     factories = [parse_policy_spec(spec) for spec in args.policies]
@@ -281,6 +347,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         scenarios.append(heterogeneous_memory_scenario(args.hetero_memory_mb))
 
     try:
+        scenarios = _compose_fault_scenarios(scenarios, args)
         campaign = ReplayCampaign(
             workload,
             factories,
@@ -479,6 +546,54 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fork-pool size for the campaign (default: all cores)",
+    )
+    replay.add_argument(
+        "--faults",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="RATE",
+        help=(
+            "invoker crash rates per invoker-hour (scenario axis); "
+            "0 keeps a scenario fault-free"
+        ),
+    )
+    replay.add_argument(
+        "--restart-seconds",
+        type=float,
+        default=30.0,
+        help="invoker restart delay after a crash",
+    )
+    replay.add_argument(
+        "--message-delay-ms",
+        type=float,
+        default=0.0,
+        help="fixed controller-to-invoker message delay in milliseconds",
+    )
+    replay.add_argument(
+        "--retry-limit",
+        type=int,
+        default=1,
+        help="resubmission budget for activations lost to a crash",
+    )
+    replay.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault-injection random streams",
+    )
+    replay.add_argument(
+        "--balancer",
+        nargs="+",
+        default=["ring"],
+        choices=list(BALANCER_STRATEGIES),
+        help="load-balancer strategies to scan (scenario axis)",
+    )
+    replay.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="MIN:MAX",
+        help="enable invoker autoscaling with the given fleet bounds",
     )
     replay.set_defaults(handler=_cmd_replay)
 

@@ -1,10 +1,14 @@
 """OpenWhisk-like FaaS platform substrate (Sections 4.3 and 5.3)."""
 
+from repro.platform.autoscaler import Autoscaler, AutoscalerConfig
 from repro.platform.campaign import (
     CampaignCell,
     CampaignResult,
     ClusterScenario,
     ReplayCampaign,
+    autoscaling_scenario,
+    balancer_scenarios,
+    fault_rate_scenarios,
     heterogeneous_memory_scenario,
     invoker_count_scenarios,
     memory_pressure_scenarios,
@@ -13,15 +17,27 @@ from repro.platform.cluster import ClusterConfig, FaasCluster
 from repro.platform.container import Container, ContainerState
 from repro.platform.controller import Controller, ControllerStats
 from repro.platform.events import EventHandle, EventLoop, SubmissionSource
+from repro.platform.faults import FaultInjector, FaultPlan
 from repro.platform.invoker import ColdStartModel, Invoker
-from repro.platform.loadbalancer import LoadBalancer, PlacementDecision
+from repro.platform.loadbalancer import (
+    BALANCER_STRATEGIES,
+    ConsistentHashBalancer,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    PlacementDecision,
+    make_balancer,
+)
 from repro.platform.messages import (
     ActivationMessage,
     CompletionMessage,
     ContainerUnloadNotice,
     PrewarmMessage,
 )
-from repro.platform.metrics import AppInvocationStats, PlatformMetrics
+from repro.platform.metrics import (
+    PLATFORM_EVENT_KINDS,
+    AppInvocationStats,
+    PlatformMetrics,
+)
 from repro.platform.replay import (
     ReplayConfig,
     ReplayFeed,
@@ -31,10 +47,15 @@ from repro.platform.replay import (
 )
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
     "CampaignCell",
     "CampaignResult",
     "ClusterScenario",
     "ReplayCampaign",
+    "autoscaling_scenario",
+    "balancer_scenarios",
+    "fault_rate_scenarios",
     "heterogeneous_memory_scenario",
     "invoker_count_scenarios",
     "memory_pressure_scenarios",
@@ -48,14 +69,21 @@ __all__ = [
     "ControllerStats",
     "EventHandle",
     "EventLoop",
+    "FaultInjector",
+    "FaultPlan",
     "ColdStartModel",
     "Invoker",
+    "BALANCER_STRATEGIES",
+    "ConsistentHashBalancer",
+    "LeastLoadedBalancer",
     "LoadBalancer",
     "PlacementDecision",
+    "make_balancer",
     "ActivationMessage",
     "CompletionMessage",
     "ContainerUnloadNotice",
     "PrewarmMessage",
+    "PLATFORM_EVENT_KINDS",
     "AppInvocationStats",
     "PlatformMetrics",
     "ReplayConfig",

@@ -1,0 +1,191 @@
+"""Invoker autoscaling: grow and shrink the fleet on a fixed tick.
+
+The paper's deployment (and PR 5's campaigns) run a fixed 18-invoker
+fleet; real platforms resize the invoker pool against load.  The
+:class:`Autoscaler` samples the cluster on a fixed tick and
+
+* **scales out** — provisions one fresh invoker — when the fleet's mean
+  memory utilization crosses ``scale_up_utilization`` or submissions are
+  piling up deferred (the whole-fleet-down queue), and
+* **scales in** — decommissions one fully idle invoker — when mean
+  utilization drops below ``scale_down_utilization``,
+
+always keeping the fleet inside ``[min_invokers, max_invokers]`` and
+honouring a cooldown between scaling actions.  Every decision goes
+through the shared :class:`~repro.platform.events.EventLoop` as an
+ordinary flat event record, fleet-size samples land in
+:class:`~repro.platform.metrics.PlatformMetrics` (the fleet-size
+timeline), and topology changes are pushed through the load balancer's
+``add_invoker``/``remove_invoker`` so its caches are invalidated.
+
+Determinism: new invokers draw their cold-start-latency RNG from
+``default_rng([cluster seed, invoker id])`` — a pure function of the
+configuration and the (deterministic) scaling trajectory — so
+autoscaled replays stay byte-reproducible across campaign workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster wires us)
+    from repro.platform.cluster import FaasCluster
+    from repro.platform.invoker import Invoker
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Sizing rules for the invoker autoscaler.
+
+    Attributes:
+        min_invokers: Lower fleet bound (never scale in below this).
+        max_invokers: Upper fleet bound (never scale out above this).
+        tick_seconds: Sampling period of the control loop.
+        scale_up_utilization: Mean memory-load fraction above which the
+            fleet grows by one invoker.
+        scale_down_utilization: Mean memory-load fraction below which an
+            idle invoker is decommissioned.
+        scale_up_queue_depth: Deferred submissions (whole fleet down or
+            saturated) that force a scale-out regardless of utilization.
+        cooldown_seconds: Minimum time between two scaling actions.
+        invoker_memory_mb: Memory budget of autoscaled invokers; ``None``
+            inherits the cluster's homogeneous budget.
+    """
+
+    min_invokers: int = 1
+    max_invokers: int = 64
+    tick_seconds: float = 60.0
+    scale_up_utilization: float = 0.75
+    scale_down_utilization: float = 0.25
+    scale_up_queue_depth: int = 4
+    cooldown_seconds: float = 120.0
+    invoker_memory_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_invokers < 1:
+            raise ValueError("autoscaler needs at least one invoker")
+        if self.max_invokers < self.min_invokers:
+            raise ValueError("max_invokers must be >= min_invokers")
+        if self.tick_seconds <= 0:
+            raise ValueError("tick period must be positive")
+        if not 0 < self.scale_up_utilization <= 1.0:
+            raise ValueError("scale-up utilization must be in (0, 1]")
+        if not 0 <= self.scale_down_utilization < self.scale_up_utilization:
+            raise ValueError(
+                "scale-down utilization must be in [0, scale_up_utilization)"
+            )
+        if self.scale_up_queue_depth < 1:
+            raise ValueError("scale-up queue depth must be at least 1")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.invoker_memory_mb is not None and self.invoker_memory_mb <= 0:
+            raise ValueError("invoker memory must be positive")
+
+
+class Autoscaler:
+    """Fixed-tick invoker-fleet controller for one cluster run."""
+
+    def __init__(self, cluster: "FaasCluster", config: AutoscalerConfig) -> None:
+        self.cluster = cluster
+        self.config = config
+        self._last_action_seconds = -float("inf")
+        self._deferrals_seen = 0
+        self._next_invoker_id = max(
+            invoker.invoker_id for invoker in cluster.invokers
+        ) + 1
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fleet(self) -> list["Invoker"]:
+        """In-service invokers (alive or mid-restart, not decommissioned)."""
+        return [inv for inv in self.cluster.load_balancer.invokers if inv.in_service]
+
+    def start(self, horizon_seconds: float) -> None:
+        """Record the initial fleet size and begin ticking up to the horizon."""
+        if self._started:
+            raise RuntimeError("autoscaler already started")
+        self._started = True
+        loop = self.cluster.loop
+        self.cluster.metrics.record_fleet_size(loop.now, len(self.fleet))
+        tick = self.config.tick_seconds
+        if loop.now + tick <= horizon_seconds:
+            loop.schedule(tick, lambda: self._tick(horizon_seconds))
+
+    # ------------------------------------------------------------------ #
+    def _tick(self, horizon_seconds: float) -> None:
+        loop = self.cluster.loop
+        self._evaluate()
+        self.cluster.metrics.record_fleet_size(loop.now, len(self.fleet))
+        if loop.now + self.config.tick_seconds <= horizon_seconds:
+            loop.schedule(
+                self.config.tick_seconds, lambda: self._tick(horizon_seconds)
+            )
+
+    def _evaluate(self) -> None:
+        config = self.config
+        loop = self.cluster.loop
+        if loop.now - self._last_action_seconds < config.cooldown_seconds:
+            return
+        fleet = self.fleet
+        alive = [inv for inv in fleet if inv.alive]
+        if alive:
+            utilization = sum(inv.load_fraction for inv in alive) / len(alive)
+        else:
+            # Whole fleet down: treat as fully loaded so we scale out.
+            utilization = 1.0
+        # Deferred submissions since the last tick (a rate, not a level:
+        # the controller counter only ever grows).
+        deferrals = self.cluster.controller.stats.deferrals
+        queued = deferrals - self._deferrals_seen
+        self._deferrals_seen = deferrals
+
+        if (
+            utilization > config.scale_up_utilization
+            or queued >= config.scale_up_queue_depth
+        ) and len(fleet) < config.max_invokers:
+            self._scale_up()
+        elif (
+            utilization < config.scale_down_utilization
+            and len(fleet) > config.min_invokers
+        ):
+            self._scale_down()
+
+    # ------------------------------------------------------------------ #
+    def _scale_up(self) -> None:
+        cluster = self.cluster
+        invoker_id = self._next_invoker_id
+        self._next_invoker_id += 1
+        memory_mb = (
+            self.config.invoker_memory_mb
+            if self.config.invoker_memory_mb is not None
+            else cluster.config.invoker_memory_mb
+        )
+        invoker = cluster.provision_invoker(invoker_id, memory_mb)
+        self._last_action_seconds = cluster.loop.now
+        cluster.metrics.record_platform_event(
+            "scale-up", cluster.loop.now, invoker.invoker_id
+        )
+
+    def _scale_down(self) -> None:
+        cluster = self.cluster
+        # Only a fully idle invoker can leave; prefer the one with the
+        # least resident memory (cheapest containers to re-create), ties
+        # broken toward the newest invoker (LIFO, the natural elasticity
+        # order).
+        candidates = [
+            inv
+            for inv in self.fleet
+            if inv.alive and inv.total_in_flight == 0
+        ]
+        if not candidates:
+            return
+        victim = min(
+            candidates, key=lambda inv: (inv.used_memory_mb, -inv.invoker_id)
+        )
+        cluster.decommission_invoker(victim)
+        self._last_action_seconds = cluster.loop.now
+        cluster.metrics.record_platform_event(
+            "scale-down", cluster.loop.now, victim.invoker_id
+        )

@@ -16,7 +16,12 @@ Scenario builders cover the axes the paper only gestures at:
   per-invoker memory;
 * :func:`memory_pressure_scenarios` — shrinking per-invoker memory to
   trace eviction-rate curves;
-* :func:`heterogeneous_memory_scenario` — mixed-size invoker fleets.
+* :func:`heterogeneous_memory_scenario` — mixed-size invoker fleets;
+* :func:`fault_rate_scenarios` — invoker crash-rate sweeps (fault
+  injection via :class:`~repro.platform.faults.FaultPlan`);
+* :func:`balancer_scenarios` — load-balancer strategy comparison;
+* :func:`autoscaling_scenario` — an elastic fleet driven by the
+  :class:`~repro.platform.autoscaler.Autoscaler`.
 
 Each replay's outcome travels back as a :class:`CampaignCell` holding
 the scalar summary plus the per-app cold-start percentages (the Figure
@@ -32,7 +37,10 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.platform.autoscaler import AutoscalerConfig
 from repro.platform.cluster import ClusterConfig
+from repro.platform.faults import FaultPlan
+from repro.platform.loadbalancer import BALANCER_STRATEGIES
 from repro.platform.replay import ReplayConfig, ReplayFeed, TraceReplayer
 from repro.policies.registry import PolicyFactory
 from repro.simulation.engine import fork_pool_map
@@ -48,6 +56,9 @@ AGGREGATED_METRICS: tuple[str, ...] = (
     "average_memory_mb",
     "evictions",
     "prewarm_loads",
+    "invoker_crashes",
+    "crash_cold_starts",
+    "dropped_invocations",
 )
 
 
@@ -100,6 +111,67 @@ def heterogeneous_memory_scenario(
         config=replace(
             base, num_invokers=len(memories), invoker_memories_mb=memories
         ),
+    )
+
+
+def fault_rate_scenarios(
+    crash_rates_per_hour: Sequence[float],
+    *,
+    base: ClusterConfig | None = None,
+    restart_delay_seconds: float = 30.0,
+    retry_limit: int = 1,
+    fault_seed: int = 0,
+) -> list[ClusterScenario]:
+    """One scenario per invoker crash rate (fault-realism curves).
+
+    Rate 0 maps to a scenario without a fault plan — byte-identical to a
+    plain replay, anchoring the curve at today's behaviour.
+    """
+    base = base or ClusterConfig()
+    scenarios = []
+    for rate in crash_rates_per_hour:
+        plan = (
+            FaultPlan(
+                crash_rate_per_hour=float(rate),
+                restart_delay_seconds=restart_delay_seconds,
+                retry_limit=retry_limit,
+                seed=fault_seed,
+            )
+            if rate > 0
+            else None
+        )
+        scenarios.append(
+            ClusterScenario(
+                name=f"crash-{rate:g}ph", config=replace(base, fault_plan=plan)
+            )
+        )
+    return scenarios
+
+
+def balancer_scenarios(
+    strategies: Sequence[str] | None = None, base: ClusterConfig | None = None
+) -> list[ClusterScenario]:
+    """One scenario per load-balancer strategy (same fleet, same faults)."""
+    base = base or ClusterConfig()
+    return [
+        ClusterScenario(
+            name=f"balancer-{strategy}", config=replace(base, balancer=strategy)
+        )
+        for strategy in (strategies or BALANCER_STRATEGIES)
+    ]
+
+
+def autoscaling_scenario(
+    autoscaler: AutoscalerConfig | None = None,
+    *,
+    name: str = "autoscaled",
+    base: ClusterConfig | None = None,
+) -> ClusterScenario:
+    """An elastic-fleet scenario (fleet resized on the autoscaler's tick)."""
+    base = base or ClusterConfig()
+    return ClusterScenario(
+        name=name,
+        config=replace(base, autoscaler=autoscaler or AutoscalerConfig()),
     )
 
 

@@ -4,8 +4,11 @@ The default configuration mirrors the paper's OpenWhisk deployment
 (Section 5.1): one controller plus 18 invoker VMs, each with a few GB of
 memory for worker containers.  Beyond the paper's single shape, the
 configuration spans the scenario axes the replay campaigns sweep:
-invoker-count scaling, per-invoker memory pressure, and heterogeneous
-per-invoker memory (:attr:`ClusterConfig.invoker_memories_mb`).
+invoker-count scaling, per-invoker memory pressure, heterogeneous
+per-invoker memory (:attr:`ClusterConfig.invoker_memories_mb`), the
+load-balancer strategy (:attr:`ClusterConfig.balancer`), fault injection
+(:attr:`ClusterConfig.fault_plan`), and invoker autoscaling
+(:attr:`ClusterConfig.autoscaler`).
 """
 
 from __future__ import annotations
@@ -14,10 +17,12 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.platform.autoscaler import Autoscaler, AutoscalerConfig
 from repro.platform.controller import Controller
 from repro.platform.events import EventLoop, SubmissionSource
+from repro.platform.faults import FaultInjector, FaultPlan
 from repro.platform.invoker import ColdStartModel, Invoker
-from repro.platform.loadbalancer import LoadBalancer
+from repro.platform.loadbalancer import BALANCER_STRATEGIES, make_balancer
 from repro.platform.metrics import PlatformMetrics
 from repro.policies.registry import PolicyFactory
 
@@ -39,6 +44,12 @@ class ClusterConfig:
         overload_threshold: Memory-load fraction above which the balancer
             skips an invoker.
         seed: Seed for the latency-sampling random generator.
+        balancer: Load-balancing strategy (one of
+            :data:`~repro.platform.loadbalancer.BALANCER_STRATEGIES`).
+        fault_plan: Optional fault-injection plan (invoker crashes,
+            controller→invoker message delay); ``None`` disables faults.
+        autoscaler: Optional autoscaling rules; ``None`` keeps the fleet
+            fixed at ``num_invokers``.
     """
 
     num_invokers: int = 18
@@ -48,6 +59,9 @@ class ClusterConfig:
     runtime_bootstrap_seconds: float = 0.35
     overload_threshold: float = 0.9
     seed: int = 1
+    balancer: str = "ring"
+    fault_plan: FaultPlan | None = None
+    autoscaler: AutoscalerConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_invokers < 1:
@@ -68,6 +82,22 @@ class ClusterConfig:
             raise ValueError("container start latency must be positive")
         if self.runtime_bootstrap_seconds < 0:
             raise ValueError("runtime bootstrap latency must be non-negative")
+        if self.balancer not in BALANCER_STRATEGIES:
+            raise ValueError(
+                f"unknown balancer strategy {self.balancer!r}; "
+                f"expected one of {BALANCER_STRATEGIES}"
+            )
+        if self.autoscaler is not None:
+            if not (
+                self.autoscaler.min_invokers
+                <= self.num_invokers
+                <= self.autoscaler.max_invokers
+            ):
+                raise ValueError(
+                    "initial fleet size must sit inside the autoscaler's "
+                    f"[{self.autoscaler.min_invokers}, "
+                    f"{self.autoscaler.max_invokers}] bounds"
+                )
 
     @classmethod
     def heterogeneous(
@@ -97,7 +127,7 @@ class FaasCluster:
         self.config = config or ClusterConfig()
         self.loop = EventLoop()
         self.metrics = PlatformMetrics()
-        cold_start_model = ColdStartModel(
+        self._cold_start_model = ColdStartModel(
             container_start_mean_seconds=self.config.container_start_mean_seconds,
             runtime_bootstrap_seconds=self.config.runtime_bootstrap_seconds,
         )
@@ -108,20 +138,60 @@ class FaasCluster:
                 memory_capacity_mb=memory_mb,
                 loop=self.loop,
                 metrics=self.metrics,
-                cold_start_model=cold_start_model,
+                cold_start_model=self._cold_start_model,
                 rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
             )
             for index, memory_mb in enumerate(self.config.memory_plan())
         ]
-        self.load_balancer = LoadBalancer(
-            self.invokers, overload_threshold=self.config.overload_threshold
+        self.load_balancer = make_balancer(
+            self.config.balancer,
+            self.invokers,
+            overload_threshold=self.config.overload_threshold,
         )
+        plan = self.config.fault_plan
         self.controller = Controller(
             loop=self.loop,
             load_balancer=self.load_balancer,
             metrics=self.metrics,
             policy_factory=policy_factory,
+            retry_limit=plan.retry_limit if plan is not None else 1,
         )
+        self.fault_injector: FaultInjector | None = None
+        if plan is not None and not plan.is_zero_fault:
+            self.fault_injector = FaultInjector(plan, self)
+            if plan.has_message_delay:
+                self.controller.activation_delay = self.fault_injector.activation_delay
+        self.autoscaler: Autoscaler | None = None
+        if self.config.autoscaler is not None:
+            self.autoscaler = Autoscaler(self, self.config.autoscaler)
+
+    # ------------------------------------------------------------------ #
+    # Fleet elasticity (used by the autoscaler)
+    # ------------------------------------------------------------------ #
+    def provision_invoker(self, invoker_id: int, memory_mb: float) -> Invoker:
+        """Create, register, and return a fresh invoker (scale-out).
+
+        The latency RNG is seeded from ``(cluster seed, invoker id)`` — not
+        drawn from the construction-time stream — so provisioning order and
+        campaign worker count cannot change any invoker's random stream.
+        """
+        invoker = Invoker(
+            invoker_id=invoker_id,
+            memory_capacity_mb=memory_mb,
+            loop=self.loop,
+            metrics=self.metrics,
+            cold_start_model=self._cold_start_model,
+            rng=np.random.default_rng([self.config.seed, invoker_id]),
+        )
+        self.invokers.append(invoker)
+        self.controller.register_invoker(invoker)
+        self.load_balancer.add_invoker(invoker)
+        return invoker
+
+    def decommission_invoker(self, invoker: Invoker) -> None:
+        """Retire an idle invoker (scale-in) and drop it from the balancer."""
+        invoker.decommission()
+        self.load_balancer.remove_invoker(invoker)
 
     # ------------------------------------------------------------------ #
     @property
@@ -133,6 +203,7 @@ class FaasCluster:
         until_seconds: float | None = None,
         *,
         source: SubmissionSource | None = None,
+        horizon_seconds: float | None = None,
     ) -> PlatformMetrics:
         """Run the event loop to completion (or a horizon) and finalize metrics.
 
@@ -140,7 +211,21 @@ class FaasCluster:
             until_seconds: Optional horizon for the event loop.
             source: Optional submission source (the columnar replay
                 feed's cursor) merged with the event stream.
+            horizon_seconds: Workload horizon for the fault injector and
+                autoscaler (crashes and scaling ticks are only scheduled
+                up to this time, so the loop still drains).  Required when
+                the cluster has either subsystem configured.
         """
+        if self.fault_injector is not None or self.autoscaler is not None:
+            if horizon_seconds is None:
+                raise ValueError(
+                    "horizon_seconds is required with fault injection or "
+                    "autoscaling enabled (their schedules must be bounded)"
+                )
+            if self.fault_injector is not None:
+                self.fault_injector.start(horizon_seconds)
+            if self.autoscaler is not None:
+                self.autoscaler.start(horizon_seconds)
         end = self.loop.run(until_seconds, source=source)
         self.controller.drain()
         # Draining may schedule nothing, but unloads are immediate; record the

@@ -114,6 +114,20 @@ class Container:
         self.unloaded_at_seconds = now_seconds
         return max(now_seconds - self.created_at_seconds, 0.0)
 
+    def destroy(self, now_seconds: float) -> float:
+        """Forcibly unload (invoker crash): in-flight executions are lost.
+
+        Unlike :meth:`unload`, a busy or still-starting container is torn
+        down too — the host process died under it.  Returns the loaded
+        duration for memory accounting.
+        """
+        if self.state is ContainerState.UNLOADED:
+            return 0.0
+        self.state = ContainerState.UNLOADED
+        self.in_flight = 0
+        self.unloaded_at_seconds = now_seconds
+        return max(now_seconds - self.created_at_seconds, 0.0)
+
     def loaded_seconds(self, now_seconds: float) -> float:
         """Time the container has been loaded so far."""
         end = self.unloaded_at_seconds if self.unloaded_at_seconds is not None else now_seconds

@@ -11,16 +11,25 @@ ahead of the next expected invocation.
 Policy updates happen on activation *completions* (asynchronously, off
 the critical path in the real system), matching the paper's production
 implementation notes in Section 6.
+
+Under fault injection the controller is also the platform's retry
+authority: activations lost to an invoker crash come back through
+:meth:`Controller.handle_lost_activations` and are resubmitted (fresh
+arrival time, refreshed keep-alive) until the fault plan's retry limit,
+then dropped — keeping the conservation invariant ``completed + dropped
+== submitted``.  When the whole fleet is down, submissions are deferred
+and retried on a short timer instead of being lost.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.core.windows import PolicyDecision
 from repro.platform.events import EventHandle, EventLoop
+from repro.platform.invoker import Invoker
 from repro.platform.loadbalancer import LoadBalancer
 from repro.platform.messages import ActivationMessage, CompletionMessage
 from repro.platform.metrics import PlatformMetrics
@@ -28,6 +37,10 @@ from repro.policies.base import KeepAlivePolicy
 from repro.policies.registry import PolicyFactory
 
 SECONDS_PER_MINUTE = 60.0
+
+#: How long a submission waits before retrying placement when the whole
+#: fleet is down (every invoker mid-crash-restart).
+DEFER_RETRY_SECONDS = 1.0
 
 #: Policy updates are wall-clock timed one-in-N (always including the
 #: first): two ``perf_counter`` calls per completion are measurable at
@@ -37,9 +50,19 @@ POLICY_TIMING_SAMPLE_EVERY = 16
 
 @dataclass
 class ControllerStats:
-    """Operational counters for the controller itself."""
+    """Operational counters for the controller itself.
+
+    ``activations`` counts every dispatch, including crash retries;
+    ``submissions`` counts unique trace invocations, so the conservation
+    invariant under fault injection is ``completed + dropped ==
+    submissions``.
+    """
 
     activations: int = 0
+    submissions: int = 0
+    crash_retries: int = 0
+    dropped: int = 0
+    deferrals: int = 0
     prewarm_messages: int = 0
     policy_update_seconds_total: float = 0.0
     policy_updates: int = 0
@@ -80,17 +103,28 @@ class Controller:
         metrics: PlatformMetrics,
         policy_factory: PolicyFactory,
         default_keepalive_seconds: float = 600.0,
+        retry_limit: int = 1,
     ) -> None:
         self.loop = loop
         self.load_balancer = load_balancer
         self.metrics = metrics
         self.policy_factory = policy_factory
         self.default_keepalive_seconds = default_keepalive_seconds
+        #: Resubmission budget for activations lost to invoker crashes.
+        self.retry_limit = retry_limit
+        #: Optional controller→invoker delivery-delay sampler (wired by the
+        #: fault injector); ``None`` keeps the synchronous dispatch path.
+        self.activation_delay: Callable[[], float] | None = None
         self.stats = ControllerStats()
         self._apps: Dict[str, _AppState] = {}
         self._activation_counter = 0
         for invoker in load_balancer.invokers:
-            invoker.on_completion = self._handle_completion
+            self.register_invoker(invoker)
+
+    def register_invoker(self, invoker: Invoker) -> None:
+        """Wire an invoker's callbacks to this controller (also autoscaling)."""
+        invoker.on_completion = self._handle_completion
+        invoker.on_activations_lost = self.handle_lost_activations
 
     # ------------------------------------------------------------------ #
     def _app_state(self, app_id: str, memory_mb: float) -> _AppState:
@@ -129,7 +163,7 @@ class Controller:
             state.pending_prewarm.cancel()
             state.pending_prewarm = None
         self._activation_counter += 1
-        self.stats.activations += 1
+        self.stats.submissions += 1
         message = ActivationMessage(
             activation_id=self._activation_counter,
             app_id=app_id,
@@ -140,8 +174,46 @@ class Controller:
             keepalive_seconds=state.keepalive_seconds,
             prewarm_seconds=state.prewarm_seconds,
         )
-        placement = self.load_balancer.place(app_id, memory_mb)
-        placement.invoker.handle_activation(message)
+        self._dispatch(message)
+
+    def _dispatch(self, message: ActivationMessage) -> None:
+        """Place and deliver one activation (initial submit or crash retry)."""
+        placement = self.load_balancer.place(message.app_id, message.memory_mb)
+        if placement is None:
+            # Whole fleet down: hold the activation and retry placement
+            # shortly — restarts are always scheduled, so this drains.
+            self.stats.deferrals += 1
+            self.loop.schedule(DEFER_RETRY_SECONDS, lambda: self._dispatch(message))
+            return
+        self.stats.activations += 1
+        delay = self.activation_delay() if self.activation_delay is not None else 0.0
+        if delay > 0:
+            invoker = placement.invoker
+            self.loop.schedule(delay, lambda: invoker.handle_activation(message))
+        else:
+            placement.invoker.handle_activation(message)
+
+    # ------------------------------------------------------------------ #
+    # Fault handling (crash-lost activations)
+    # ------------------------------------------------------------------ #
+    def handle_lost_activations(self, lost: list[ActivationMessage]) -> None:
+        """Retry or drop activations whose invoker crashed mid-execution."""
+        for message in lost:
+            if message.retries >= self.retry_limit:
+                self.stats.dropped += 1
+                self.metrics.record_dropped(message.app_id)
+                continue
+            message.retries += 1
+            self.stats.crash_retries += 1
+            # The retry is a fresh arrival: queueing restarts now, and the
+            # keep-alive parameter is refreshed from the current policy
+            # state (it may have changed since the original dispatch).
+            message.arrival_time_seconds = self.loop.now
+            state = self._apps.get(message.app_id)
+            if state is not None:
+                message.keepalive_seconds = state.keepalive_seconds
+                message.prewarm_seconds = state.prewarm_seconds
+            self._dispatch(message)
 
     # ------------------------------------------------------------------ #
     # Completion path (policy updates, pre-warm scheduling)
@@ -177,6 +249,10 @@ class Controller:
             state.pending_prewarm = None
             self.stats.prewarm_messages += 1
             placement = self.load_balancer.place(app_id, state.memory_mb)
+            if placement is None:
+                # Fleet down: a pre-warm is advisory, drop it rather than
+                # queueing more work behind the outage.
+                return
             placement.invoker.prewarm(app_id, state.memory_mb, keepalive_seconds)
 
         state.pending_prewarm = self.loop.schedule(delay_seconds, _fire)

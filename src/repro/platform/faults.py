@@ -1,0 +1,189 @@
+"""Fault injection for the platform substrate: crashes, restarts, delays.
+
+A real OpenWhisk deployment loses invoker VMs: containers (and the
+executions inside them) disappear, keep-alive timers die with the
+process, and the activation path between controller and invokers rides a
+message bus with non-zero latency.  The replay campaigns of PR 5 never
+exercised any of that — every figure was produced on a cluster where
+nothing fails.  This module closes the gap with two pieces:
+
+* :class:`FaultPlan` — a frozen, **seeded** description of the faults to
+  inject: a per-invoker crash rate (exponential inter-crash gaps), the
+  restart delay, controller→invoker message delay (fixed plus uniform
+  jitter), and the retry budget for executions lost to a crash.  The
+  plan is pure data: picklable, hashable per campaign cell, and the
+  same plan always produces the same crash schedule.
+* :class:`FaultInjector` — schedules the plan's crash/restart events as
+  ordinary flat event records on the cluster's
+  :class:`~repro.platform.events.EventLoop` and samples activation
+  delays.  A crash calls :meth:`~repro.platform.invoker.Invoker.crash`
+  (containers destroyed, in-flight executions lost, keep-alive timers
+  dropped), hands the lost activations to the controller for
+  retry-or-drop accounting, and schedules the restart.
+
+Determinism contract: the crash schedule of invoker *i* is a pure
+function of ``(plan.seed, i)`` — independent of every other invoker, of
+the balancer strategy, and of how many campaign workers run — so fault
+campaigns stay byte-reproducible.  A zero-fault plan schedules nothing
+and samples nothing, leaving the replay bit-identical to a run without
+any plan at all (locked by ``tests/platform/test_replay_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster wires us)
+    from repro.platform.cluster import FaasCluster
+    from repro.platform.invoker import Invoker
+
+SECONDS_PER_HOUR = 3600.0
+
+#: Sub-stream index for the message-delay jitter generator, kept clear of
+#: the per-invoker crash streams (which use the invoker id).
+_DELAY_STREAM = 0x7FFF_FFFF
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the faults injected into one replay.
+
+    Attributes:
+        crash_rate_per_hour: Mean crashes per invoker per hour; gaps
+            between crashes are exponential (a Poisson failure process
+            per invoker).  ``0`` disables crashes.
+        restart_delay_seconds: How long a crashed invoker stays down
+            before rejoining the fleet (empty, cold).
+        message_delay_seconds: Fixed controller→invoker activation
+            delivery delay.  ``0`` keeps the synchronous fast path.
+        message_delay_jitter_seconds: Width of the uniform jitter added
+            on top of the fixed delay (sampled from the plan's seed).
+        retry_limit: How many times an activation lost to a crash is
+            resubmitted before it is dropped.
+        seed: Root seed of every fault stream.
+    """
+
+    crash_rate_per_hour: float = 0.0
+    restart_delay_seconds: float = 30.0
+    message_delay_seconds: float = 0.0
+    message_delay_jitter_seconds: float = 0.0
+    retry_limit: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crash_rate_per_hour < 0:
+            raise ValueError("crash rate must be non-negative")
+        if self.restart_delay_seconds <= 0:
+            raise ValueError("restart delay must be positive")
+        if self.message_delay_seconds < 0:
+            raise ValueError("message delay must be non-negative")
+        if self.message_delay_jitter_seconds < 0:
+            raise ValueError("message delay jitter must be non-negative")
+        if self.retry_limit < 0:
+            raise ValueError("retry limit must be non-negative")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The explicit zero-fault plan (reproduces a plain replay exactly)."""
+        return cls()
+
+    @property
+    def has_crashes(self) -> bool:
+        return self.crash_rate_per_hour > 0
+
+    @property
+    def has_message_delay(self) -> bool:
+        return self.message_delay_seconds > 0 or self.message_delay_jitter_seconds > 0
+
+    @property
+    def is_zero_fault(self) -> bool:
+        """Whether this plan injects nothing at all."""
+        return not self.has_crashes and not self.has_message_delay
+
+    def crash_schedule(self, invoker_id: int, horizon_seconds: float) -> np.ndarray:
+        """Crash times (seconds) for one invoker within the horizon.
+
+        A pure function of ``(seed, invoker_id)``: exponential gaps at
+        ``crash_rate_per_hour``, with the invoker's down time
+        (``restart_delay_seconds``) inserted after each crash so an
+        invoker can never be scheduled to crash while already down.
+        """
+        if not self.has_crashes or horizon_seconds <= 0:
+            return np.empty(0, dtype=np.float64)
+        rng = np.random.default_rng([self.seed, int(invoker_id)])
+        scale = SECONDS_PER_HOUR / self.crash_rate_per_hour
+        times: list[float] = []
+        clock = float(rng.exponential(scale))
+        while clock < horizon_seconds:
+            times.append(clock)
+            clock += self.restart_delay_seconds + float(rng.exponential(scale))
+        return np.asarray(times, dtype=np.float64)
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan` onto a cluster's event loop.
+
+    The injector only touches the *initial* fleet: invokers added later
+    by the autoscaler never crash (their crash streams would otherwise
+    depend on the scaling trajectory, breaking the per-invoker
+    determinism contract).
+    """
+
+    def __init__(self, plan: FaultPlan, cluster: "FaasCluster") -> None:
+        self.plan = plan
+        self.cluster = cluster
+        self._delay_rng = np.random.default_rng([plan.seed, _DELAY_STREAM])
+        self._started = False
+
+    def start(self, horizon_seconds: float) -> None:
+        """Schedule every crash (and implied restart) within the horizon."""
+        if self._started:
+            raise RuntimeError("fault injector already started")
+        self._started = True
+        if not self.plan.has_crashes:
+            return
+        for invoker in self.cluster.invokers:
+            for crash_time in self.plan.crash_schedule(
+                invoker.invoker_id, horizon_seconds
+            ):
+                self.cluster.loop.schedule_at(
+                    float(crash_time),
+                    lambda invoker=invoker: self._crash(invoker),
+                )
+
+    # ------------------------------------------------------------------ #
+    def activation_delay(self) -> float:
+        """Sample the controller→invoker delivery delay for one activation."""
+        delay = self.plan.message_delay_seconds
+        jitter = self.plan.message_delay_jitter_seconds
+        if jitter > 0:
+            delay += float(self._delay_rng.uniform(0.0, jitter))
+        return delay
+
+    # ------------------------------------------------------------------ #
+    def _crash(self, invoker: "Invoker") -> None:
+        if not invoker.alive or invoker.decommissioned:
+            # Already down (overlapping schedules cannot happen for the
+            # injector's own events, but a decommission can race a crash).
+            return
+        now = self.cluster.loop.now
+        lost = invoker.crash()
+        metrics = self.cluster.metrics
+        metrics.record_crash(invoker.invoker_id, now, lost_in_flight=len(lost))
+        self.cluster.controller.handle_lost_activations(lost)
+        self.cluster.loop.schedule(
+            self.plan.restart_delay_seconds,
+            lambda: self._restart(invoker),
+        )
+
+    def _restart(self, invoker: "Invoker") -> None:
+        if invoker.decommissioned:
+            # Scaled in while down: it never rejoins the fleet.
+            return
+        invoker.restart()
+        self.cluster.metrics.record_restart(
+            invoker.invoker_id, self.cluster.loop.now
+        )

@@ -6,6 +6,14 @@ runs function executions inside them, and unloads containers when the
 keep-alive window received with the activation message expires — the
 paper's modification to OpenWhisk's ``ContainerProxy``.  When memory runs
 short the invoker evicts the least-recently-used idle container.
+
+Invokers can also **fail**: :meth:`Invoker.crash` models the VM dying —
+every container (busy or not) is destroyed, in-flight executions are
+lost and reported back for retry accounting, keep-alive deadlines and
+their queued expiry events are dropped, and the incremental memory
+accounting resets to zero.  A crashed invoker rejects activations (the
+controller retries them elsewhere) until :meth:`Invoker.restart` brings
+it back empty and cold.
 """
 
 from __future__ import annotations
@@ -80,7 +88,19 @@ class Invoker:
         self.rng = rng or np.random.default_rng(invoker_id)
         self.on_completion = on_completion
         self.on_unload = on_unload
+        #: Called with the activations lost when this invoker crashes (or
+        #: when an activation is delivered to it while down); the
+        #: controller wires itself here for retry-or-drop accounting.
+        self.on_activations_lost: Callable[[list[ActivationMessage]], None] | None = None
+        #: False while the invoker is down after a crash.
+        self.alive = True
+        #: True once the autoscaler has permanently removed this invoker.
+        self.decommissioned = False
         self._containers: dict[str, Container] = {}
+        # In-flight executions by activation id: the completion event
+        # handle plus the activation message, so a crash can cancel the
+        # completions and report exactly which activations were lost.
+        self._inflight: dict[int, tuple[EventHandle, ActivationMessage]] = {}
         # Lazy keep-alive bookkeeping: the authoritative expiry time per
         # application lives in _keepalive_deadline; _keepalive_handles
         # tracks at most one outstanding expiry event per application,
@@ -110,6 +130,16 @@ class Invoker:
         """Memory utilization in [0, 1+]; the load balancer keys off this."""
         return self.used_memory_mb / self.memory_capacity_mb
 
+    @property
+    def total_in_flight(self) -> int:
+        """Executions currently running on this invoker (all containers)."""
+        return len(self._inflight)
+
+    @property
+    def in_service(self) -> bool:
+        """Whether this invoker belongs to the fleet (possibly mid-restart)."""
+        return not self.decommissioned
+
     def container_for(self, app_id: str) -> Optional[Container]:
         # Every container in the dict is loaded: _unload() removes the
         # entry in the same step that marks the container UNLOADED, so no
@@ -124,6 +154,13 @@ class Invoker:
     # ------------------------------------------------------------------ #
     def handle_activation(self, message: ActivationMessage) -> None:
         """Execute one activation, creating a container if needed."""
+        if not self.alive:
+            # Delivered to a dead invoker (it crashed while the message
+            # was in flight, or was decommissioned): the execution is
+            # lost; the controller decides whether to retry it.
+            if self.on_activations_lost is not None:
+                self.on_activations_lost([message])
+            return
         loop = self.loop
         now = loop.now
         container = self._containers.get(message.app_id)
@@ -142,7 +179,7 @@ class Invoker:
         def _finish() -> None:
             self._finish_activation(message, container, cold, queued, startup)
 
-        loop.schedule(finish_delay, _finish)
+        self._inflight[message.activation_id] = (loop.schedule(finish_delay, _finish), message)
 
     def _finish_activation(
         self,
@@ -152,6 +189,7 @@ class Invoker:
         queued: float,
         startup: float,
     ) -> None:
+        self._inflight.pop(message.activation_id, None)
         now = self.loop.now
         container.mark_warm(now)
         container.end_invocation(now)
@@ -191,6 +229,8 @@ class Invoker:
 
         Returns True when a container is (now) loaded for the application.
         """
+        if not self.alive:
+            return False
         if self.container_for(app_id) is not None:
             self._schedule_keepalive(app_id, keepalive_seconds)
             return True
@@ -283,7 +323,9 @@ class Invoker:
             return
         self._cancel_keepalive(app_id)
         loaded = container.unload(self.loop.now)
-        self.metrics.record_container_unload(self.invoker_id, container.memory_mb, loaded)
+        self.metrics.record_container_unload(
+            self.invoker_id, container.memory_mb, loaded, reason=reason, app_id=app_id
+        )
         del self._containers[app_id]
         self._used_memory_mb -= container.memory_mb
         if self.on_unload is not None:
@@ -302,3 +344,71 @@ class Invoker:
             container = self._containers[app_id]
             if container.is_loaded and container.in_flight == 0:
                 self._unload(app_id, reason="experiment-end")
+
+    # ------------------------------------------------------------------ #
+    # Failure lifecycle
+    # ------------------------------------------------------------------ #
+    def crash(self) -> list[ActivationMessage]:
+        """Fail the invoker: lose containers, in-flight work, and timers.
+
+        Models the VM dying.  Every container is destroyed with its
+        residency accounted (the memory *was* occupied until now), queued
+        completion events for in-flight executions are cancelled, and all
+        keep-alive bookkeeping — both the authoritative deadlines and the
+        queued expiry events — is dropped, so nothing scheduled before
+        the crash can act on containers created after the restart.
+
+        Returns:
+            The activation messages of the executions that were lost, in
+            activation-id (submission) order, for the controller to retry
+            or drop.
+        """
+        now = self.loop.now
+        lost = [message for _handle, message in self._inflight.values()]
+        for handle, _message in self._inflight.values():
+            handle.cancel()
+        self._inflight.clear()
+        for handle in self._keepalive_handles.values():
+            handle.cancel()
+        self._keepalive_handles.clear()
+        self._keepalive_deadline.clear()
+        for app_id, container in self._containers.items():
+            loaded = container.destroy(now)
+            self.metrics.record_container_unload(
+                self.invoker_id,
+                container.memory_mb,
+                loaded,
+                reason="invoker-crash",
+                app_id=app_id,
+            )
+        self._containers.clear()
+        self._used_memory_mb = 0.0
+        self.alive = False
+        return lost
+
+    def restart(self) -> None:
+        """Bring a crashed invoker back: empty, cold, and accepting work."""
+        if self.decommissioned:
+            raise RuntimeError(
+                f"invoker {self.invoker_id} was decommissioned and cannot restart"
+            )
+        self.alive = True
+
+    def decommission(self) -> None:
+        """Permanently remove the invoker from service (autoscaler scale-in).
+
+        Only an idle invoker may be decommissioned; the autoscaler checks
+        ``total_in_flight`` first.  Idle containers are unloaded with
+        their residency accounted.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                f"cannot decommission invoker {self.invoker_id} with "
+                f"{len(self._inflight)} in-flight executions"
+            )
+        for app_id in list(self._containers):
+            self._unload(app_id, reason="scale-in")
+        self._keepalive_handles.clear()
+        self._keepalive_deadline.clear()
+        self.alive = False
+        self.decommissioned = True

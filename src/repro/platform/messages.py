@@ -37,6 +37,9 @@ class ActivationMessage:
         prewarm_seconds: Pre-warming window; the invoker unloads the
             container right after execution when this is positive, and the
             controller schedules a pre-warm message for later.
+        retries: How many times this activation has been resubmitted after
+            being lost to an invoker crash (fault injection only; the one
+            field the controller mutates).
     """
 
     activation_id: int
@@ -47,6 +50,7 @@ class ActivationMessage:
     memory_mb: float
     keepalive_seconds: float
     prewarm_seconds: float = 0.0
+    retries: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -20,6 +20,14 @@ per-app cold-start percentages, latency percentiles) is an array
 reduction over the columns instead of a Python loop over message
 objects.  At production replay scale (hundreds of thousands of
 completions) this is what keeps the metrics layer off the critical path.
+
+Fault injection and elasticity add a second family of observations:
+invoker crashes and restarts, invocations dropped after exhausting the
+crash-retry budget, **crash-induced cold starts** (the first cold start
+an application pays because its warm container died with its invoker),
+and the fleet-size timeline sampled by the autoscaler.  These arrive as
+flat platform-event records (kind code, time, invoker id) in the same
+columnar style, so a fault-free replay records nothing extra.
 """
 
 from __future__ import annotations
@@ -46,6 +54,11 @@ class AppInvocationStats:
         if self.invocations == 0:
             return 0.0
         return 100.0 * self.cold_starts / self.invocations
+
+
+#: Platform-event kinds, in code order (the event column stores codes).
+PLATFORM_EVENT_KINDS: tuple[str, ...] = ("crash", "restart", "scale-up", "scale-down")
+_EVENT_CODE = {kind: code for code, kind in enumerate(PLATFORM_EVENT_KINDS)}
 
 
 def _column(values: array, dtype: np.dtype | type) -> np.ndarray:
@@ -83,6 +96,22 @@ class PlatformMetrics:
         self._observation_end_seconds = 0.0
         self._prewarm_loads = 0
         self._evictions = 0
+        # Fault/elasticity timeline: flat (kind code, time, invoker id)
+        # records, plus the fleet-size samples the autoscaler emits.
+        self._event_kind = array("b")
+        self._event_time = array("d")
+        self._event_invoker = array("q")
+        self._fleet_time = array("d")
+        self._fleet_size = array("q")
+        self._invoker_crashes = 0
+        self._invoker_restarts = 0
+        self._crash_lost_in_flight = 0
+        self._dropped = 0
+        self._crash_cold_starts = 0
+        # Applications whose warm container was destroyed by a crash and
+        # that have not completed an invocation since: their next cold
+        # start is attributed to the crash.
+        self._crash_victims: set[str] = set()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -105,6 +134,13 @@ class PlatformMetrics:
         self._completion_queued.append(queued_seconds)
         self._completion_startup.append(startup_seconds)
         self._completion_execution.append(execution_seconds)
+        if self._crash_victims and app_id in self._crash_victims:
+            # First completion since a crash destroyed the app's warm
+            # container: a cold start here was crash-induced; a warm one
+            # means another container survived — either way, resolved.
+            if cold:
+                self._crash_cold_starts += 1
+            self._crash_victims.discard(app_id)
 
     def record_completion(self, completion: CompletionMessage) -> None:
         self.record(
@@ -116,10 +152,18 @@ class PlatformMetrics:
         )
 
     def record_container_unload(
-        self, invoker_id: int, memory_mb: float, loaded_seconds: float
+        self,
+        invoker_id: int,
+        memory_mb: float,
+        loaded_seconds: float,
+        *,
+        reason: str = "",
+        app_id: str | None = None,
     ) -> None:
         """Account a container's full residency when it is unloaded."""
         self._memory_mb_seconds[invoker_id] += memory_mb * max(loaded_seconds, 0.0)
+        if reason == "invoker-crash" and app_id is not None:
+            self._crash_victims.add(app_id)
 
     def record_prewarm_load(self) -> None:
         self._prewarm_loads += 1
@@ -128,6 +172,38 @@ class PlatformMetrics:
         self._evictions += 1
         if invoker_id is not None:
             self._evictions_by_invoker[invoker_id] += 1
+
+    # ------------------------------------------------------------------ #
+    # Fault / elasticity recording
+    # ------------------------------------------------------------------ #
+    def record_platform_event(
+        self, kind: str, time_seconds: float, invoker_id: int = -1
+    ) -> None:
+        """Append one flat platform-event record (crash/restart/scaling)."""
+        self._event_kind.append(_EVENT_CODE[kind])
+        self._event_time.append(time_seconds)
+        self._event_invoker.append(invoker_id)
+
+    def record_crash(
+        self, invoker_id: int, time_seconds: float, *, lost_in_flight: int = 0
+    ) -> None:
+        self._invoker_crashes += 1
+        self._crash_lost_in_flight += lost_in_flight
+        self.record_platform_event("crash", time_seconds, invoker_id)
+
+    def record_restart(self, invoker_id: int, time_seconds: float) -> None:
+        self._invoker_restarts += 1
+        self.record_platform_event("restart", time_seconds, invoker_id)
+
+    def record_dropped(self, app_id: str) -> None:
+        """An invocation exhausted its crash-retry budget and was lost."""
+        del app_id  # per-app drop attribution is not summarized (yet)
+        self._dropped += 1
+
+    def record_fleet_size(self, time_seconds: float, size: int) -> None:
+        """Sample the in-service fleet size (autoscaler ticks and events)."""
+        self._fleet_time.append(time_seconds)
+        self._fleet_size.append(size)
 
     def finish(self, end_time_seconds: float) -> None:
         """Mark the end of the observation window."""
@@ -178,9 +254,50 @@ class PlatformMetrics:
     def evictions(self) -> int:
         return self._evictions
 
+    @property
+    def invoker_crashes(self) -> int:
+        return self._invoker_crashes
+
+    @property
+    def invoker_restarts(self) -> int:
+        return self._invoker_restarts
+
+    @property
+    def crash_lost_in_flight(self) -> int:
+        """Executions that were running on an invoker when it crashed."""
+        return self._crash_lost_in_flight
+
+    @property
+    def dropped_invocations(self) -> int:
+        """Invocations lost for good (crash-retry budget exhausted)."""
+        return self._dropped
+
+    @property
+    def crash_cold_starts(self) -> int:
+        """Cold starts attributable to a crash destroying a warm container."""
+        return self._crash_cold_starts
+
     def evictions_by_invoker(self) -> Mapping[int, int]:
         """Memory-pressure evictions per invoker id."""
         return dict(self._evictions_by_invoker)
+
+    def platform_events(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(kind codes, times, invoker ids) of every fault/scaling event.
+
+        Kind codes index :data:`PLATFORM_EVENT_KINDS`.
+        """
+        return (
+            _column(self._event_kind, np.int8),
+            _column(self._event_time, np.float64),
+            _column(self._event_invoker, np.int64),
+        )
+
+    def fleet_size_timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, in-service fleet sizes) sampled over the replay."""
+        return (
+            _column(self._fleet_time, np.float64),
+            _column(self._fleet_size, np.int64),
+        )
 
     @property
     def per_app(self) -> Mapping[str, AppInvocationStats]:
@@ -268,4 +385,12 @@ class PlatformMetrics:
             "memory_mb_seconds": self.total_memory_mb_seconds(),
             "prewarm_loads": float(self.prewarm_loads),
             "evictions": float(self.evictions),
+            "invoker_crashes": float(self._invoker_crashes),
+            "invoker_restarts": float(self._invoker_restarts),
+            "crash_lost_in_flight": float(self._crash_lost_in_flight),
+            "dropped_invocations": float(self._dropped),
+            "crash_cold_starts": float(self._crash_cold_starts),
+            "min_fleet_size": float(min(self._fleet_size)) if self._fleet_size else 0.0,
+            "max_fleet_size": float(max(self._fleet_size)) if self._fleet_size else 0.0,
+            "final_fleet_size": float(self._fleet_size[-1]) if self._fleet_size else 0.0,
         }

@@ -232,8 +232,12 @@ class TraceReplayer:
         horizon_seconds = config.duration_minutes * SECONDS_PER_MINUTE
 
         # Stream submissions from the columnar feed, merged with the
-        # event loop in time order; then let in-flight work finish.
-        metrics = cluster.run(source=self.feed.cursor(cluster))
+        # event loop in time order; then let in-flight work finish.  The
+        # horizon bounds the fault injector's crash schedule and the
+        # autoscaler's ticks so the loop drains.
+        metrics = cluster.run(
+            source=self.feed.cursor(cluster), horizon_seconds=horizon_seconds
+        )
         metrics.finish(max(horizon_seconds, cluster.loop.now))
         return ReplayResult(
             policy_name=policy_factory.name,

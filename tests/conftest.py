@@ -7,6 +7,9 @@ own small workloads instead.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -21,6 +24,38 @@ from repro.trace.schema import (
 )
 
 MINUTES_PER_DAY = 1440.0
+
+#: Wall-clock budget for the tier-1 suite.  The suite is the inner loop
+#: of every change; letting it creep past this silently would erode the
+#: edit-test cycle.  Override via REPRO_TIER1_TIME_BUDGET_SECONDS (CI
+#: machines differ); the guard only arms for the default ``-m "not
+#: slow_bench"`` selection, so slow-bench and subset runs are unaffected.
+TIER1_TIME_BUDGET_SECONDS = 90.0
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config._repro_tier1_started = time.perf_counter()  # type: ignore[attr-defined]
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    if session.config.getoption("markexpr") != "not slow_bench":
+        return
+    budget = float(
+        os.environ.get("REPRO_TIER1_TIME_BUDGET_SECONDS", TIER1_TIME_BUDGET_SECONDS)
+    )
+    started = getattr(session.config, "_repro_tier1_started", None)
+    if started is None:
+        return
+    elapsed = time.perf_counter() - started
+    if elapsed > budget and exitstatus == 0:
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        message = (
+            f"tier-1 suite took {elapsed:.1f}s, over the {budget:.0f}s budget "
+            "(REPRO_TIER1_TIME_BUDGET_SECONDS to override)"
+        )
+        if reporter is not None:
+            reporter.write_line(f"ERROR: {message}", red=True)
+        session.exitstatus = 1
 
 
 @pytest.fixture(scope="session")

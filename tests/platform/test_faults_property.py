@@ -1,0 +1,231 @@
+"""Hypothesis property tests for fault injection and elasticity.
+
+Contracts that must hold for any workload shape and any fault schedule:
+
+* a crashed invoker never holds a warm container afterwards — its
+  container dict, memory accounting, keep-alive bookkeeping, and
+  in-flight table are all empty, whatever mix of pre-warms and
+  executions preceded the crash;
+* the autoscaler keeps the fleet inside ``[min_invokers, max_invokers]``
+  at every tick, whatever the load pattern;
+* every balancer strategy returns a *live* invoker whenever at least one
+  exists, and ``None`` only when the whole fleet is down;
+* a crash schedule is a pure function of ``(plan seed, invoker id)`` and
+  respects the restart delay between consecutive crashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.autoscaler import AutoscalerConfig
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.events import EventLoop
+from repro.platform.faults import FaultPlan
+from repro.platform.invoker import Invoker
+from repro.platform.loadbalancer import BALANCER_STRATEGIES, make_balancer
+from repro.platform.messages import ActivationMessage
+from repro.platform.metrics import PlatformMetrics
+from repro.policies.registry import fixed_keepalive_factory
+
+APP_IDS = st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12)
+
+
+def build_invokers(count: int, capacity_mb: float = 1024.0) -> list[Invoker]:
+    loop = EventLoop()
+    metrics = PlatformMetrics()
+    return [
+        Invoker(
+            invoker_id=index,
+            memory_capacity_mb=capacity_mb,
+            loop=loop,
+            metrics=metrics,
+        )
+        for index in range(count)
+    ]
+
+
+class TestCrashLeavesNothingBehind:
+    @given(
+        prewarmed=st.lists(APP_IDS, min_size=0, max_size=6, unique=True),
+        num_running=st.integers(min_value=0, max_value=5),
+        memory_mb=st.floats(min_value=16.0, max_value=256.0),
+    )
+    @settings(max_examples=50)
+    def test_crash_clears_containers_memory_and_timers(
+        self, prewarmed, num_running, memory_mb
+    ):
+        (invoker,) = build_invokers(1, capacity_mb=8192.0)
+        for app_id in prewarmed:
+            invoker.prewarm(app_id, memory_mb, keepalive_seconds=600.0)
+        running = []
+        for index in range(num_running):
+            message = ActivationMessage(
+                activation_id=index + 1,
+                app_id=f"run-{index}",
+                function_id="f",
+                arrival_time_seconds=invoker.loop.now,
+                execution_seconds=1e6,  # still in flight at crash time
+                memory_mb=memory_mb,
+                keepalive_seconds=600.0,
+            )
+            invoker.handle_activation(message)
+            running.append(message)
+
+        lost = invoker.crash()
+
+        assert lost == running  # every in-flight execution reported, in order
+        assert not invoker.alive
+        assert invoker.loaded_app_ids() == []
+        assert invoker.container_for("run-0") is None
+        assert invoker.total_in_flight == 0
+        assert invoker.used_memory_mb == 0.0
+        assert invoker.free_memory_mb == invoker.memory_capacity_mb
+        assert invoker._keepalive_handles == {}
+        assert invoker._keepalive_deadline == {}
+
+    @given(app_id=APP_IDS)
+    @settings(max_examples=25)
+    def test_restarted_invoker_accepts_work_cold(self, app_id):
+        (invoker,) = build_invokers(1)
+        invoker.prewarm(app_id, 128.0, keepalive_seconds=600.0)
+        invoker.crash()
+        assert not invoker.prewarm(app_id, 128.0, keepalive_seconds=600.0)
+        invoker.restart()
+        assert invoker.alive
+        assert invoker.prewarm(app_id, 128.0, keepalive_seconds=600.0)
+        assert invoker.container_for(app_id) is not None
+
+
+class TestAutoscalerBounds:
+    @given(
+        bursts=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1800.0),  # burst start (s)
+                st.integers(min_value=1, max_value=25),  # invocations
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        min_invokers=st.integers(min_value=1, max_value=2),
+        span=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fleet_stays_inside_bounds_for_any_load(
+        self, bursts, min_invokers, span
+    ):
+        max_invokers = min_invokers + span
+        config = ClusterConfig(
+            num_invokers=min_invokers,
+            invoker_memory_mb=256.0,
+            autoscaler=AutoscalerConfig(
+                min_invokers=min_invokers,
+                max_invokers=max_invokers,
+                tick_seconds=60.0,
+                cooldown_seconds=0.0,
+            ),
+        )
+        cluster = FaasCluster(fixed_keepalive_factory(10.0), config)
+        for burst_index, (start, count) in enumerate(bursts):
+            for offset in range(count):
+                cluster.loop.schedule_at(
+                    start + 0.1 * offset,
+                    lambda b=burst_index, o=offset: cluster.controller.submit(
+                        f"app-{b}-{o % 7}",
+                        "f",
+                        execution_seconds=30.0,
+                        memory_mb=96.0,
+                    ),
+                )
+        metrics = cluster.run(horizon_seconds=2400.0)
+        _times, sizes = metrics.fleet_size_timeline()
+        assert sizes.size >= 1
+        assert int(sizes.min()) >= min_invokers
+        assert int(sizes.max()) <= max_invokers
+        # Conservation holds under elasticity too.
+        assert metrics.total_invocations == cluster.controller.stats.submissions
+
+
+class TestBalancerLiveness:
+    @given(
+        strategy=st.sampled_from(BALANCER_STRATEGIES),
+        num_invokers=st.integers(min_value=1, max_value=8),
+        dead=st.sets(st.integers(min_value=0, max_value=7)),
+        app_id=APP_IDS,
+    )
+    @settings(max_examples=80)
+    def test_place_returns_live_invoker_when_one_exists(
+        self, strategy, num_invokers, dead, app_id
+    ):
+        invokers = build_invokers(num_invokers)
+        balancer = make_balancer(strategy, invokers)
+        for invoker in invokers:
+            if invoker.invoker_id in dead:
+                invoker.crash()
+        decision = balancer.place(app_id, 128.0)
+        any_alive = any(invoker.alive for invoker in invokers)
+        if any_alive:
+            assert decision is not None
+            assert decision.invoker.alive
+        else:
+            assert decision is None
+
+    @given(
+        strategy=st.sampled_from(BALANCER_STRATEGIES),
+        app_id=APP_IDS,
+        holder=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=50)
+    def test_warm_container_on_dead_invoker_is_never_chosen(
+        self, strategy, app_id, holder
+    ):
+        invokers = build_invokers(5)
+        balancer = make_balancer(strategy, invokers)
+        holder_invoker = invokers[holder]
+        holder_invoker.prewarm(app_id, 128.0, keepalive_seconds=float("inf"))
+        holder_invoker.crash()
+        decision = balancer.place(app_id, 128.0)
+        assert decision is not None
+        assert decision.invoker is not holder_invoker
+        assert decision.invoker.alive
+
+
+class TestCrashSchedulePurity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        invoker_id=st.integers(min_value=0, max_value=63),
+        rate=st.floats(min_value=0.1, max_value=50.0),
+        horizon=st.floats(min_value=1.0, max_value=7200.0),
+    )
+    @settings(max_examples=60)
+    def test_schedule_is_deterministic_and_respects_restart_delay(
+        self, seed, invoker_id, rate, horizon
+    ):
+        plan = FaultPlan(
+            crash_rate_per_hour=rate, restart_delay_seconds=15.0, seed=seed
+        )
+        first = plan.crash_schedule(invoker_id, horizon)
+        second = plan.crash_schedule(invoker_id, horizon)
+        np.testing.assert_array_equal(first, second)
+        assert np.all(first >= 0.0)
+        assert np.all(first < horizon)
+        if first.size > 1:
+            # A crashed invoker is down for restart_delay_seconds; the
+            # next crash can only hit after it is back.
+            assert np.all(np.diff(first) >= plan.restart_delay_seconds)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        invoker_id=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=30)
+    def test_schedule_is_independent_of_other_invokers(self, seed, invoker_id):
+        """Invoker i's crashes must not depend on who else is in the fleet."""
+        plan = FaultPlan(crash_rate_per_hour=10.0, seed=seed)
+        alone = plan.crash_schedule(invoker_id, 3600.0)
+        for other in (invoker_id + 1, invoker_id + 7):
+            plan.crash_schedule(other, 3600.0)
+        with_neighbours = plan.crash_schedule(invoker_id, 3600.0)
+        np.testing.assert_array_equal(alone, with_neighbours)

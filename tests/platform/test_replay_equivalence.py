@@ -16,14 +16,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.platform.autoscaler import AutoscalerConfig
 from repro.platform.campaign import (
     ClusterScenario,
     ReplayCampaign,
+    autoscaling_scenario,
+    balancer_scenarios,
+    fault_rate_scenarios,
     heterogeneous_memory_scenario,
     invoker_count_scenarios,
     memory_pressure_scenarios,
 )
 from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.faults import FaultPlan
 from repro.platform.replay import (
     ReplayConfig,
     TraceReplayer,
@@ -345,3 +350,104 @@ class TestCampaign:
         cluster = FaasCluster(fixed_keepalive_factory(10.0), config)
         assert [inv.memory_capacity_mb for inv in cluster.invokers] == [256.0, 2048.0]
         assert cluster.total_memory_mb == 2304.0
+
+
+def _deterministic_summary(cell) -> dict:
+    """A campaign cell's summary minus the wall-clock overhead probe."""
+    return {k: v for k, v in cell.summary.items() if k != "controller_overhead_us"}
+
+
+class TestFaultCampaignDeterminism:
+    """Fault injection and autoscaling must not break bit-reproducibility."""
+
+    @pytest.fixture(scope="class")
+    def fault_workload(self) -> Workload:
+        config = GeneratorConfig(
+            num_apps=16, duration_minutes=300.0, seed=14, max_daily_rate=600.0
+        )
+        return WorkloadGenerator(config).generate()
+
+    def test_zero_fault_plan_is_byte_identical_to_plain_replay(
+        self, fault_workload
+    ):
+        """FaultPlan.none() must not consume RNG or reorder any event."""
+        config = ReplayConfig(duration_minutes=240.0, seed=21)
+        plain = TraceReplayer(
+            fault_workload, replay_config=config, cluster_config=PRESSURED_CLUSTER
+        ).run(fixed_keepalive_factory(10.0))
+        gated = TraceReplayer(
+            fault_workload,
+            replay_config=config,
+            cluster_config=ClusterConfig(
+                num_invokers=3,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                fault_plan=FaultPlan.none(),
+            ),
+        ).run(fixed_keepalive_factory(10.0))
+        assert_metrics_equivalent(plain.metrics, gated.metrics)
+
+    def test_zero_rate_fault_scenario_matches_no_plan_scenario(
+        self, fault_workload
+    ):
+        """fault_rate_scenarios(0) anchors the curve at today's behaviour."""
+        base = ClusterConfig(num_invokers=3, invoker_memory_mb=1024.0, seed=5)
+        scenario = fault_rate_scenarios([0.0], base=base)[0]
+        assert scenario.config.fault_plan is None
+        assert scenario.config == base
+
+    def _fault_campaign(self, workload: Workload, workers: int) -> ReplayCampaign:
+        base = ClusterConfig(num_invokers=3, invoker_memory_mb=1024.0, seed=5)
+        scenarios = (
+            fault_rate_scenarios([2.0], base=base, fault_seed=17)
+            + balancer_scenarios(("consistent-hash", "least-loaded"), base=base)
+            + [
+                autoscaling_scenario(
+                    AutoscalerConfig(
+                        min_invokers=2, max_invokers=6, tick_seconds=60.0
+                    ),
+                    base=ClusterConfig(
+                        num_invokers=3,
+                        invoker_memory_mb=1024.0,
+                        seed=5,
+                        fault_plan=FaultPlan(crash_rate_per_hour=3.0, seed=17),
+                    ),
+                )
+            ]
+        )
+        return ReplayCampaign(
+            workload,
+            [fixed_keepalive_factory(10.0)],
+            scenarios=scenarios,
+            seeds=(3, 4, 5),
+            replay_config=ReplayConfig(duration_minutes=180.0, seed=3),
+            workers=workers,
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fault_campaign_independent_of_worker_count(
+        self, fault_workload, workers
+    ):
+        serial = self._fault_campaign(fault_workload, workers=1).run()
+        forked = self._fault_campaign(fault_workload, workers=workers).run()
+        assert len(serial.cells) == len(forked.cells) == 12
+        crashes_seen = 0.0
+        for cell_a, cell_b in zip(serial.cells, forked.cells):
+            assert (cell_a.policy_name, cell_a.scenario_name, cell_a.seed) == (
+                cell_b.policy_name,
+                cell_b.scenario_name,
+                cell_b.seed,
+            )
+            assert _deterministic_summary(cell_a) == _deterministic_summary(cell_b)
+            np.testing.assert_array_equal(
+                cell_a.app_cold_start_pct, cell_b.app_cold_start_pct
+            )
+            crashes_seen += cell_a.summary["invoker_crashes"]
+        assert crashes_seen > 0, "campaign sized to actually crash invokers"
+        assert serial.rows() == forked.rows()
+
+    def test_same_fault_campaign_twice_is_identical(self, fault_workload):
+        first = self._fault_campaign(fault_workload, workers=2).run()
+        second = self._fault_campaign(fault_workload, workers=2).run()
+        for cell_a, cell_b in zip(first.cells, second.cells):
+            assert _deterministic_summary(cell_a) == _deterministic_summary(cell_b)
