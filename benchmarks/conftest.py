@@ -36,12 +36,62 @@ default tier-1 run and must be selected explicitly::
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import ExperimentContext, ExperimentScale
 from repro.simulation.engine import RunnerOptions
+
+#: Machine-readable performance trajectory, appended to by the speedup
+#: benchmarks (see :func:`record_bench_result`).  Lives at the repo root
+#: so successive runs accumulate a history of the measured speedups.
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+def record_bench_result(name: str, *, speedup: float | None = None, **details) -> None:
+    """Append one benchmark measurement to ``BENCH_results.json``.
+
+    Each entry records the benchmark name, the measured speedup (when the
+    benchmark asserts one), any extra details the benchmark chooses to
+    keep (timings, workload shape, compiled-path availability), and
+    enough environment context to interpret the number later.  The file
+    holds a JSON list and is append-only: re-runs add entries rather than
+    overwrite, so the file is the perf trajectory across sessions.
+    """
+    entries: list[dict] = []
+    if BENCH_RESULTS_PATH.exists():
+        try:
+            entries = json.loads(BENCH_RESULTS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            entries = []
+        if not isinstance(entries, list):
+            entries = []
+    entry: dict = {
+        "name": name,
+        "recorded_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+    }
+    if speedup is not None:
+        entry["speedup"] = round(float(speedup), 3)
+    if details:
+        entry["details"] = details
+    entries.append(entry)
+    BENCH_RESULTS_PATH.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """The :func:`record_bench_result` appender, as a fixture.
+
+    The benchmarks directory is not a package, so tests reach the helper
+    through this fixture rather than importing ``conftest`` by path.
+    """
+    return record_bench_result
 
 
 def _engine_options_from_env() -> RunnerOptions | None:

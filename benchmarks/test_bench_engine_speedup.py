@@ -32,6 +32,8 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.config import HybridPolicyConfig
+from repro.core.hybrid import HybridHistogramPolicy
 from repro.policies.registry import PolicyFactory, fixed_keepalive_factory, hybrid_factory
 from repro.simulation.engine import RunnerOptions
 from repro.simulation.runner import WorkloadRunner
@@ -78,7 +80,7 @@ def _best_of(runs: int, fn) -> float:
     return best
 
 
-def test_vectorized_fast_path_at_least_10x(workload, factory):
+def test_vectorized_fast_path_at_least_10x(workload, factory, record_bench):
     """The PR 1 acceptance-criterion speedup, asserted directly.
 
     Best-of-3 wall-clock per engine; the vectorized closed-form path must
@@ -97,6 +99,12 @@ def test_vectorized_fast_path_at_least_10x(workload, factory):
         f"vectorized best {vectorized_best * 1e3:.1f} ms, "
         f"speedup {speedup:.1f}x"
     )
+    record_bench(
+        "engine/vectorized-vs-serial",
+        speedup=speedup,
+        serial_seconds=serial_best,
+        vectorized_seconds=vectorized_best,
+    )
     assert speedup >= 10.0
 
 
@@ -111,7 +119,7 @@ def test_bench_hybrid_policy_engines(benchmark, workload, engine):
     assert result.num_apps > 0
 
 
-def test_banked_hybrid_at_least_5x(workload):
+def test_banked_hybrid_at_least_5x(workload, record_bench):
     """The PR 2 acceptance-criterion speedup, asserted directly.
 
     The banked struct-of-arrays hybrid run (one HybridPolicyBank stepping
@@ -132,9 +140,104 @@ def test_banked_hybrid_at_least_5x(workload):
         f"banked best {banked_best * 1e3:.1f} ms, "
         f"speedup {speedup:.1f}x"
     )
+    record_bench(
+        "engine/banked-vs-serial-hybrid",
+        speedup=speedup,
+        serial_seconds=serial_best,
+        banked_seconds=banked_best,
+    )
     # Sanity: the run actually exercised the hybrid decision modes.
     assert banked_result.mode_usage().get("histogram", 0) > 0
     assert speedup >= 5.0
+
+
+# --------------------------------------------------------------------------- #
+# Batched ARIMA: banked hybrid under an ARIMA-heavy (fig 19-style) config
+# --------------------------------------------------------------------------- #
+WASTE_TOLERANCE = 1e-9
+
+#: Fig 19-flavoured ARIMA-heavy configuration: a short (20-minute)
+#: histogram range pushes a large share of idle times out of bounds and a
+#: lowered OOB threshold hands those apps to the time-series component
+#: early, so the bank leans on ARIMA far more than the 4-hour default —
+#: the regime Figure 19 isolates.
+ARIMA_HEAVY_CONFIG = HybridPolicyConfig(
+    histogram_range_minutes=20.0, oob_fraction_threshold=0.2
+)
+
+
+def _scalar_arima_hybrid_factory(config: HybridPolicyConfig) -> PolicyFactory:
+    """A hybrid factory whose bank keeps the per-row scalar ARIMA loop.
+
+    ``HybridPolicyBank(..., batched_arima=False)`` is the pre-batching
+    banked path — the baseline the tentpole's stacked fitter must beat.
+    """
+
+    class _ScalarArimaHybrid(HybridHistogramPolicy):
+        def make_bank(self, num_apps: int):
+            from repro.policies.bank import HybridPolicyBank
+
+            return HybridPolicyBank(num_apps, self.config, batched_arima=False)
+
+    return PolicyFactory(
+        name="hybrid-scalar-arima", builder=lambda: _ScalarArimaHybrid(config)
+    )
+
+
+def test_arima_heavy_banked_batched_at_least_3x(workload, record_bench):
+    """The PR 7 acceptance-criterion speedup, asserted directly.
+
+    Under the ARIMA-heavy configuration the banked hybrid run with the
+    stacked (batched) ARIMA fitter must beat the same banked run with the
+    per-row scalar fitter by >= 3x, while staying exactly equivalent to
+    the serial per-app reference: identical cold-start counts, wasted
+    memory within 1e-9.
+    """
+    batched_factory = hybrid_factory(ARIMA_HEAVY_CONFIG)
+    scalar_factory = _scalar_arima_hybrid_factory(ARIMA_HEAVY_CONFIG)
+    serial = WorkloadRunner(workload, ENGINE_OPTIONS["serial"])
+    banked = WorkloadRunner(workload, ENGINE_OPTIONS["banked"])
+
+    # Correctness before timing: the batched banked run must reproduce
+    # the serial per-app reference bit-for-bit on cold starts.
+    batched_result = banked.run_policy(batched_factory)  # also the warm-up
+    serial_result = serial.run_policy(batched_factory)
+    assert len(batched_result.app_results) == len(serial_result.app_results)
+    for reference_app, banked_app in zip(
+        serial_result.app_results, batched_result.app_results
+    ):
+        assert banked_app.app_id == reference_app.app_id
+        assert banked_app.cold_starts == reference_app.cold_starts
+        assert banked_app.wasted_memory_minutes == pytest.approx(
+            reference_app.wasted_memory_minutes,
+            abs=WASTE_TOLERANCE,
+            rel=WASTE_TOLERANCE,
+        )
+    # The config must actually be ARIMA-heavy, or the comparison is moot.
+    arima_decisions = batched_result.mode_usage().get("arima", 0)
+    assert arima_decisions > 0
+    # And the scalar-loop bank is the same policy, differently executed.
+    scalar_result = banked.run_policy(scalar_factory)
+    assert [app.cold_starts for app in scalar_result.app_results] == [
+        app.cold_starts for app in batched_result.app_results
+    ]
+
+    scalar_best = _best_of(2, lambda: banked.run_policy(scalar_factory))
+    batched_best = _best_of(3, lambda: banked.run_policy(batched_factory))
+    speedup = scalar_best / batched_best
+    print(
+        f"\nARIMA-heavy banked hybrid ({arima_decisions:,} ARIMA decisions): "
+        f"scalar-loop best {scalar_best * 1e3:.0f} ms, "
+        f"batched best {batched_best * 1e3:.0f} ms, speedup {speedup:.1f}x"
+    )
+    record_bench(
+        "engine/banked-arima-batched-vs-scalar",
+        speedup=speedup,
+        scalar_seconds=scalar_best,
+        batched_seconds=batched_best,
+        arima_decisions=int(arima_decisions),
+    )
+    assert speedup >= 3.0
 
 
 # --------------------------------------------------------------------------- #
@@ -280,7 +383,7 @@ def _columnar_build_and_characterize(
     }
 
 
-def test_columnar_pipeline_at_least_3x(workload):
+def test_columnar_pipeline_at_least_3x(workload, record_bench):
     """The PR 3 acceptance-criterion speedup, asserted directly.
 
     Building the workload representation from generator output plus the
@@ -328,6 +431,12 @@ def test_columnar_pipeline_at_least_3x(workload):
     print(
         f"\nbuild+characterize: dict path best {legacy_best * 1e3:.1f} ms, "
         f"columnar best {columnar_best * 1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    record_bench(
+        "trace/columnar-vs-dict-pipeline",
+        speedup=speedup,
+        dict_seconds=legacy_best,
+        columnar_seconds=columnar_best,
     )
     assert speedup >= 3.0
 

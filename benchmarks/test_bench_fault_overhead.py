@@ -46,7 +46,7 @@ def _best_of(run, repetitions: int = REPETITIONS) -> tuple[float, object]:
     return best, result
 
 
-def test_zero_fault_plan_overhead_within_budget():
+def test_zero_fault_plan_overhead_within_budget(record_bench):
     workload = WorkloadGenerator(
         GeneratorConfig(
             num_apps=120, duration_minutes=1440.0, seed=31, max_daily_rate=2000.0
@@ -91,6 +91,12 @@ def test_zero_fault_plan_overhead_within_budget():
     print(
         f"\nplain replay: {plain_seconds:.3f}s  zero-fault plan: {gated_seconds:.3f}s  "
         f"overhead: {overhead * 100.0:+.2f}% (budget {MAX_OVERHEAD_FRACTION * 100.0:.0f}%)"
+    )
+    record_bench(
+        "platform/zero-fault-plan-overhead",
+        plain_seconds=plain_seconds,
+        gated_seconds=gated_seconds,
+        overhead_fraction=round(overhead, 4),
     )
     assert overhead <= MAX_OVERHEAD_FRACTION, (
         f"zero-fault injection costs {overhead * 100.0:.1f}% "

@@ -59,7 +59,7 @@ def _best_of(runs: int, fn) -> float:
     return best
 
 
-def test_sweep_engine_matches_and_is_at_least_3x(workload, factories):
+def test_sweep_engine_matches_and_is_at_least_3x(workload, factories, record_bench):
     """The PR 4 acceptance criterion, asserted directly."""
     per_config = WorkloadRunner(workload, RunnerOptions(sweep="per-policy"))
     family = WorkloadRunner(workload, RunnerOptions(sweep="family"))
@@ -90,6 +90,13 @@ def test_sweep_engine_matches_and_is_at_least_3x(workload, factories):
         f"\ncombined {'+'.join(SWEEP_FIGURES)} sweep ({len(factories)} configs): "
         f"per-config best {per_config_best * 1e3:.0f} ms, "
         f"family best {family_best * 1e3:.0f} ms, speedup {speedup:.1f}x"
+    )
+    record_bench(
+        "sweep/family-vs-per-config",
+        speedup=speedup,
+        per_config_seconds=per_config_best,
+        family_seconds=family_best,
+        configs=len(factories),
     )
     assert speedup >= 3.0
 

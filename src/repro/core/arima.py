@@ -19,6 +19,12 @@ The implementation intentionally favours robustness on the very short,
 irregular series produced by sparse applications (a handful of idle times)
 over econometric completeness: every failure mode degrades gracefully to a
 simpler model, ending at the series mean.
+
+All numerics are delegated to the stacked kernels in
+:mod:`repro.core.arima_batch` with a leading batch dimension of one, so a
+scalar fit and a row of a batched fit are the *same* float operations —
+the batched hot paths (banked hybrid policy, sweep memo) stay bit-exact
+against this scalar reference by construction.
 """
 
 from __future__ import annotations
@@ -28,6 +34,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
+
+from repro.core import arima_batch
 
 __all__ = ["ARIMA", "ARIMAFit", "auto_arima", "difference", "undifference"]
 
@@ -147,105 +155,73 @@ class ARIMA:
 
     def _fit_mean_only(self, working: np.ndarray) -> ARIMAFit:
         """ARIMA(0, d, 0): the differenced series is white noise about a mean."""
-        intercept = float(np.mean(working))
-        residuals = working - intercept
-        sigma2 = float(np.mean(residuals**2)) if residuals.size else 0.0
-        aic = self._aic(sigma2, nobs=working.size, k=1)
+        intercept, residuals, sigma2, aic = arima_batch.mean_fit_stack(
+            working[None, :]
+        )
         return ARIMAFit(
             order=self.order,
             ar_coefficients=np.zeros(0),
             ma_coefficients=np.zeros(0),
-            intercept=intercept,
-            sigma2=sigma2,
-            aic=aic,
+            intercept=float(intercept[0]),
+            sigma2=float(sigma2[0]),
+            aic=float(aic[0]),
             nobs=int(working.size),
-            residuals=residuals,
+            residuals=residuals[0],
         )
 
     def _fit_hannan_rissanen(self, working: np.ndarray) -> ARIMAFit:
         p, d, q = self.order
         n = working.size
-        # Stage 1: long autoregression to estimate the innovations.  The AR
-        # order grows slowly with the series length but never exceeds what
-        # the data can support.
-        long_order = min(max(p + q, int(round(math.log(max(n, 2)) * 2)), 1), max(n // 2, 1))
+        # Stage 1: long autoregression to estimate the innovations; stage
+        # 2: regress x_t on its own lags and lagged innovations.  Both run
+        # through the stacked kernels as a batch of one.
+        long_order = arima_batch.long_ar_order(p, q, n)
         innovations = self._long_ar_residuals(working, long_order)
-        # Stage 2: regress x_t on its own lags and lagged innovations.
-        start = max(p, q)
-        rows = n - start
-        if rows < p + q + 1:
+        fit = arima_batch.hannan_rissanen_fit_stack(
+            working[None, :], innovations[None, :], p, q
+        )
+        if fit is None:
             # Not enough rows for the regression: degrade to a pure AR fit of
             # reduced order, or to the mean.
             return self._fit_reduced(working)
-        design = np.ones((rows, 1 + p + q))
-        target = working[start:]
-        for lag in range(1, p + 1):
-            design[:, lag] = working[start - lag : n - lag]
-        for lag in range(1, q + 1):
-            design[:, p + lag] = innovations[start - lag : n - lag]
-        coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
-        intercept = float(coefficients[0])
-        ar = np.asarray(coefficients[1 : 1 + p], dtype=float)
-        ma = np.asarray(coefficients[1 + p :], dtype=float)
-        residuals = target - design @ coefficients
-        sigma2 = float(np.mean(residuals**2)) if residuals.size else 0.0
-        aic = self._aic(sigma2, nobs=rows, k=1 + p + q)
+        coefficients, residuals, sigma2, aic = fit
         return ARIMAFit(
             order=self.order,
-            ar_coefficients=ar,
-            ma_coefficients=ma,
-            intercept=intercept,
-            sigma2=sigma2,
-            aic=aic,
-            nobs=rows,
-            residuals=residuals,
+            ar_coefficients=np.asarray(coefficients[0, 1 : 1 + p], dtype=float),
+            ma_coefficients=np.asarray(coefficients[0, 1 + p :], dtype=float),
+            intercept=float(coefficients[0, 0]),
+            sigma2=float(sigma2[0]),
+            aic=float(aic[0]),
+            nobs=n - max(p, q),
+            residuals=residuals[0],
         )
 
     def _fit_reduced(self, working: np.ndarray) -> ARIMAFit:
         """Fallback when the requested order is too rich for the data."""
-        intercept = float(np.mean(working))
-        residuals = working - intercept
-        sigma2 = float(np.mean(residuals**2)) if residuals.size else 0.0
-        aic = self._aic(sigma2, nobs=working.size, k=1)
+        intercept, residuals, sigma2, aic = arima_batch.mean_fit_stack(
+            working[None, :]
+        )
         p, _, q = self.order
         return ARIMAFit(
             order=self.order,
             ar_coefficients=np.zeros(p),
             ma_coefficients=np.zeros(q),
-            intercept=intercept,
-            sigma2=sigma2,
-            aic=aic,
+            intercept=float(intercept[0]),
+            sigma2=float(sigma2[0]),
+            aic=float(aic[0]),
             nobs=int(working.size),
-            residuals=residuals,
+            residuals=residuals[0],
         )
 
     @staticmethod
     def _long_ar_residuals(working: np.ndarray, long_order: int) -> np.ndarray:
         """Residuals of a long AR fit, used as innovation estimates."""
-        n = working.size
-        if long_order >= n:
-            long_order = max(n - 1, 1)
-        rows = n - long_order
-        if rows < 1:
-            return np.zeros(n)
-        design = np.ones((rows, 1 + long_order))
-        for lag in range(1, long_order + 1):
-            design[:, lag] = working[long_order - lag : n - lag]
-        target = working[long_order:]
-        coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
-        residuals_tail = target - design @ coefficients
-        innovations = np.zeros(n)
-        innovations[long_order:] = residuals_tail
-        return innovations
+        return arima_batch.long_ar_innovations_stack(working[None, :], long_order)[0]
 
     @staticmethod
     def _aic(sigma2: float, *, nobs: int, k: int) -> float:
         """Akaike information criterion for a Gaussian likelihood."""
-        if nobs <= 0:
-            return float("inf")
-        safe_sigma2 = max(sigma2, 1e-12)
-        log_likelihood = -0.5 * nobs * (math.log(2 * math.pi * safe_sigma2) + 1.0)
-        return 2.0 * k - 2.0 * log_likelihood
+        return float(arima_batch.aic_stack(np.asarray([sigma2]), nobs, k)[0])
 
     # ------------------------------------------------------------------ #
     # Forecasting

@@ -7,6 +7,16 @@ of recent idle times and asks an ARIMA model (selected by
 :func:`repro.core.arima.auto_arima`) to forecast the next idle time.  The
 policy then schedules the pre-warming window just before the forecast and
 keeps the application alive for a small margin around it (15% by default).
+
+Two shapes of the same computation live here.  :class:`IdleTimeForecaster`
+is the scalar per-application model the paper describes; the module-level
+:func:`forecast_idle_times` / :func:`decide_idle_times` batch it across
+many applications at once via the stacked kernels in
+:mod:`repro.core.arima_batch` (histories grouped by length, one stacked
+Hannan-Rissanen grid search per group).  Because the scalar model
+delegates to the same kernels as a batch of one, the batched decisions
+are bit-identical to looping the scalar forecaster row by row — the
+banked hybrid policy and the sweep memo rely on that exactness.
 """
 
 from __future__ import annotations
@@ -18,7 +28,81 @@ from typing import Deque, Sequence
 import numpy as np
 
 from repro.core.arima import ARIMA, auto_arima
+from repro.core.arima_batch import auto_arima_forecast_stack, group_rows_by_length
 from repro.core.windows import PolicyDecision
+
+#: Default minimum observations before ARIMA is attempted (see
+#: :class:`IdleTimeForecaster`); shorter histories use the mean.
+DEFAULT_MIN_HISTORY = 4
+
+
+def predict_idle_times_stack(
+    stack: np.ndarray, *, min_history: int = DEFAULT_MIN_HISTORY
+) -> np.ndarray:
+    """Next-idle-time forecasts for a stack of same-length histories.
+
+    The batched counterpart of
+    :meth:`IdleTimeForecaster.predict_next_idle_time` with the default
+    refit-every-observation configuration: below ``min_history``
+    observations the forecast is the history mean (zero for empty
+    histories), otherwise the best-AIC ARIMA one-step forecast, falling
+    back to the mean where the model prediction is non-finite or
+    non-positive.
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    num_rows, length = stack.shape
+    if length == 0:
+        return np.zeros(num_rows)
+    mean = np.mean(stack, axis=-1)
+    if length < min_history:
+        return mean
+    predictions = auto_arima_forecast_stack(stack)
+    return np.where(np.isfinite(predictions) & (predictions > 0), predictions, mean)
+
+
+def forecast_idle_times(histories: Sequence[np.ndarray]) -> np.ndarray:
+    """Next-idle-time forecasts for variable-length histories, batched.
+
+    Histories are grouped by length and each group is forecast with one
+    stacked fit.  Should a stacked fit fail to converge (SVD breakdown —
+    effectively unseen on these tiny, well-scaled designs), the affected
+    group degrades to the scalar forecaster row by row, which skips only
+    the offending candidate orders.
+    """
+    predictions = np.empty(len(histories), dtype=np.float64)
+    for indices, stack in group_rows_by_length(histories):
+        try:
+            predictions[indices] = predict_idle_times_stack(stack)
+        except np.linalg.LinAlgError:
+            for j in indices:
+                history = histories[j]
+                forecaster = IdleTimeForecaster.from_history(
+                    history, max_history=max(len(history), 2)
+                )
+                predictions[j] = forecaster.predict_next_idle_time()[0]
+    return predictions
+
+
+def decide_idle_times(
+    histories: Sequence[np.ndarray],
+    *,
+    margin: float = 0.15,
+    minimum_keepalive_minutes: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-warm / keep-alive windows for many applications at once.
+
+    The batched counterpart of :meth:`IdleTimeForecaster.decide`: the
+    pre-warming window elapses just before the predicted invocation and
+    the keep-alive window covers the margin on both sides of it.
+
+    Returns:
+        ``(prewarm_minutes, keepalive_minutes)`` arrays aligned with
+        ``histories``.
+    """
+    predictions = forecast_idle_times(histories)
+    prewarm = np.maximum(predictions * (1.0 - margin), 0.0)
+    keepalive = np.maximum(2.0 * margin * predictions, minimum_keepalive_minutes)
+    return prewarm, keepalive
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,124 @@
+"""Flat-array binary-heap kernels for the compiled event-loop core.
+
+The event loop's hot operations — heap push, and popping the batch of
+every event sharing the earliest timestamp — are expressed here as plain
+functions over preallocated flat arrays (``times`` float64, ``eids``
+int64), ordered by ``(time, eid)`` with ``eid`` assigned monotonically so
+ties drain in FIFO order, exactly like the reference ``heapq`` core's
+``[time, sequence, ...]`` records.
+
+When numba is importable (an *optional* dependency — tier-1 CI runs
+without it) the kernels are jitted to machine code at import; otherwise
+the same functions run interpreted.  Either way the arithmetic and the
+ordering are identical, which is what lets the equivalence tests run the
+array core interpreted (``REPRO_COMPILED=1`` without numba) and assert
+byte-identical replay metrics against the ``heapq`` fallback.
+
+``REPRO_COMPILED`` controls both this module and the core selection in
+:class:`repro.platform.events.EventLoop`:
+
+* ``0`` — never jit, and the loop uses the ``heapq`` core;
+* ``1`` — the loop uses the array core (jitted when numba is present,
+  interpreted otherwise);
+* unset/``auto`` — the array core if and only if numba compiled it.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["NUMBA_COMPILED", "heap_push", "heap_pop_batch"]
+
+
+def _load_njit():
+    if os.environ.get("REPRO_COMPILED", "").strip() == "0":
+        return None
+    try:
+        from numba import njit  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    return njit
+
+
+_njit = _load_njit()
+
+#: True when the kernels below were jitted by numba at import time.
+NUMBA_COMPILED = _njit is not None
+
+
+def _maybe_jit(function):
+    if _njit is None:
+        return function
+    return _njit(cache=True)(function)
+
+
+@_maybe_jit
+def heap_push(times, eids, size, time, eid):
+    """Insert ``(time, eid)`` into a binary min-heap of ``size`` entries.
+
+    The arrays must have room for ``size + 1`` entries; the caller owns
+    growth.  Sift-up moves parents down one slot at a time instead of
+    swapping, like CPython's ``heapq``.
+    """
+    index = size
+    while index > 0:
+        parent = (index - 1) >> 1
+        parent_time = times[parent]
+        if time < parent_time or (time == parent_time and eid < eids[parent]):
+            times[index] = parent_time
+            eids[index] = eids[parent]
+            index = parent
+        else:
+            break
+    times[index] = time
+    eids[index] = eid
+
+
+@_maybe_jit
+def heap_pop_batch(times, eids, size, out):
+    """Pop every event sharing the minimum timestamp, in FIFO order.
+
+    Repeatedly removes the root while it carries the batch timestamp,
+    writing event ids to ``out`` (they emerge eid-ascending — FIFO —
+    because the heap orders ties by eid).  Stops early when ``out`` is
+    full; callers detect ``count == len(out)`` and call again for the
+    rest of the batch.
+
+    Returns:
+        The number of events popped (0 when the heap is empty).
+    """
+    count = 0
+    limit = out.shape[0]
+    if size == 0 or limit == 0:
+        return 0
+    batch_time = times[0]
+    while size > 0 and count < limit and times[0] == batch_time:
+        out[count] = eids[0]
+        count += 1
+        size -= 1
+        if size > 0:
+            # Classic sift-down of the last leaf from the root.
+            time = times[size]
+            eid = eids[size]
+            index = 0
+            while True:
+                child = 2 * index + 1
+                if child >= size:
+                    break
+                right = child + 1
+                if right < size and (
+                    times[right] < times[child]
+                    or (times[right] == times[child] and eids[right] < eids[child])
+                ):
+                    child = right
+                if times[child] < time or (
+                    times[child] == time and eids[child] < eid
+                ):
+                    times[index] = times[child]
+                    eids[index] = eids[child]
+                    index = child
+                else:
+                    break
+            times[index] = time
+            eids[index] = eid
+    return count

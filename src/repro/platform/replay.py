@@ -194,6 +194,21 @@ class _FeedCursor:
             memory_mb=self._memory[index],
         )
 
+    def emit_next(self) -> float | None:
+        """Fused ``emit`` + ``next_time`` (the loop's preferred call)."""
+        index = self._index
+        self._index = index + 1
+        self._submit(
+            self._apps[index],
+            self._functions[index],
+            execution_seconds=self._durations[index],
+            memory_mb=self._memory[index],
+        )
+        index += 1
+        if index >= self._n:
+            return None
+        return self._times[index]
+
 
 class TraceReplayer:
     """Replays a workload against a cluster running one policy.

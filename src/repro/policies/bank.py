@@ -21,11 +21,13 @@ sorts applications accordingly.
 :class:`HybridPolicyBank` is the banked twin of
 :class:`~repro.core.hybrid.HybridHistogramPolicy`: the Figure 10 state
 machine evaluated with boolean masks across applications, backed by a 2D
-:class:`~repro.core.histogram_bank.HistogramBank`.  Only the rare ARIMA
-branch falls back to per-application scalar forecasting.  Every array
-operation mirrors the scalar policy's float operations, so a bank row
-and a scalar policy fed the same invocation stream return bit-identical
-decisions — the bank-equivalence suite locks this down.
+:class:`~repro.core.histogram_bank.HistogramBank`.  The ARIMA branch is
+batched too: the selected rows' histories are fitted as stacked windows
+(:func:`repro.core.forecaster.decide_idle_times`), so no per-row Python
+loop remains on the hot path.  Every array operation mirrors the scalar
+policy's float operations, so a bank row and a scalar policy fed the
+same invocation stream return bit-identical decisions — the
+bank-equivalence suite locks this down.
 """
 
 from __future__ import annotations
@@ -36,7 +38,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.config import HybridPolicyConfig
-from repro.core.forecaster import IdleTimeForecaster
+from repro.core.forecaster import IdleTimeForecaster, decide_idle_times
 from repro.core.histogram_bank import HistogramBank
 from repro.core.windows import PolicyDecision
 
@@ -119,7 +121,7 @@ class HybridPolicyBank(PolicyBank):
     state machine with boolean masks:
 
     * rows whose out-of-bounds share exceeds the threshold take the
-      (scalar, per-row) ARIMA branch;
+      ARIMA branch, fitted as one stacked batch per history length;
     * rows with a representative histogram (enough in-bounds observations
       and CV of bin counts above the threshold) derive pre-warming and
       keep-alive windows from vectorized head/tail percentile cutoffs;
@@ -129,13 +131,26 @@ class HybridPolicyBank(PolicyBank):
         num_apps: Number of applications (bank rows).
         config: Policy parameters shared by every row; defaults to the
             paper's configuration, exactly like the scalar policy.
+        batched_arima: Fit the ARIMA branch's rows as stacked batches
+            (the default) instead of looping the scalar forecaster per
+            row.  Both paths produce bit-identical decisions (the scalar
+            model delegates to the same kernels); the flag exists so
+            benchmarks can measure the batching win against the scalar
+            loop it replaced.
     """
 
     supports_extraction = True
 
-    def __init__(self, num_apps: int, config: HybridPolicyConfig | None = None) -> None:
+    def __init__(
+        self,
+        num_apps: int,
+        config: HybridPolicyConfig | None = None,
+        *,
+        batched_arima: bool = True,
+    ) -> None:
         super().__init__(num_apps)
         self.config = config or HybridPolicyConfig()
+        self._batched_arima = bool(batched_arima)
         self.name = f"hybrid-{self.config.histogram_range_minutes / 60:g}h"
         self.histograms = HistogramBank(
             num_apps,
@@ -276,12 +291,29 @@ class HybridPolicyBank(PolicyBank):
             prewarm = np.zeros(n, dtype=np.float64)
             keepalive = np.full(n, config.histogram_range_minutes, dtype=np.float64)
 
-        # The rare branch: per-row scalar ARIMA forecasting.
+        # The out-of-bounds branch: ARIMA forecasting, batched.  The
+        # selected rows' ring histories are grouped by effective length
+        # (under lockstep stepping every row shares one length, so the
+        # whole selection is a single stacked fit) and each group runs
+        # one stacked Hannan-Rissanen grid search — bit-identical to the
+        # per-row scalar loop it replaced.
         if mask_arima is not None:
-            for row in np.nonzero(mask_arima)[0]:
-                decision = self._arima_decision(int(row))
-                prewarm[row] = decision.prewarm_minutes
-                keepalive[row] = decision.keepalive_minutes
+            rows_arima = np.nonzero(mask_arima)[0]
+            if rows_arima.size:
+                if self._batched_arima:
+                    histories = [self._arima_history(int(row)) for row in rows_arima]
+                    row_prewarm, row_keepalive = decide_idle_times(
+                        histories,
+                        margin=config.arima_margin,
+                        minimum_keepalive_minutes=config.bin_width_minutes,
+                    )
+                    prewarm[rows_arima] = row_prewarm
+                    keepalive[rows_arima] = row_keepalive
+                else:
+                    for row in rows_arima:
+                        decision = self._arima_decision(int(row))
+                        prewarm[row] = decision.prewarm_minutes
+                        keepalive[row] = decision.keepalive_minutes
             self._arima_decisions[:n] += mask_arima
 
         if not config.enable_prewarming:
@@ -296,10 +328,20 @@ class HybridPolicyBank(PolicyBank):
         return prewarm, keepalive
 
     def _arima_history(self, row: int) -> np.ndarray:
-        """Retained idle times of one row, oldest first."""
+        """Retained idle times of one row, oldest first.
+
+        While the ring has not wrapped the history is a zero-copy
+        read-only view of the ring row (marked non-writable so no caller
+        can mutate bank state through it); once the row has wrapped, a
+        gathered copy restores the oldest-first order.
+        """
         position = int(self._arima_pos[row])
-        length = min(position, self._arima_capacity)
-        indices = (position - length + np.arange(length)) % self._arima_capacity
+        capacity = self._arima_capacity
+        if position <= capacity:
+            view = self._arima_ring[row, :position]
+            view.flags.writeable = False
+            return view
+        indices = (position + np.arange(capacity)) % capacity
         return self._arima_ring[row, indices]
 
     def _arima_decision(self, row: int) -> PolicyDecision:

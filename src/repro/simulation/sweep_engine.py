@@ -55,7 +55,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.core.forecaster import IdleTimeForecaster
+from repro.core.forecaster import forecast_idle_times
 from repro.core.histogram_bank import HistogramBank
 from repro.core.windows import PolicyDecision
 from repro.policies.registry import (
@@ -532,36 +532,62 @@ class _ArimaForecastMemo:
         self._predictions: dict[tuple[int, int], float] = {}
 
     def predictions(self, positions: np.ndarray, max_history: int) -> np.ndarray:
-        """Forecast idle times for the given flat invocation positions."""
-        return np.array(
-            [self._prediction(int(position), max_history) for position in positions],
-            dtype=np.float64,
-        )
+        """Forecast idle times for the given flat invocation positions.
+
+        Cache misses are collected and fitted as stacked batches (one
+        stacked grid search per distinct history length) instead of one
+        scalar model per position; the batched fits are bit-identical to
+        the scalar forecaster, so memoized values are interchangeable
+        between the two paths.
+        """
+        out = np.empty(positions.size, dtype=np.float64)
+        missing: list[int] = []
+        histories: list[np.ndarray] = []
+        for i, position in enumerate(positions):
+            key = (int(position), max_history)
+            cached = self._predictions.get(key)
+            if cached is not None:
+                out[i] = cached
+            else:
+                missing.append(i)
+                histories.append(self._history(int(position), max_history))
+        if missing:
+            values = forecast_idle_times(histories)
+            for i, value in zip(missing, values):
+                prediction = float(value)
+                out[i] = prediction
+                self._predictions[(int(positions[i]), max_history)] = prediction
+        return out
 
     def fitted_count(self) -> int:
         """Number of distinct forecasts computed so far (for tests)."""
         return len(self._predictions)
 
-    def _prediction(self, position: int, max_history: int) -> float:
-        key = (position, max_history)
-        cached = self._predictions.get(key)
-        if cached is not None:
-            return cached
+    def _history(self, position: int, max_history: int) -> np.ndarray:
+        """Idle-time history backing the forecast at one flat position.
+
+        The forecaster's history at decision step k is the last
+        min(k, capacity) idle gaps, oldest first — reconstructed
+        directly from the timestamps, exactly the values the banked
+        ring (or the scalar deque) holds at that point.
+        """
         recording = self._recording
         row = int(np.searchsorted(recording.offsets, position, side="right") - 1)
         o = int(recording.offsets[row])
         step = position - o
-        # The forecaster's history at decision step k is the last
-        # min(k, capacity) idle gaps, oldest first — reconstructed
-        # directly from the timestamps, exactly the values the banked
-        # ring (or the scalar deque) holds at that point.
         start = max(1, step - max_history + 1)
-        history = (
+        return (
             recording.times[o + start : o + step + 1]
             - recording.times[o + start - 1 : o + step]
         )
-        forecaster = IdleTimeForecaster.from_history(history, max_history=max_history)
-        value = float(forecaster.predict_next_idle_time()[0])
+
+    def _prediction(self, position: int, max_history: int) -> float:
+        """One position's forecast (cache-filling scalar-shaped lookup)."""
+        key = (position, max_history)
+        cached = self._predictions.get(key)
+        if cached is not None:
+            return cached
+        value = float(forecast_idle_times([self._history(position, max_history)])[0])
         self._predictions[key] = value
         return value
 

@@ -1,0 +1,201 @@
+"""Array event-loop core vs the heapq reference core.
+
+The array core must be a drop-in replacement: same ordering (time, then
+FIFO among ties), same batch-drain semantics, same cancellation rules —
+and byte-identical platform metrics on a seeded fault-injected replay.
+These tests force the array core with ``core="array"`` (or
+``REPRO_COMPILED=1``), which runs it interpreted when numba is absent, so
+tier-1 exercises the exact code the jitted kernels compile.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.platform.cluster import ClusterConfig
+from repro.platform.event_kernels import heap_pop_batch, heap_push
+from repro.platform.events import EventLoop, _select_core
+from repro.platform.faults import FaultPlan
+from repro.platform.autoscaler import AutoscalerConfig
+from repro.platform.replay import ReplayConfig, TraceReplayer
+from repro.policies.registry import fixed_keepalive_factory, hybrid_factory
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+
+from tests.platform.test_replay_equivalence import assert_metrics_equivalent
+
+
+class TestKernels:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_push_pop_matches_heapq_ordering(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 500
+        times = np.empty(n, dtype=np.float64)
+        eids = np.empty(n, dtype=np.int64)
+        size = 0
+        reference: list[tuple[float, int]] = []
+        # Coarse timestamps force plenty of ties; eids are push-ordered.
+        for eid, time in enumerate(rng.integers(0, 40, size=n).astype(np.float64)):
+            heap_push(times, eids, size, float(time), eid)
+            size += 1
+            heapq.heappush(reference, (float(time), eid))
+        out = np.empty(7, dtype=np.int64)  # tiny buffer: exercise refills
+        drained: list[tuple[float, int]] = []
+        while size:
+            batch_time = times[0]
+            count = heap_pop_batch(times, eids, size, out)
+            size -= count
+            drained.extend((float(batch_time), int(eid)) for eid in out[:count])
+        assert drained == [heapq.heappop(reference) for _ in range(n)]
+
+    def test_pop_batch_stops_at_timestamp_boundary(self):
+        times = np.empty(8, dtype=np.float64)
+        eids = np.empty(8, dtype=np.int64)
+        size = 0
+        for eid, time in enumerate([5.0, 1.0, 1.0, 3.0, 1.0]):
+            heap_push(times, eids, size, time, eid)
+            size += 1
+        out = np.empty(8, dtype=np.int64)
+        count = heap_pop_batch(times, eids, size, out)
+        assert count == 3
+        assert out[:count].tolist() == [1, 2, 4]  # FIFO among the 1.0 ties
+        assert times[0] == 3.0
+
+    def test_pop_batch_empty_heap(self):
+        times = np.empty(4, dtype=np.float64)
+        eids = np.empty(4, dtype=np.int64)
+        out = np.empty(4, dtype=np.int64)
+        assert heap_pop_batch(times, eids, 0, out) == 0
+
+
+class TestCoreSelection:
+    def test_explicit_names(self):
+        assert _select_core("heapq") == "heapq"
+        assert _select_core("array") == "array"
+        assert _select_core("0") == "heapq"
+        assert _select_core("1") == "array"
+        with pytest.raises(ValueError):
+            _select_core("vectorized")
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        assert EventLoop().core == "heapq"
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert EventLoop().core == "array"
+
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert EventLoop(core="heapq").core == "heapq"
+
+
+class TestArrayCoreSemantics:
+    """The array core replays the reference core's documented behaviour."""
+
+    def run_script(self, loop: EventLoop) -> list:
+        order = []
+        loop.schedule(2.0, lambda: order.append(("b", loop.now)))
+        loop.schedule(1.0, lambda: order.append(("a", loop.now)))
+        handle = loop.schedule(1.0, lambda: order.append(("cancelled", loop.now)))
+        loop.schedule(1.0, lambda: order.append(("a2", loop.now)))
+        handle.cancel()
+        # A callback scheduling at its own timestamp starts a new batch.
+        loop.schedule(2.0, lambda: loop.schedule(0.0, lambda: order.append(("c", loop.now))))
+        loop.run()
+        return order
+
+    def test_batch_semantics_match_reference(self):
+        assert self.run_script(EventLoop(core="array")) == self.run_script(
+            EventLoop(core="heapq")
+        )
+
+    def test_batch_buffer_overflow_drains_whole_timestamp(self):
+        loop = EventLoop(core="array")
+        hits = []
+        for i in range(300):  # far beyond the 128-slot batch buffer
+            loop.schedule(1.0, lambda i=i: hits.append(i))
+        later = []
+        loop.schedule(2.0, lambda: later.append(loop.now))
+        loop.run()
+        assert hits == list(range(300))  # FIFO across buffer refills
+        assert later == [2.0]
+        assert loop.processed_events == 301
+        assert loop.pending_events == 0
+
+    def test_step_and_horizon(self):
+        loop = EventLoop(core="array")
+        seen = []
+        loop.schedule(1.0, lambda: seen.append("x"))
+        cancelled = loop.schedule(2.0, lambda: seen.append("dropped"))
+        loop.schedule(3.0, lambda: seen.append("y"))
+        cancelled.cancel()
+        assert loop.step() and seen == ["x"]
+        assert loop.step() and seen == ["x", "y"]
+        assert not loop.step()
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule_at(loop.now - 1.0, lambda: None)
+
+    def test_heap_growth_past_initial_capacity(self):
+        loop = EventLoop(core="array")
+        total = 5000  # > the 1024-slot initial heap
+        hits = []
+        for i in range(total):
+            loop.schedule(float(total - i), lambda i=i: hits.append(i))
+        loop.run()
+        assert hits == list(reversed(range(total)))
+
+
+class TestCompiledReplayByteIdentity:
+    """Compiled-core replay == fallback replay, byte for byte.
+
+    Runs the seeded fault-injected scenario from the fault-campaign
+    determinism suite under ``REPRO_COMPILED=0`` and ``=1``; with numba
+    absent the ``=1`` leg runs the array core interpreted, which is the
+    same code numba jits, so this equivalence covers both deployments.
+    """
+
+    @pytest.fixture(scope="class")
+    def fault_workload(self):
+        config = GeneratorConfig(
+            num_apps=16, duration_minutes=300.0, seed=14, max_daily_rate=600.0
+        )
+        return WorkloadGenerator(config).generate()
+
+    def _replay(self, workload, factory):
+        cluster = ClusterConfig(
+            num_invokers=3,
+            invoker_memory_mb=1024.0,
+            seed=5,
+            fault_plan=FaultPlan(crash_rate_per_hour=3.0, seed=17),
+            autoscaler=AutoscalerConfig(
+                min_invokers=2, max_invokers=6, tick_seconds=60.0
+            ),
+        )
+        return TraceReplayer(
+            workload,
+            replay_config=ReplayConfig(duration_minutes=150.0, seed=3),
+            cluster_config=cluster,
+        ).run(factory)
+
+    @pytest.mark.parametrize(
+        "factory", [fixed_keepalive_factory(10.0), hybrid_factory()], ids=["fixed", "hybrid"]
+    )
+    def test_fault_injected_replay_identical_across_cores(
+        self, fault_workload, factory, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        fallback = self._replay(fault_workload, factory)
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        compiled = self._replay(fault_workload, factory)
+        assert_metrics_equivalent(fallback.metrics, compiled.metrics)
+        # Full summary equality, minus the wall-clock overhead gauge
+        # (real time, not simulation state).
+        compiled_summary = compiled.summary()
+        fallback_summary = fallback.summary()
+        compiled_summary.pop("controller_overhead_us")
+        fallback_summary.pop("controller_overhead_us")
+        assert compiled_summary == fallback_summary
+        assert compiled.prewarm_messages == fallback.prewarm_messages

@@ -453,3 +453,73 @@ class TestBankedEngineRouting:
         assert usages["serial"]  # hybrid tracks modes
         oob = {mode: result.total_oob_idle_times for mode, result in by_route.items()}
         assert oob["banked"] == oob["serial"] == oob["parallel"]
+
+
+class TestArimaHistoryAndBatching:
+    """Ring-history views and the batched ARIMA branch."""
+
+    @staticmethod
+    def arima_heavy_bank(num_apps: int = 6, *, batched_arima: bool = True):
+        """A bank whose rows all trip the out-of-bounds ARIMA trigger."""
+        config = HybridPolicyConfig(histogram_range_minutes=20.0)
+        bank = HybridPolicyBank(num_apps, config, batched_arima=batched_arima)
+        rng = np.random.default_rng(23)
+        now = np.zeros(num_apps)
+        for _ in range(12):
+            now = now + rng.uniform(25.0, 120.0, size=num_apps)  # all OOB
+            bank.on_invocations(now, np.zeros(num_apps, dtype=bool))
+        assert all(bank.mode_counts(row)["arima"] > 0 for row in range(num_apps))
+        return bank, now, rng
+
+    def test_unwrapped_history_is_a_readonly_view(self):
+        bank, _, _ = self.arima_heavy_bank()
+        history = bank._arima_history(0)
+        assert history.base is bank._arima_ring
+        assert not history.flags.writeable
+        with pytest.raises(ValueError):
+            history[0] = -1.0
+
+    def test_wrapped_history_is_oldest_first(self):
+        config = HybridPolicyConfig(histogram_range_minutes=20.0, arima_max_history=4)
+        bank = HybridPolicyBank(1, config)
+        clock = 0.0
+        gaps = [30.0, 40.0, 50.0, 60.0, 70.0, 80.0]
+        for gap in gaps:
+            clock += gap
+            bank.on_invocations(np.asarray([clock]), np.asarray([False]))
+        history = bank._arima_history(0)
+        assert history.tolist() == gaps[-4:]  # capacity 4, oldest first
+        assert history.base is not bank._arima_ring  # wrapped: gathered copy
+
+    def test_no_mutation_escapes_through_decisions(self):
+        """Consumers of the zero-copy view must never alter bank state."""
+        bank, now, rng = self.arima_heavy_bank()
+        ring_before = bank._arima_ring.copy()
+        pos_before = bank._arima_pos.copy()
+        from repro.core.forecaster import IdleTimeForecaster
+
+        forecaster = IdleTimeForecaster.from_history(bank._arima_history(0))
+        forecaster.decide()
+        policy = bank.extract_policy(0)
+        policy.forecaster.observe(5.0)
+        np.testing.assert_array_equal(bank._arima_ring, ring_before)
+        np.testing.assert_array_equal(bank._arima_pos, pos_before)
+        # Further banked decisions (the batched path reads the views
+        # directly) leave only the expected new observation behind.
+        bank.on_invocations(now + 50.0, np.zeros(now.size, dtype=bool))
+        assert np.all(bank._arima_pos == pos_before + 1)
+
+    def test_batched_branch_matches_scalar_loop_exactly(self):
+        batched, now_a, rng_a = self.arima_heavy_bank(batched_arima=True)
+        scalar, now_b, rng_b = self.arima_heavy_bank(batched_arima=False)
+        np.testing.assert_array_equal(now_a, now_b)
+        for _ in range(8):
+            gaps = rng_a.uniform(1.0, 150.0, size=now_a.size)
+            assert np.array_equal(gaps, rng_b.uniform(1.0, 150.0, size=now_b.size))
+            now_a = now_a + gaps
+            cold = np.zeros(now_a.size, dtype=bool)
+            prewarm_batched, keepalive_batched = batched.on_invocations(now_a, cold)
+            prewarm_scalar, keepalive_scalar = scalar.on_invocations(now_a, cold)
+            np.testing.assert_array_equal(prewarm_batched, prewarm_scalar)
+            np.testing.assert_array_equal(keepalive_batched, keepalive_scalar)
+        assert batched.describe() == scalar.describe()

@@ -282,16 +282,14 @@ class TestFamilyEquivalence:
 class TestArimaForecastSharing:
     def test_configs_reuse_forecasts(self, streams_workload, monkeypatch):
         fits = []
-        original = sweep_engine_module.IdleTimeForecaster.from_history.__func__
+        original = sweep_engine_module.forecast_idle_times
 
-        def counting_from_history(cls, history, **kwargs):
-            fits.append(len(history))
-            return original(cls, history, **kwargs)
+        def counting_forecast(histories):
+            fits.extend(len(history) for history in histories)
+            return original(histories)
 
         monkeypatch.setattr(
-            sweep_engine_module.IdleTimeForecaster,
-            "from_history",
-            classmethod(counting_from_history),
+            sweep_engine_module, "forecast_idle_times", counting_forecast
         )
         # Two configurations whose ARIMA triggers coincide (only margins
         # differ): the family pass must fit each (app, invocation) once.
@@ -311,14 +309,14 @@ class TestArimaForecastSharing:
         self, streams_workload, monkeypatch
     ):
         calls = []
-        original = sweep_engine_module._ArimaForecastMemo._prediction
+        original = sweep_engine_module._ArimaForecastMemo.predictions
 
-        def counting_prediction(self, position, max_history):
-            calls.append(position)
-            return original(self, position, max_history)
+        def counting_predictions(self, positions, max_history):
+            calls.extend(int(position) for position in positions)
+            return original(self, positions, max_history)
 
         monkeypatch.setattr(
-            sweep_engine_module._ArimaForecastMemo, "_prediction", counting_prediction
+            sweep_engine_module._ArimaForecastMemo, "predictions", counting_predictions
         )
         factories = [hybrid_factory(), hybrid_factory(cv_threshold=5.0).renamed("cv5")]
         WorkloadRunner(streams_workload, RunnerOptions(sweep="family")).run_policies(
