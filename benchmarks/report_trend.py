@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Print the BENCH_results.json performance trajectory, per bench key.
+
+``BENCH_results.json`` is append-only — each slow-bench run adds one
+entry per benchmark (see ``record_bench_result`` in
+``benchmarks/conftest.py``) — so grouping entries by name and printing
+them in recorded order shows how every tracked number moves across
+sessions and machines::
+
+    python benchmarks/report_trend.py            # whole trajectory
+    python benchmarks/report_trend.py scaleout   # keys containing "scaleout"
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import defaultdict
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+def load_entries(path: Path = RESULTS_PATH) -> list[dict]:
+    if not path.exists():
+        return []
+    try:
+        entries = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return []
+    return entries if isinstance(entries, list) else []
+
+
+def format_entry(entry: dict) -> str:
+    recorded = entry.get("recorded_unix")
+    stamp = (
+        time.strftime("%Y-%m-%d %H:%M", time.localtime(recorded))
+        if isinstance(recorded, (int, float))
+        else "unknown time"
+    )
+    parts = [stamp]
+    if "speedup" in entry:
+        parts.append(f"speedup {entry['speedup']:g}x")
+    for key, value in entry.get("details", {}).items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:g}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def main(argv: list[str]) -> int:
+    needle = argv[0] if argv else ""
+    entries = load_entries()
+    if not entries:
+        print(f"no benchmark history at {RESULTS_PATH}")
+        return 1
+    by_name: dict[str, list[dict]] = defaultdict(list)
+    for entry in entries:
+        name = entry.get("name", "<unnamed>")
+        if needle in name:
+            by_name[name].append(entry)
+    if not by_name:
+        print(f"no bench keys matching {needle!r}")
+        return 1
+    for name in sorted(by_name):
+        print(name)
+        for entry in by_name[name]:
+            print(f"  {format_entry(entry)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,216 @@
+"""Out-of-core scale-out benchmark: 100k+ apps streamed to disk.
+
+The acceptance bar for the out-of-core pipeline, asserted directly:
+
+* Streaming generation at >= 100k applications completes with peak RSS
+  **flat in app count** — the 100k-app run (same aggregate load via
+  ``target_rps``) must stay within a small factor of the 25k-app run's
+  peak, and under a fixed absolute bound, because chunked generation and
+  the memory-bounded banked pass never hold more than one chunk of the
+  trace (plus one chunk of per-app bank state) resident.
+* The streamed archive is bit-identical to ``generate().store.save()``
+  at small scale (chunk boundaries never touch the RNG stream).
+* Shared-memory shard results are byte-identical across 1/2/4 workers.
+* A measured invocations/sec throughput entry (generation and the
+  memory-bounded banked pass) is appended to ``BENCH_results.json``.
+
+Each scale runs in a subprocess so ``ru_maxrss`` reports that scale's
+own peak, not the pytest session's high-water mark.
+
+The module carries the ``slow_bench`` marker; select it explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_scaleout.py -m slow_bench
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+from repro.policies.registry import fixed_keepalive_factory, hybrid_factory
+from repro.simulation.engine import RunnerOptions
+from repro.simulation.runner import WorkloadRunner
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+from repro.trace.stream import open_streamed_store, stream_workload_to_store
+
+pytestmark = pytest.mark.slow_bench
+
+#: Aggregate load shared by both scales: ~150 rps over one day is ~13M
+#: invocations, so quadrupling the app count changes *only* the app
+#: count — the axis the flat-RSS claim is about.
+TARGET_RPS = 150.0
+BUDGET_BYTES = 64_000_000
+SMALL_SCALE = 25_000
+LARGE_SCALE = 100_000
+
+#: The 100k-app peak may exceed the 25k-app peak only by this factor.
+#: Per-chunk state is budget-bounded at both scales; what legitimately
+#: grows are the per-app result rows and id strings (~100 MB across the
+#: extra 75k apps), which the absolute bound below also caps.
+RSS_FLAT_RATIO = 2.5
+RSS_ABSOLUTE_BOUND_MB = 1024.0
+
+#: One scale's whole pipeline, run in a child process: stream-generate to
+#: disk, re-open memory-mapped, run the banked hybrid pass under the
+#: resident-bytes budget, report timings and the child's own peak RSS.
+_CHILD_SCRIPT = """
+import json, resource, sys, time
+
+from repro.policies.registry import hybrid_factory
+from repro.simulation.runner import WorkloadRunner
+from repro.simulation.engine import RunnerOptions
+from repro.trace.generator import GeneratorConfig
+from repro.trace.stream import open_streamed_store, stream_workload_to_store
+
+num_apps, out, target_rps, budget = (
+    int(sys.argv[1]), sys.argv[2], float(sys.argv[3]), int(sys.argv[4])
+)
+config = GeneratorConfig(
+    num_apps=num_apps, duration_minutes=1440.0, seed=2020, target_rps=target_rps
+)
+start = time.perf_counter()
+stats = stream_workload_to_store(config, out)
+gen_seconds = time.perf_counter() - start
+
+store = open_streamed_store(stats.path)
+profile = store.memory_profile()
+start = time.perf_counter()
+result = WorkloadRunner(
+    store, RunnerOptions(execution="banked", max_resident_bytes=budget)
+).run_policy(hybrid_factory())
+sim_seconds = time.perf_counter() - start
+
+print(json.dumps({
+    "num_apps": stats.num_apps,
+    "num_invocations": stats.num_invocations,
+    "gen_seconds": gen_seconds,
+    "sim_seconds": sim_seconds,
+    "simulated_apps": result.num_apps,
+    "cold_starts": int(sum(r.cold_starts for r in result.app_results)),
+    "disk_bytes": stats.path.stat().st_size,
+    "store_heap_bytes": profile["heap_bytes"],
+    "store_mapped_bytes": profile["mapped_bytes"],
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+}))
+"""
+
+
+def _run_scale(num_apps: int, out: Path) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD_SCRIPT,
+            str(num_apps),
+            str(out),
+            str(TARGET_RPS),
+            str(BUDGET_BYTES),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def test_scaleout_100k_apps_flat_rss(tmp_path, record_bench):
+    """>= 100k apps streamed to disk with peak RSS flat in app count."""
+    small = _run_scale(SMALL_SCALE, tmp_path / "small.npz")
+    large = _run_scale(LARGE_SCALE, tmp_path / "large.npz")
+
+    for report in (small, large):
+        # The aggregate-load knob worked: both scales carry the same
+        # ~13M-invocation day, so app count is the only changing axis.
+        assert report["num_invocations"] >= 10_000_000
+        # The mapped store contributes no heap-resident columns.
+        assert report["store_heap_bytes"] == 0
+        assert report["store_mapped_bytes"] >= report["num_invocations"] * 8
+        assert report["cold_starts"] > 0
+
+    assert large["num_apps"] >= 100_000
+    rss_ratio = large["peak_rss_mb"] / small["peak_rss_mb"]
+    print(
+        f"\n25k apps: {small['num_invocations']:,} inv, "
+        f"gen {small['gen_seconds']:.1f}s, banked {small['sim_seconds']:.1f}s, "
+        f"peak RSS {small['peak_rss_mb']:.0f} MB"
+        f"\n100k apps: {large['num_invocations']:,} inv, "
+        f"gen {large['gen_seconds']:.1f}s, banked {large['sim_seconds']:.1f}s, "
+        f"peak RSS {large['peak_rss_mb']:.0f} MB "
+        f"({large['disk_bytes'] / 1e6:.0f} MB on disk, ratio {rss_ratio:.2f}x)"
+    )
+    record_bench(
+        "scaleout/100k-apps-out-of-core",
+        num_apps=large["num_apps"],
+        num_invocations=large["num_invocations"],
+        gen_invocations_per_second=round(
+            large["num_invocations"] / large["gen_seconds"]
+        ),
+        banked_invocations_per_second=round(
+            large["num_invocations"] / large["sim_seconds"]
+        ),
+        peak_rss_mb_25k=round(small["peak_rss_mb"], 1),
+        peak_rss_mb_100k=round(large["peak_rss_mb"], 1),
+        disk_mb=round(large["disk_bytes"] / 1e6, 1),
+        budget_bytes=BUDGET_BYTES,
+    )
+    assert large["peak_rss_mb"] <= RSS_ABSOLUTE_BOUND_MB
+    assert rss_ratio <= RSS_FLAT_RATIO
+
+
+def test_streamed_archive_bit_identical_at_small_scale(tmp_path):
+    """Chunk boundaries never change the published bytes."""
+    config = GeneratorConfig(
+        num_apps=200, duration_minutes=1440.0, seed=2020, max_daily_rate=500.0
+    )
+    mono = WorkloadGenerator(config).generate().store.save(tmp_path / "mono.npz")
+    streamed = stream_workload_to_store(config, tmp_path / "s.npz", chunk_apps=17)
+
+    def members(path):
+        with zipfile.ZipFile(path) as archive:
+            return {name: archive.read(name) for name in archive.namelist()}
+
+    assert members(mono) == members(streamed.path)
+
+
+def test_shard_results_identical_across_1_2_4_workers(tmp_path):
+    """Descriptor-based shared-memory shards change nothing but speed."""
+    config = GeneratorConfig(
+        num_apps=2_000, duration_minutes=1440.0, seed=2020, target_rps=20.0
+    )
+    stats = stream_workload_to_store(config, tmp_path / "shard.npz")
+    store = open_streamed_store(stats.path)
+
+    for factory in (fixed_keepalive_factory(10.0), hybrid_factory()):
+        reference = WorkloadRunner(
+            store, RunnerOptions(max_resident_bytes=BUDGET_BYTES)
+        ).run_policy(factory)
+        expected = [
+            (r.app_id, r.invocations, r.cold_starts, r.wasted_memory_minutes)
+            for r in reference.app_results
+        ]
+        for workers in (1, 2, 4):
+            sharded = WorkloadRunner(
+                store,
+                RunnerOptions(
+                    execution="parallel",
+                    workers=workers,
+                    max_resident_bytes=BUDGET_BYTES,
+                ),
+            ).run_policy(factory)
+            rows = [
+                (r.app_id, r.invocations, r.cold_starts, r.wasted_memory_minutes)
+                for r in sharded.app_results
+            ]
+            assert rows == expected, f"{factory.name} workers={workers}"

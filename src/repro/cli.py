@@ -15,17 +15,22 @@ Usage (after ``pip install -e .``)::
     repro replay --faults 2 --autoscale 2:8                     # crashes + elastic fleet
     repro trace pack traces/ traces/store.npz                   # CSVs -> columnar .npz store
     repro trace info traces/store.npz                           # store shape + memory footprint
+    repro trace gen big.npz --apps 100000 --target-rps 200      # stream 100k apps to disk
 
 Every sub-command accepts ``--num-apps``, ``--days``, ``--seed`` and
 ``--max-daily-rate`` to size the synthetic workload; ``--trace-dir`` loads
 an AzurePublicDataset-schema trace from disk instead of generating one.
 ``simulate``, ``sweep``, and ``experiment`` additionally accept
 ``--execution serial|vectorized|banked|parallel|auto``, ``--workers N``,
-and ``--sweep auto|family|per-policy`` to pick the simulation engine and
-the multi-policy sweep routing (see :mod:`repro.simulation.engine` and
+``--sweep auto|family|per-policy``, and ``--max-resident-mb M`` to pick
+the simulation engine, the multi-policy sweep routing, and the per-pass
+memory budget (see :mod:`repro.simulation.engine` and
 :mod:`repro.simulation.sweep_engine`); ``auto`` evaluates whole policy
 families in one shared-state pass and routes banked-capable policies
 through one struct-of-arrays policy bank instead of per-app instances.
+``trace gen`` streams a synthetic trace of any size straight to an
+``.npz`` store (bit-identical to the in-memory generator) that re-opens
+memory-mapped for out-of-core simulation.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ from repro.trace.loader import load_dataset
 from repro.trace.sampling import sample_mid_range_apps
 from repro.trace.schema import Workload
 from repro.trace.store import InvocationStore
+from repro.trace.stream import DEFAULT_CHUNK_APPS, stream_workload_to_store
 from repro.trace.writer import write_dataset
 
 MINUTES_PER_DAY = 1440.0
@@ -113,11 +119,27 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
             "configuration)"
         ),
     )
+    parser.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        help=(
+            "memory budget (MB of invocation columns) per engine pass: "
+            "walk the store in chunks that fit the budget and release "
+            "memory-mapped pages between chunks (out-of-core traces)"
+        ),
+    )
 
 
 def _runner_options(args: argparse.Namespace) -> RunnerOptions:
+    max_resident_mb = getattr(args, "max_resident_mb", None)
     return RunnerOptions(
-        execution=args.execution, workers=args.workers, sweep=args.sweep
+        execution=args.execution,
+        workers=args.workers,
+        sweep=args.sweep,
+        max_resident_bytes=(
+            int(max_resident_mb * 1e6) if max_resident_mb is not None else None
+        ),
     )
 
 
@@ -228,6 +250,7 @@ def _open_store(path: Path) -> InvocationStore:
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
     store = _open_store(args.path)
+    profile = store.memory_profile()
     print(f"columnar invocation store: {args.path}")
     print(f"  apps                 {store.num_apps:>14,}")
     print(f"  functions            {store.num_functions:>14,}")
@@ -235,6 +258,11 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     print(f"  duration             {store.duration_minutes:>14,.1f} minutes")
     print(f"  duration (days)      {store.duration_minutes / MINUTES_PER_DAY:>14,.2f}")
     print(f"  column memory        {store.nbytes / 1e6:>14,.2f} MB")
+    if args.path.is_file():
+        on_disk = args.path.stat().st_size
+        print(f"  on disk              {on_disk / 1e6:>14,.2f} MB")
+    print(f"  memory-mapped        {profile['mapped_bytes'] / 1e6:>14,.2f} MB")
+    print(f"  resident (heap)      {profile['heap_bytes'] / 1e6:>14,.2f} MB")
     print(
         f"  times                float64[{store.num_invocations}]"
         f" ({store.times.nbytes / 1e6:,.2f} MB,"
@@ -242,6 +270,37 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     )
     print(f"  function_idx         int64[{store.function_idx.size}]")
     print(f"  app_offsets          int64[{store.app_offsets.size}]")
+    return 0
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        num_apps=args.apps,
+        duration_minutes=args.days * MINUTES_PER_DAY,
+        seed=args.seed,
+        max_daily_rate=args.max_daily_rate,
+        target_rps=args.target_rps,
+    )
+    start = time.perf_counter()
+
+    def progress(apps_done: int, num_apps: int) -> None:
+        print(f"\r  streamed {apps_done:,}/{num_apps:,} apps", end="", flush=True)
+
+    stats = stream_workload_to_store(
+        config, args.out, chunk_apps=args.chunk_apps, progress=progress
+    )
+    elapsed = time.perf_counter() - start
+    print()
+    rate = stats.num_invocations / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"streamed {stats.num_invocations:,} invocations "
+        f"({stats.num_apps:,} apps, {stats.num_functions:,} functions, "
+        f"{stats.duration_minutes / MINUTES_PER_DAY:g} days) into {stats.path}"
+    )
+    print(
+        f"  {stats.on_disk_bytes / 1e6:,.2f} MB on disk, "
+        f"{elapsed:.2f}s ({rate:,.0f} invocations/s)"
+    )
     return 0
 
 
@@ -481,6 +540,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed for sub-minute placement"
     )
     trace_pack.set_defaults(handler=_cmd_trace_pack)
+    trace_gen = trace_subparsers.add_parser(
+        "gen",
+        help=(
+            "stream a synthetic workload straight into a columnar .npz "
+            "store (out-of-core: memory stays flat in the app count)"
+        ),
+    )
+    trace_gen.add_argument("out", type=Path, help="output .npz path")
+    trace_gen.add_argument(
+        "--apps", type=int, default=100_000, help="number of synthetic apps"
+    )
+    trace_gen.add_argument(
+        "--days", type=float, default=7.0, help="trace duration in days"
+    )
+    trace_gen.add_argument("--seed", type=int, default=2020, help="random seed")
+    trace_gen.add_argument(
+        "--max-daily-rate",
+        type=float,
+        default=4000.0,
+        help="cap on per-app average invocations per day",
+    )
+    trace_gen.add_argument(
+        "--target-rps",
+        type=float,
+        default=None,
+        help=(
+            "rescale per-app rates so the aggregate load approximates this "
+            "many requests per second (decouples load from --apps)"
+        ),
+    )
+    trace_gen.add_argument(
+        "--chunk-apps",
+        type=int,
+        default=DEFAULT_CHUNK_APPS,
+        help="apps generated and appended per chunk (the memory high-water mark)",
+    )
+    trace_gen.set_defaults(handler=_cmd_trace_gen)
 
     replay = subparsers.add_parser(
         "replay",

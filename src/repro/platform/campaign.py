@@ -330,6 +330,32 @@ class ReplayCampaign:
         )
         if len(set(self.seeds)) != len(self.seeds):
             raise ValueError(f"duplicate campaign seeds {list(self.seeds)}")
+        # Descriptor plumbing for disk-backed workloads: forked replay
+        # workers re-open the store memory-mapped instead of reading the
+        # parent's heap columns (same path as the simulation engine's
+        # parallel shards).
+        self._parent_pid = os.getpid()
+        self._worker_workload: tuple[int, Workload] | None = None
+
+    def _task_workload(self) -> Workload:
+        """The workload handle the calling process should replay from.
+
+        The parent process (and any workload without a backing archive)
+        uses the campaign's own workload.  A forked worker whose workload
+        store was saved to or opened from disk re-opens it memory-mapped
+        once per process (:meth:`~repro.trace.schema.Workload.reopened`):
+        the columns come from the shared OS page cache, and results are
+        identical because the archive holds byte-identical columns.
+        """
+        pid = os.getpid()
+        if pid == self._parent_pid or self.workload.store.source_path is None:
+            return self.workload
+        cached = self._worker_workload
+        if cached is not None and cached[0] == pid:
+            return cached[1]
+        workload = self.workload.reopened(mmap=True)
+        self._worker_workload = (pid, workload)
+        return workload
 
     @property
     def num_replays(self) -> int:
@@ -356,7 +382,7 @@ class ReplayCampaign:
         def run_task(task_id: int) -> CampaignCell:
             factory, scenario, seed = tasks[task_id]
             replayer = TraceReplayer(
-                self.workload,
+                self._task_workload(),
                 replay_config=replace(self.replay_config, seed=seed),
                 cluster_config=scenario.config,
                 feed=feeds[seed],

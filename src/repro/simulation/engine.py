@@ -62,6 +62,7 @@ import numpy as np
 from repro.policies.registry import PolicyFactory
 from repro.simulation.coldstart import ColdStartSimulator
 from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
+from repro.trace.store import InvocationStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.trace.schema import Workload
@@ -79,6 +80,13 @@ SWEEP_MODES: tuple[str, ...] = ("auto", "family", "per-policy")
 #: Shards per worker: small enough to keep per-shard overhead negligible,
 #: large enough that uneven per-app costs still balance across the pool.
 _SHARDS_PER_WORKER = 4
+
+#: Estimated resident bytes of per-application engine state in one chunk:
+#: the banked hybrid's histogram bins (240 × int64 at the default config)
+#: plus its ARIMA idle-time ring (64 doubles) and counters.  Used by the
+#: ``max_resident_bytes`` chunk geometry so many-small-app workloads are
+#: bounded by app count too, not only by invocation bytes.
+_PER_APP_RESIDENT_BYTES = 4096
 
 
 @dataclass(frozen=True)
@@ -110,6 +118,16 @@ class RunnerOptions:
             ``execution``, and ``"per-policy"`` disables sharing entirely.
             Only affects multi-policy runs (``run_policies`` and the
             ``sweep_*`` functions); single-policy runs are untouched.
+        max_resident_bytes: Memory budget (bytes of invocation columns)
+            for one engine pass.  ``None`` (the default) iterates the
+            whole workload at once; a budget makes the in-process routes
+            — and each parallel shard — walk the store in contiguous
+            application chunks whose ``times`` columns fit the budget,
+            releasing memory-mapped pages between chunks
+            (:meth:`~repro.trace.store.InvocationStore.release_mapped_pages`),
+            so peak RSS stays near the budget instead of the trace size.
+            Results are unaffected: chunked passes are exactly the
+            unchunked passes evaluated range by range.
     """
 
     use_memory_weights: bool = False
@@ -117,6 +135,7 @@ class RunnerOptions:
     execution: str = "auto"
     workers: int | None = None
     sweep: str = "auto"
+    max_resident_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.execution not in EXECUTION_MODES:
@@ -130,6 +149,8 @@ class RunnerOptions:
             raise ValueError(
                 f"unknown sweep mode {self.sweep!r}; expected one of {SWEEP_MODES}"
             )
+        if self.max_resident_bytes is not None and self.max_resident_bytes < 1:
+            raise ValueError("max_resident_bytes must be positive")
 
 
 # --------------------------------------------------------------------------- #
@@ -238,26 +259,206 @@ class SimulationEngine:
     resolves per-application work items once, decides per policy whether
     the vectorized fast path applies, and either loops in-process or fans
     shards out over a worker pool.
+
+    Accepts either a full :class:`~repro.trace.schema.Workload` or a bare
+    :class:`~repro.trace.store.InvocationStore` (e.g. one streamed to disk
+    by ``repro trace gen`` and re-opened memory-mapped).  Store-only mode
+    has no per-application metadata, so ``use_memory_weights`` weighs
+    every application at 1 MB.
     """
 
-    def __init__(self, workload: "Workload", options: RunnerOptions | None = None) -> None:
-        self.workload = workload
+    def __init__(
+        self,
+        workload: "Workload | InvocationStore",
+        options: RunnerOptions | None = None,
+    ) -> None:
+        if isinstance(workload, InvocationStore):
+            self.workload: "Workload | None" = None
+            self._store = workload
+            self._apps = None
+        else:
+            self.workload = workload
+            self._store = workload.store
+            self._apps = workload.apps
         self.options = options or RunnerOptions()
-        self._simulator = ColdStartSimulator(horizon_minutes=workload.duration_minutes)
+        self._simulator = ColdStartSimulator(
+            horizon_minutes=self._store.duration_minutes
+        )
+        # Descriptor plumbing for the parallel route: forked workers detect
+        # that they are not this pid and re-open the store from its path.
+        self._parent_pid = os.getpid()
+        self._worker_store: tuple[int, InvocationStore] | None = None
 
     @property
     def simulator(self) -> ColdStartSimulator:
         """The simulator carrying the horizon and cold-start conventions."""
         return self._simulator
 
+    @property
+    def store(self) -> InvocationStore:
+        """The columnar invocation store the engine iterates over."""
+        return self._store
+
     def work_items(self) -> list[_AppWorkItem]:
-        """Per-application inputs, resolved once (see :meth:`_work_items`).
+        """Per-application inputs for the whole workload.
 
         Public entry point used by the sweep engine, which evaluates whole
         policy families over the same work items this engine runs single
         policies over.
         """
-        return self._work_items()
+        return self.work_items_range(0, self._store.num_apps)
+
+    def work_items_range(
+        self,
+        start_app: int,
+        stop_app: int,
+        *,
+        store: InvocationStore | None = None,
+    ) -> list[_AppWorkItem]:
+        """Work items for the contiguous application range ``[start, stop)``.
+
+        Each item's ``times`` is a read-only, zero-copy slice of the
+        store's flat sorted column — for a memory-mapped store the bytes
+        are only paged in when a simulation touches them, which is what
+        makes the ``max_resident_bytes`` chunked passes stream instead of
+        loading the trace.  ``store`` substitutes a re-opened handle of
+        the same archive (parallel shard workers); application indices and
+        ids are identical by construction.
+        """
+        store = self._store if store is None else store
+        counts = np.diff(store.app_offsets[start_app : stop_app + 1])
+        min_invocations = self.options.min_invocations
+        use_weights = self.options.use_memory_weights
+        apps = self._apps
+        items: list[_AppWorkItem] = []
+        for offset in range(stop_app - start_app):
+            if counts[offset] < min_invocations:
+                continue
+            app_index = start_app + offset
+            if apps is not None:
+                app = apps[app_index]
+                app_id = app.app_id
+                memory_mb = app.memory.average_mb if use_weights else 1.0
+            else:
+                app_id = store.app_ids[app_index]
+                memory_mb = 1.0
+            items.append(
+                _AppWorkItem(
+                    app_id=app_id,
+                    times=store.app_slice(app_index),
+                    memory_mb=memory_mb,
+                )
+            )
+        return items
+
+    def eligible_app_count(self) -> int:
+        """How many applications pass the ``min_invocations`` filter."""
+        if self.options.min_invocations <= 0:
+            return self._store.num_apps
+        counts = self._store.app_counts()
+        return int(np.count_nonzero(counts >= self.options.min_invocations))
+
+    # ------------------------------------------------------------------ #
+    # Memory-bounded chunking and parallel shard geometry
+    # ------------------------------------------------------------------ #
+    def app_chunk_bounds(
+        self, start_app: int = 0, stop_app: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Contiguous app ranges honouring ``options.max_resident_bytes``.
+
+        Splits ``[start_app, stop_app)`` greedily so each range's cost
+        fits the budget, where cost charges 8 bytes per invocation (the
+        ``times`` column a simulation pass touches) plus
+        ``_PER_APP_RESIDENT_BYTES`` per application for the banked
+        policies' per-row state (histogram bins, ARIMA ring, counters).
+        Charging apps as well as invocations keeps peak RSS flat in app
+        count, not just in trace length.  A single application larger
+        than the budget gets its own range rather than failing.  With no
+        budget the whole range comes back as one chunk.
+        """
+        stop_app = self._store.num_apps if stop_app is None else stop_app
+        if stop_app <= start_app:
+            return []
+        limit = self.options.max_resident_bytes
+        if limit is None:
+            return [(start_app, stop_app)]
+        offsets = np.asarray(self._store.app_offsets)
+        # Strictly increasing cumulative cost; searchsorted finds the
+        # farthest stop whose chunk stays within budget.
+        cost = offsets * 8 + np.arange(offsets.size, dtype=np.int64) * (
+            _PER_APP_RESIDENT_BYTES
+        )
+        bounds: list[tuple[int, int]] = []
+        cursor = start_app
+        while cursor < stop_app:
+            target = int(cost[cursor]) + max(int(limit), 1)
+            stop = int(np.searchsorted(cost, target, side="right")) - 1
+            stop = min(max(stop, cursor + 1), stop_app)
+            bounds.append((cursor, stop))
+            cursor = stop
+        return bounds
+
+    def shard_ranges(self, workers: int) -> list[tuple[int, int]]:
+        """Contiguous app ranges for the parallel route's shards.
+
+        Shards are balanced by invocation count (not application count, so
+        skewed workloads still spread evenly), oversharded by
+        ``_SHARDS_PER_WORKER``, and — under a ``max_resident_bytes``
+        budget — further split so no single shard task exceeds the budget.
+        Concatenating per-range results in range order reproduces the
+        in-process application order for any worker count.
+        """
+        store = self._store
+        num_apps = store.num_apps
+        if num_apps == 0:
+            return []
+        num_shards = min(num_apps, max(1, int(workers)) * _SHARDS_PER_WORKER)
+        offsets = np.asarray(store.app_offsets)
+        targets = np.linspace(0, int(offsets[-1]), num_shards + 1)
+        bounds = np.searchsorted(offsets, targets, side="left").astype(int)
+        bounds = np.minimum(bounds, num_apps)
+        bounds[0] = 0
+        bounds[-1] = num_apps
+        bounds = np.maximum.accumulate(bounds)
+        ranges: list[tuple[int, int]] = []
+        for index in range(num_shards):
+            start, stop = int(bounds[index]), int(bounds[index + 1])
+            if stop <= start:
+                continue
+            if self.options.max_resident_bytes is not None:
+                ranges.extend(self.app_chunk_bounds(start, stop))
+            else:
+                ranges.append((start, stop))
+        return ranges
+
+    def release_mapped_pages(self) -> bool:
+        """Drop this process's resident pages of the mapped columns."""
+        return self._store.release_mapped_pages()
+
+    def worker_store(self) -> InvocationStore:
+        """The store handle the calling process should read columns from.
+
+        In the engine's own process this is simply the engine's store.  A
+        forked parallel worker whose store came from disk re-opens the
+        archive memory-mapped instead: only the ``(path, app range)``
+        descriptor travels through fork, the pages come from the shared
+        OS page cache, and the worker never touches the parent's columns.
+        Stores without a backing file (built in memory, or subsets) fall
+        back to the fork-inherited arrays, which preserves results.
+        """
+        pid = os.getpid()
+        if pid == self._parent_pid:
+            return self._store
+        cached = self._worker_store
+        if cached is not None and cached[0] == pid:
+            return cached[1]
+        path = self._store.source_path
+        if path is None:
+            store = self._store
+        else:
+            store = InvocationStore.open(path, mmap=True)
+        self._worker_store = (pid, store)
+        return store
 
     # ------------------------------------------------------------------ #
     def run_policy(
@@ -285,37 +486,9 @@ class SimulationEngine:
         )
         if execution == "parallel":
             results = self._run_parallel(factory, keepalive, use_bank, progress)
-        elif use_bank:
-            results = self._run_banked(factory, self._work_items(), progress)
         else:
-            results = self._run_in_process(factory, keepalive, progress)
+            results = self._run_in_process(factory, keepalive, use_bank, progress)
         return merge_results(factory.name, results)
-
-    def _work_items(self) -> list[_AppWorkItem]:
-        """Resolve per-app inputs as zero-copy views of the columnar store.
-
-        Each item's ``times`` is a read-only slice of the store's flat
-        sorted column — no per-app merge, sort, or cache, and forked
-        parallel workers inherit one shared buffer instead of pickling
-        per-app arrays.
-        """
-        store = self.workload.store
-        counts = store.app_counts()
-        items: list[_AppWorkItem] = []
-        for app_index, app in enumerate(self.workload.apps):
-            if counts[app_index] < self.options.min_invocations:
-                continue
-            memory_mb = (
-                app.memory.average_mb if self.options.use_memory_weights else 1.0
-            )
-            items.append(
-                _AppWorkItem(
-                    app_id=app.app_id,
-                    times=store.app_slice(app_index),
-                    memory_mb=memory_mb,
-                )
-            )
-        return items
 
     def _simulate_item(
         self, item: _AppWorkItem, factory: PolicyFactory, keepalive: float | None
@@ -359,16 +532,37 @@ class SimulationEngine:
         self,
         factory: PolicyFactory,
         keepalive: float | None,
+        use_bank: bool,
         progress: Callable[[int, int], None] | None,
     ) -> list[AppSimResult]:
-        """Serial/vectorized execution, one application at a time."""
-        items = self._work_items()
-        total = len(items)
+        """Serial/vectorized/banked execution, memory-bounded when asked.
+
+        With ``max_resident_bytes`` set the workload is walked chunk by
+        chunk (:meth:`app_chunk_bounds`) and the store's mapped pages are
+        released after each chunk; chunk boundaries do not change any
+        per-application result (bank rows are mutually independent), so
+        the concatenated results equal the unchunked pass exactly.
+        """
+        bounds = self.app_chunk_bounds()
+        chunked = len(bounds) > 1
+        total = self.eligible_app_count() if progress is not None else 0
+        done = 0
         results: list[AppSimResult] = []
-        for index, item in enumerate(items):
-            results.append(self._simulate_item(item, factory, keepalive))
-            if progress is not None:
-                progress(index + 1, total)
+        for start, stop in bounds:
+            items = self.work_items_range(start, stop)
+            if use_bank:
+                results.extend(self._run_banked(factory, items, progress=None))
+                done += len(items)
+                if progress is not None:
+                    progress(done, total)
+            else:
+                for item in items:
+                    results.append(self._simulate_item(item, factory, keepalive))
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+            if chunked:
+                self._store.release_mapped_pages()
         return results
 
     # ------------------------------------------------------------------ #
@@ -379,36 +573,33 @@ class SimulationEngine:
         use_bank: bool,
         progress: Callable[[int, int], None] | None,
     ) -> list[AppSimResult]:
-        """Shard applications across a worker pool; deterministic ordering.
+        """Shard application ranges across a worker pool; deterministic.
 
-        Results are reassembled by shard index (shards are contiguous runs
-        of applications in workload order), so the output is independent of
-        the worker count and of shard completion order: bank rows are
+        Shards are contiguous application ranges (:meth:`shard_ranges`)
+        reassembled by shard index, so the output is independent of the
+        worker count and of shard completion order: bank rows are
         mutually independent, so stepping an application in a smaller
         (per-shard) bank produces exactly the results it gets in one
-        workload-wide bank.  Progress is aggregated across shards as they
+        workload-wide bank.  Workers receive only the range — each forked
+        worker re-opens a disk-backed store memory-mapped
+        (:meth:`worker_store`), sharing clean page-cache pages instead of
+        duplicating columns.  Progress aggregates across shards as they
         complete.
         """
-        items = self._work_items()
-        total = len(items)
+        total = self.eligible_app_count()
         if total == 0:
             return []
         workers = self.options.workers
         if workers is None:
             workers = os.cpu_count() or 1
         workers = max(1, min(int(workers), total))
-        num_shards = min(total, workers * _SHARDS_PER_WORKER)
-        bounds = np.linspace(0, total, num_shards + 1).astype(int)
-        shards = [
-            items[bounds[i] : bounds[i + 1]]
-            for i in range(num_shards)
-            if bounds[i + 1] > bounds[i]
-        ]
+        ranges = self.shard_ranges(workers)
 
         done = 0
 
         def run_shard(shard_id: int) -> list[AppSimResult]:
-            return self._run_shard_items(shards[shard_id], factory, keepalive, use_bank)
+            start, stop = ranges[shard_id]
+            return self._run_shard_range(start, stop, factory, keepalive, use_bank)
 
         def on_result(shard_id: int, results: list[AppSimResult]) -> None:
             nonlocal done
@@ -416,19 +607,27 @@ class SimulationEngine:
             if progress is not None:
                 progress(done, total)
 
-        ordered = fork_pool_map(run_shard, len(shards), workers, on_result=on_result)
+        ordered = fork_pool_map(run_shard, len(ranges), workers, on_result=on_result)
         return [result for shard in ordered for result in shard]
 
-    def _run_shard_items(
+    def _run_shard_range(
         self,
-        shard: Sequence[_AppWorkItem],
+        start_app: int,
+        stop_app: int,
         factory: PolicyFactory,
         keepalive: float | None,
         use_bank: bool = False,
     ) -> list[AppSimResult]:
+        """One shard task: simulate ``[start_app, stop_app)`` in this process."""
+        store = self.worker_store()
+        items = self.work_items_range(start_app, stop_app, store=store)
         if use_bank:
-            return self._run_banked(factory, shard, progress=None)
-        return [self._simulate_item(item, factory, keepalive) for item in shard]
+            results = self._run_banked(factory, items, progress=None)
+        else:
+            results = [self._simulate_item(item, factory, keepalive) for item in items]
+        if self.options.max_resident_bytes is not None:
+            store.release_mapped_pages()
+        return results
 
 
 # --------------------------------------------------------------------------- #

@@ -36,6 +36,7 @@ from repro.simulation.engine import RunnerOptions, SimulationEngine
 from repro.simulation.metrics import AggregateResult
 from repro.simulation.sweep_engine import SweepEngine, group_factories
 from repro.trace.schema import Workload
+from repro.trace.store import InvocationStore
 
 __all__ = [
     "RunnerOptions",
@@ -47,9 +48,19 @@ __all__ = [
 
 
 class WorkloadRunner:
-    """Evaluates policies over every application of a workload."""
+    """Evaluates policies over every application of a workload.
 
-    def __init__(self, workload: Workload, options: RunnerOptions | None = None) -> None:
+    Also accepts a bare :class:`~repro.trace.store.InvocationStore` — for
+    example one streamed to disk by ``repro trace gen`` and re-opened
+    memory-mapped — in which case per-application metadata (memory
+    weights) is unavailable and every application weighs 1 MB.
+    """
+
+    def __init__(
+        self,
+        workload: Workload | InvocationStore,
+        options: RunnerOptions | None = None,
+    ) -> None:
         self.workload = workload
         self.options = options or RunnerOptions()
         self._engine = SimulationEngine(workload, self.options)
@@ -145,7 +156,7 @@ class ParallelWorkloadRunner(WorkloadRunner):
 
     def __init__(
         self,
-        workload: Workload,
+        workload: Workload | InvocationStore,
         options: RunnerOptions | None = None,
         *,
         workers: int | None = None,
@@ -247,7 +258,7 @@ class PolicyComparison:
 
 
 def run_policy_over_workload(
-    workload: Workload,
+    workload: Workload | InvocationStore,
     factory: PolicyFactory,
     *,
     options: RunnerOptions | None = None,

@@ -65,7 +65,6 @@ from repro.policies.registry import (
 )
 from repro.simulation.coldstart import DEFAULT_SCALAR_DRAIN_THRESHOLD
 from repro.simulation.engine import (
-    _SHARDS_PER_WORKER,
     SimulationEngine,
     _AppWorkItem,
     fork_pool_map,
@@ -226,17 +225,39 @@ class SweepEngine:
 
     # ------------------------------------------------------------------ #
     def _run_family(self, group: FactoryGroup) -> dict[str, list[AppSimResult]]:
-        """Evaluate one shareable family, sharding when running parallel."""
-        items = self._engine.work_items()
-        workers = self._resolve_workers(len(items))
+        """Evaluate one shareable family, sharding when running parallel.
+
+        Honours ``options.max_resident_bytes`` exactly like the
+        single-policy engine: the in-process evaluation walks the store in
+        budgeted application chunks (releasing mapped pages between
+        chunks), and each parallel shard stays within the budget.  Chunk
+        boundaries cannot change results — every recorded quantity is a
+        pure function of one application's own timestamps.
+        """
+        engine = self._engine
+        eligible = engine.eligible_app_count()
+        workers = self._resolve_workers(eligible)
         if (
             self.options.execution == "parallel"
             and workers > 1
-            and len(items) > 1
+            and eligible > 1
             and "fork" in multiprocessing.get_all_start_methods()
         ):
-            return self._run_family_sharded(group, items, workers)
-        return self._evaluate_family_items(group, items)
+            return self._run_family_sharded(group, workers)
+        bounds = engine.app_chunk_bounds()
+        if len(bounds) <= 1:
+            return self._evaluate_family_items(group, engine.work_items())
+        merged: dict[str, list[AppSimResult]] = {
+            factory.name: [] for factory in group.factories
+        }
+        for start, stop in bounds:
+            chunk = self._evaluate_family_items(
+                group, engine.work_items_range(start, stop)
+            )
+            for name, app_results in chunk.items():
+                merged[name].extend(app_results)
+            engine.release_mapped_pages()
+        return merged
 
     def _resolve_workers(self, num_items: int) -> int:
         workers = self.options.workers
@@ -259,34 +280,37 @@ class SweepEngine:
     def _run_family_sharded(
         self,
         group: FactoryGroup,
-        items: Sequence[_AppWorkItem],
         workers: int,
     ) -> dict[str, list[AppSimResult]]:
         """Shard the family evaluation across a ``fork`` worker pool.
 
         Applications are independent (each row's recordings and decisions
         are pure functions of its own timestamps), so evaluating a family
-        over contiguous item chunks and concatenating per-configuration
-        results in chunk order reproduces the whole-workload evaluation
-        exactly, independent of the worker count.  The same oversharding
-        factor as the engine's parallel route keeps skewed per-app costs
-        balanced across the pool.
+        over contiguous application ranges and concatenating per-config
+        results in range order reproduces the whole-workload evaluation
+        exactly, independent of the worker count.  Shards follow the
+        engine's parallel geometry (:meth:`SimulationEngine.shard_ranges`):
+        balanced by invocation count, split to ``max_resident_bytes``, and
+        resolved in each forked worker against a re-opened memory-mapped
+        store handle rather than the parent's columns.
         """
-        num_shards = min(workers * _SHARDS_PER_WORKER, len(items))
-        bounds = np.linspace(0, len(items), num_shards + 1).astype(int)
-        shards = [
-            list(items[bounds[i] : bounds[i + 1]])
-            for i in range(num_shards)
-            if bounds[i + 1] > bounds[i]
-        ]
+        engine = self._engine
+        ranges = engine.shard_ranges(workers)
+
+        def run_shard(shard_id: int) -> dict[str, list[AppSimResult]]:
+            start, stop = ranges[shard_id]
+            store = engine.worker_store()
+            result = self._evaluate_family_items(
+                group, engine.work_items_range(start, stop, store=store)
+            )
+            if self.options.max_resident_bytes is not None:
+                store.release_mapped_pages()
+            return result
+
         # The engine's shared fork pool: the task closure (carrying the
         # group's factories, which hold unpicklable closures) travels by
         # fork, and the results come back ordered by shard index.
-        ordered = fork_pool_map(
-            lambda shard_id: self._evaluate_family_items(group, shards[shard_id]),
-            len(shards),
-            workers,
-        )
+        ordered = fork_pool_map(run_shard, len(ranges), workers)
         merged: dict[str, list[AppSimResult]] = {
             factory.name: [] for factory in group.factories
         }

@@ -21,8 +21,8 @@ The generator is deterministic for a given seed.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -87,6 +87,14 @@ class GeneratorConfig:
             use a bursty ON/OFF arrival process (CV > 1).
         diurnal_fraction: Fraction of HTTP-driven applications whose load
             follows the diurnal/weekly pattern.
+        target_rps: Rescale the sampled per-app daily rates so the
+            workload's *aggregate* average arrival rate is this many
+            invocations per second (the Helix-style arrival-rate
+            resampling knob: load scales independently of app count while
+            the relative rate skew across applications is preserved).
+            ``None`` keeps the sampled rates.  The per-app
+            ``max_invocations_per_app`` cap still applies after
+            rescaling, so extreme targets on tiny populations saturate.
     """
 
     num_apps: int = 500
@@ -99,6 +107,7 @@ class GeneratorConfig:
     timer_only_single_fraction: float = 0.5
     bursty_fraction: float = 0.55
     diurnal_fraction: float = 0.6
+    target_rps: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_apps < 1:
@@ -117,6 +126,37 @@ class GeneratorConfig:
             value = getattr(self, name)
             if not 0 <= value <= 1:
                 raise ValueError(f"{name} must be within [0, 1]")
+        if self.target_rps is not None and self.target_rps <= 0:
+            raise ValueError("target_rps must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadChunk:
+    """One contiguous run of generated applications (streaming unit).
+
+    Holds the per-app column triples
+    :meth:`~repro.trace.store.InvocationStore.from_app_columns` (and the
+    incremental :class:`~repro.trace.store_writer.InvocationStoreWriter`)
+    consume, plus the full :class:`~repro.trace.schema.AppSpec` records
+    for consumers that keep population metadata.
+    """
+
+    start_index: int
+    apps: tuple[AppSpec, ...]
+    app_times: tuple[np.ndarray, ...]
+    app_positions: tuple[np.ndarray, ...]
+
+    @property
+    def num_apps(self) -> int:
+        return len(self.apps)
+
+    @property
+    def num_invocations(self) -> int:
+        return int(sum(times.size for times in self.app_times))
+
+    def app_functions(self) -> list[tuple[str, list[str]]]:
+        """The chunk's population layout in the store-builder format."""
+        return [(app.app_id, app.function_ids()) for app in self.apps]
 
 
 class WorkloadGenerator:
@@ -127,7 +167,48 @@ class WorkloadGenerator:
 
     # ------------------------------------------------------------------ #
     def generate(self) -> Workload:
-        """Synthesize the full workload."""
+        """Synthesize the full workload (materialized in memory).
+
+        Thin accumulation over :meth:`generate_chunks`, so the monolithic
+        and streaming paths are one code path and bit-identical per seed.
+        """
+        config = self.config
+        apps: list[AppSpec] = []
+        app_times: list[np.ndarray] = []
+        app_positions: list[np.ndarray] = []
+        for chunk in self.generate_chunks(chunk_apps=config.num_apps):
+            apps.extend(chunk.apps)
+            app_times.extend(chunk.app_times)
+            app_positions.extend(chunk.app_positions)
+        # Emit columns straight into the CSR store: no per-function dicts,
+        # one stable per-app time sort instead of a sort per function.
+        store = InvocationStore.from_app_columns(
+            [(app.app_id, app.function_ids()) for app in apps],
+            app_times,
+            app_positions,
+            config.duration_minutes,
+        )
+        return Workload.from_store(apps, store)
+
+    def generate_chunks(self, chunk_apps: int = 4096) -> Iterator[WorkloadChunk]:
+        """Synthesize the workload as a stream of per-app column chunks.
+
+        The single seeded RNG is threaded through the population sampling
+        and then through every application in index order, exactly as
+        :meth:`generate` does, so the emitted columns are bit-identical to
+        the monolithic path for any chunk size — the boundary between
+        chunks never touches the random stream.  Peak memory is the
+        population-sampling arrays (``O(num_apps)`` scalars) plus one
+        chunk of columns, which is what makes million-app streaming
+        generation possible (see
+        :func:`repro.trace.stream.stream_workload_to_store`).
+
+        Args:
+            chunk_apps: Applications per emitted chunk (the last chunk may
+                be smaller).
+        """
+        if chunk_apps < 1:
+            raise ValueError("chunk_apps must be at least 1")
         config = self.config
         rng = np.random.default_rng(config.seed)
         combos = sample_trigger_combinations(rng, config.num_apps)
@@ -135,11 +216,21 @@ class WorkloadGenerator:
             sample_functions_per_app(rng, config.num_apps), config.max_functions_per_app
         )
         daily_rates = np.minimum(sample_daily_rates(rng, config.num_apps), config.max_daily_rate)
+        if config.target_rps is not None:
+            # Helix-style arrival-rate resampling: rescale the whole rate
+            # series so the aggregate average throughput hits the target,
+            # preserving the relative skew across applications.
+            total_per_day = float(daily_rates.sum())
+            if total_per_day > 0:
+                daily_rates = daily_rates * (
+                    config.target_rps * 86400.0 / total_per_day
+                )
         memory_mb = MEMORY_MODEL.sample_mb(rng, config.num_apps)
 
         apps: list[AppSpec] = []
         app_times: list[np.ndarray] = []
         app_positions: list[np.ndarray] = []
+        start_index = 0
         for index in range(config.num_apps):
             app_id = f"app{index:05d}"
             owner_id = f"owner{index % max(config.num_apps // 3, 1):05d}"
@@ -161,15 +252,16 @@ class WorkloadGenerator:
             )
             app_times.append(times)
             app_positions.append(positions)
-        # Emit columns straight into the CSR store: no per-function dicts,
-        # one stable per-app time sort instead of a sort per function.
-        store = InvocationStore.from_app_columns(
-            [(app.app_id, app.function_ids()) for app in apps],
-            app_times,
-            app_positions,
-            config.duration_minutes,
-        )
-        return Workload.from_store(apps, store)
+            if len(apps) == chunk_apps:
+                yield WorkloadChunk(
+                    start_index, tuple(apps), tuple(app_times), tuple(app_positions)
+                )
+                start_index = index + 1
+                apps, app_times, app_positions = [], [], []
+        if apps:
+            yield WorkloadChunk(
+                start_index, tuple(apps), tuple(app_times), tuple(app_positions)
+            )
 
     # ------------------------------------------------------------------ #
     # Static population

@@ -334,6 +334,27 @@ class Workload:
         """A new workload cut to the first ``duration_minutes`` minutes."""
         return Workload.from_store(self._apps, self._store.truncated(duration_minutes))
 
+    def reopened(self, *, mmap: bool = True) -> "Workload":
+        """The same population over a freshly opened store handle.
+
+        Requires a store with a backing archive
+        (:attr:`~repro.trace.store.InvocationStore.source_path`, set by
+        ``save()`` and ``open()``).  Forked workers use this to trade the
+        parent's heap columns for a memory-mapped handle whose pages come
+        from the shared OS page cache, so N workers cost one copy of the
+        trace instead of N.
+
+        Raises:
+            ValueError: When the store was never saved or opened from disk.
+        """
+        path = self._store.source_path
+        if path is None:
+            raise ValueError(
+                "workload store has no backing archive; save() it (or open "
+                "one written by InvocationStoreWriter) before reopening"
+            )
+        return Workload.from_store(self._apps, InvocationStore.open(path, mmap=mmap))
+
     def summary(self) -> dict[str, float]:
         """High-level workload description used by reports and the CLI."""
         return {

@@ -67,6 +67,7 @@ per function.
 
 from __future__ import annotations
 
+import mmap as _mmap_module
 import zipfile
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
@@ -80,6 +81,19 @@ __all__ = ["InvocationStore"]
 AppFunctions = Sequence[tuple[str, Sequence[str]]]
 
 _SUB_MINUTE_PLACEMENTS = ("uniform", "start", "spread")
+
+#: Members every complete ``.npz`` store archive must contain.
+_STORE_MEMBERS = frozenset(
+    {
+        "times",
+        "function_idx",
+        "app_offsets",
+        "function_app_idx",
+        "app_ids",
+        "function_ids",
+        "duration_minutes",
+    }
+)
 
 
 def _finite_or_raise(times: np.ndarray, context: str) -> None:
@@ -101,6 +115,44 @@ def _readonly(array: np.ndarray) -> np.ndarray:
     view = array.view()
     view.flags.writeable = False
     return view
+
+
+def _file_backed_base(array: np.ndarray) -> np.memmap | None:
+    """The :class:`numpy.memmap` at the bottom of an array's base chain."""
+    base: np.ndarray | None = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return base
+        base = getattr(base, "base", None)
+    return None
+
+
+def normalize_app_block(
+    times: np.ndarray, positions: np.ndarray, num_functions: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize one application's generated column block.
+
+    Shared by :meth:`InvocationStore.from_app_columns` and the incremental
+    :class:`~repro.trace.store_writer.InvocationStoreWriter` so the
+    streamed and one-shot build paths perform bit-identical operations:
+    float64/int64 coercion, local-position range checks, and a stable
+    per-block time sort only when the block is not already ascending.
+    """
+    times = np.asarray(times, dtype=np.float64).ravel()
+    positions = np.asarray(positions, dtype=np.int64).ravel()
+    if times.size != positions.size:
+        raise ValueError("per-app times and function positions must be aligned")
+    if not times.size:
+        return times, positions
+    if positions.min() < 0 or positions.max() >= num_functions:
+        raise ValueError("function positions fall outside the application's functions")
+    if times.size > 1 and np.any(np.diff(times) < 0):
+        # Stable per-block time sort keeps equal timestamps in
+        # generation order.
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        positions = positions[order]
+    return times, positions
 
 
 class InvocationStore:
@@ -130,6 +182,7 @@ class InvocationStore:
         "function_ids",
         "function_app_idx",
         "duration_minutes",
+        "source_path",
         "_app_index",
         "_function_index",
         "_function_perm",
@@ -159,6 +212,12 @@ class InvocationStore:
             np.ascontiguousarray(function_app_idx, dtype=np.int64)
         )
         self.duration_minutes = float(duration_minutes)
+        #: Path of the on-disk ``.npz`` archive backing this store, when
+        #: known (set by :meth:`open` and :meth:`save`).  Parallel shards
+        #: use it as a ``(path, app_range)`` descriptor: workers re-open
+        #: the store memory-mapped (sharing the page cache) instead of
+        #: inheriting or pickling resident columns.
+        self.source_path: Path | None = None
         self._app_index = {app_id: i for i, app_id in enumerate(self.app_ids)}
         self._function_index = {fid: i for i, fid in enumerate(self.function_ids)}
         self._function_perm: np.ndarray | None = None
@@ -342,25 +401,15 @@ class InvocationStore:
         codes: list[np.ndarray] = []
         counts = np.zeros(len(app_ids), dtype=np.int64)
         for app_index, (times, positions) in enumerate(zip(app_times, app_function_positions)):
-            times = np.asarray(times, dtype=np.float64).ravel()
-            positions = np.asarray(positions, dtype=np.int64).ravel()
-            if times.size != positions.size:
-                raise ValueError("per-app times and function positions must be aligned")
+            # Arrival processes emit sorted timestamps, so the common case
+            # inside normalize_app_block is a single cheap monotonicity
+            # check and no sort at all.
+            times, positions = normalize_app_block(
+                times, positions, int(functions_per_app[app_index])
+            )
             counts[app_index] = times.size
             if not times.size:
                 continue
-            if positions.min() < 0 or positions.max() >= functions_per_app[app_index]:
-                raise ValueError(
-                    "function positions fall outside the application's functions"
-                )
-            if times.size > 1 and np.any(np.diff(times) < 0):
-                # Stable per-block time sort keeps equal timestamps in
-                # generation order.
-                order = np.argsort(times, kind="stable")
-                times = times[order]
-                positions = positions[order]
-            # Arrival processes emit sorted timestamps, so the common case
-            # is a single cheap monotonicity check and no sort at all.
             pieces.append(times)
             codes.append(function_base[app_index] + positions)
         times = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.float64)
@@ -486,12 +535,7 @@ class InvocationStore:
     @property
     def is_memory_mapped(self) -> bool:
         """Whether the timestamp column is backed by a file mapping."""
-        array: np.ndarray | None = self.times
-        while array is not None:
-            if isinstance(array, np.memmap):
-                return True
-            array = getattr(array, "base", None)
-        return False
+        return _file_backed_base(self.times) is not None
 
     @property
     def nbytes(self) -> int:
@@ -507,6 +551,56 @@ class InvocationStore:
         if self._function_offsets is not None:
             total += self._function_offsets.nbytes
         return int(total)
+
+    def memory_profile(self) -> dict[str, int]:
+        """Split the column footprint into file-mapped and heap bytes.
+
+        ``mapped_bytes`` live in the page cache and are reclaimable by the
+        OS (and shareable across processes mapping the same archive);
+        ``heap_bytes`` are private resident allocations.  ``repro trace
+        info`` reports the delta so out-of-core stores can show a
+        near-zero resident footprint next to a multi-GB archive.
+        """
+        mapped = 0
+        heap = 0
+        columns = [self.times, self.function_idx, self.app_offsets, self.function_app_idx]
+        if self._function_perm is not None:
+            columns.append(self._function_perm)
+        if self._function_offsets is not None:
+            columns.append(self._function_offsets)
+        for column in columns:
+            if _file_backed_base(column) is not None:
+                mapped += column.nbytes
+            else:
+                heap += column.nbytes
+        return {"mapped_bytes": int(mapped), "heap_bytes": int(heap)}
+
+    def release_mapped_pages(self) -> bool:
+        """Advise the OS to drop this store's resident mapped pages.
+
+        The memory-bounded engine passes call this between app chunks so
+        the resident set stays proportional to one chunk instead of
+        accumulating every touched page of a huge archive.  A no-op (and
+        ``False``) for heap-backed stores and on platforms without
+        ``madvise``; dropped pages fault back in from the page cache or
+        the file on the next access, so this is always safe.
+        """
+        released = False
+        advised: set[int] = set()
+        for column in (self.times, self.function_idx):
+            base = _file_backed_base(column)
+            if base is None or id(base) in advised:
+                continue
+            advised.add(id(base))
+            raw = getattr(base, "_mmap", None)
+            if raw is None or not hasattr(raw, "madvise"):
+                continue
+            try:
+                raw.madvise(_mmap_module.MADV_DONTNEED)
+            except (AttributeError, ValueError, OSError):  # pragma: no cover
+                continue
+            released = True
+        return released
 
     def app_index(self, app_id: str) -> int:
         return self._app_index[app_id]
@@ -697,12 +791,26 @@ class InvocationStore:
     # Derived stores
     # ------------------------------------------------------------------ #
     def subset(self, app_indices: Sequence[int]) -> "InvocationStore":
-        """A new store restricted to the given applications (given order)."""
+        """A new store restricted to the given applications (given order).
+
+        Copies are minimal: only the selected application blocks are
+        gathered (allocation proportional to the subset, never to the
+        parent), and a *contiguous* ascending index range keeps the
+        timestamp column as a zero-copy view of the parent — on a
+        memory-mapped store an app-range slice therefore materializes
+        nothing beyond the remapped function codes.
+        """
         app_indices = np.asarray(app_indices, dtype=np.int64)
         if app_indices.size and (
             app_indices.min() < 0 or app_indices.max() >= self.num_apps
         ):
             raise IndexError("application index out of range")
+        if app_indices.size and (
+            app_indices.size == 1 or np.all(np.diff(app_indices) == 1)
+        ):
+            return self._subset_contiguous(
+                int(app_indices[0]), int(app_indices[-1]) + 1
+            )
         old_counts = self.app_counts()
         pieces = [self.app_slice(int(i)) for i in app_indices]
         code_pieces = [self.app_function_codes(int(i)) for i in app_indices]
@@ -736,17 +844,62 @@ class InvocationStore:
             validate=False,
         )
 
+    def _subset_contiguous(self, start_app: int, stop_app: int) -> "InvocationStore":
+        """Zero-copy app-range slice: the backbone of chunked engine passes.
+
+        ``times`` stays a view of the parent column (mapped or heap);
+        only the function codes are rewritten (a subtraction over the
+        slice, output-sized) because the surviving functions are
+        renumbered from zero.
+        """
+        lo = int(self.app_offsets[start_app])
+        hi = int(self.app_offsets[stop_app])
+        # Functions are grouped by owning app, so the surviving codes are
+        # one contiguous run found by bisecting the sorted owner column.
+        fn_lo = int(np.searchsorted(self.function_app_idx, start_app, side="left"))
+        fn_hi = int(np.searchsorted(self.function_app_idx, stop_app, side="left"))
+        return InvocationStore(
+            self.times[lo:hi],
+            self.function_idx[lo:hi] - fn_lo,
+            self.app_offsets[start_app : stop_app + 1] - lo,
+            app_ids=self.app_ids[start_app:stop_app],
+            function_ids=self.function_ids[fn_lo:fn_hi],
+            function_app_idx=self.function_app_idx[fn_lo:fn_hi] - start_app,
+            duration_minutes=self.duration_minutes,
+            validate=False,
+        )
+
     def truncated(self, duration_minutes: float) -> "InvocationStore":
-        """A new store cut to the first ``duration_minutes`` minutes."""
+        """A new store cut to the first ``duration_minutes`` minutes.
+
+        Per-app blocks are time-sorted, so the cut is a ``searchsorted``
+        prefix per block: peak allocation is the surviving prefix data
+        plus ``O(num_apps)`` bookkeeping — no full-column boolean mask and
+        no invocation-length owner array, so truncating a memory-mapped
+        store only ever touches the pages holding block boundaries and
+        surviving data.
+        """
         if duration_minutes <= 0 or duration_minutes > self.duration_minutes:
             raise ValueError("truncated duration must be within (0, duration]")
-        mask = self.times < duration_minutes
-        counts = np.bincount(self.app_of_invocation()[mask], minlength=self.num_apps)
+        offsets = self.app_offsets
+        counts = np.zeros(self.num_apps, dtype=np.int64)
+        pieces: list[np.ndarray] = []
+        code_pieces: list[np.ndarray] = []
+        for app_index in range(self.num_apps):
+            lo, hi = int(offsets[app_index]), int(offsets[app_index + 1])
+            if hi == lo:
+                continue
+            block = self.times[lo:hi]
+            keep = int(np.searchsorted(block, duration_minutes, side="left"))
+            counts[app_index] = keep
+            if keep:
+                pieces.append(block[:keep])
+                code_pieces.append(self.function_idx[lo : lo + keep])
         app_offsets = np.zeros(self.num_apps + 1, dtype=np.int64)
         np.cumsum(counts, out=app_offsets[1:])
         return InvocationStore(
-            self.times[mask],
-            self.function_idx[mask],
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.float64),
+            np.concatenate(code_pieces) if code_pieces else np.empty(0, dtype=np.int64),
             app_offsets,
             app_ids=self.app_ids,
             function_ids=self.function_ids,
@@ -778,6 +931,9 @@ class InvocationStore:
             function_ids=np.asarray(self.function_ids),
             duration_minutes=np.asarray([self.duration_minutes]),
         )
+        # The store now has an on-disk twin: parallel shards can re-open
+        # it memory-mapped from the path instead of inheriting columns.
+        self.source_path = path
         return path
 
     @classmethod
@@ -798,19 +954,35 @@ class InvocationStore:
             )
             if mapped is not None:
                 arrays.update(mapped)
-        with np.load(path) as archive:
-            for name in (
-                "times",
-                "function_idx",
-                "app_offsets",
-                "function_app_idx",
-            ):
-                if name not in arrays:
-                    arrays[name] = archive[name]
-            app_ids = [str(a) for a in archive["app_ids"]]
-            function_ids = [str(f) for f in archive["function_ids"]]
-            duration = float(archive["duration_minutes"][0])
-        return cls(
+        try:
+            with np.load(path) as archive:
+                members = set(archive.files)
+                missing = _STORE_MEMBERS - members
+                if missing:
+                    raise ValueError(
+                        f"{path} is not a complete invocation store: missing "
+                        f"member(s) {sorted(missing)} — the file may be a "
+                        "partially written archive (a crashed "
+                        "InvocationStoreWriter leaves only a .partial file, "
+                        "never a truncated store)"
+                    )
+                for name in (
+                    "times",
+                    "function_idx",
+                    "app_offsets",
+                    "function_app_idx",
+                ):
+                    if name not in arrays:
+                        arrays[name] = archive[name]
+                app_ids = [str(a) for a in archive["app_ids"]]
+                function_ids = [str(f) for f in archive["function_ids"]]
+                duration = float(archive["duration_minutes"][0])
+        except (zipfile.BadZipFile, EOFError) as error:
+            raise ValueError(
+                f"{path} is not a readable invocation store archive: {error} "
+                "(the file appears truncated or corrupt)"
+            ) from error
+        store = cls(
             arrays["times"],
             arrays["function_idx"],
             arrays["app_offsets"],
@@ -820,6 +992,8 @@ class InvocationStore:
             duration_minutes=duration,
             validate=False,
         )
+        store.source_path = path
+        return store
 
     # ------------------------------------------------------------------ #
     def summary(self) -> dict[str, float]:

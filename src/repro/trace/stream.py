@@ -1,0 +1,92 @@
+"""Out-of-core trace generation: chunked generator → on-disk store.
+
+The one-call driver behind ``repro trace gen``: it threads
+:meth:`WorkloadGenerator.generate_chunks
+<repro.trace.generator.WorkloadGenerator.generate_chunks>` straight into
+an :class:`~repro.trace.store_writer.InvocationStoreWriter`, so a
+100k-to-million-app workload lands on disk with only one chunk of
+invocation columns (plus ``O(num_apps)`` bookkeeping) ever resident.  The
+resulting archive is bit-identical to ``generate().store.save(...)`` for
+the same :class:`~repro.trace.generator.GeneratorConfig` and re-opens
+memory-mapped, ready for the memory-bounded engine passes and
+shared-memory parallel shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+from repro.trace.store import InvocationStore
+from repro.trace.store_writer import InvocationStoreWriter
+
+__all__ = ["StreamStats", "stream_workload_to_store"]
+
+#: Default applications per streamed chunk: large enough that numpy batch
+#: work dominates the per-chunk overhead, small enough that one chunk of
+#: columns stays a rounding error next to the archive.
+DEFAULT_CHUNK_APPS = 4096
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """What a completed streaming generation produced."""
+
+    path: Path
+    num_apps: int
+    num_functions: int
+    num_invocations: int
+    duration_minutes: float
+    on_disk_bytes: int
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "num_apps": float(self.num_apps),
+            "num_functions": float(self.num_functions),
+            "num_invocations": float(self.num_invocations),
+            "duration_minutes": self.duration_minutes,
+            "on_disk_mb": self.on_disk_bytes / 1e6,
+        }
+
+
+def stream_workload_to_store(
+    config: GeneratorConfig,
+    path: str | Path,
+    *,
+    chunk_apps: int = DEFAULT_CHUNK_APPS,
+    progress: Callable[[int, int], None] | None = None,
+) -> StreamStats:
+    """Generate a workload straight into an on-disk columnar store.
+
+    Args:
+        config: Generator parameters (``target_rps`` scales aggregate load
+            independently of ``num_apps``).
+        path: Output ``.npz`` archive path.
+        chunk_apps: Applications generated and appended per chunk — the
+            memory high-water mark of the column data.
+        progress: Optional ``(apps_done, num_apps)`` callback per chunk.
+
+    Returns:
+        A :class:`StreamStats` describing the published archive.
+    """
+    generator = WorkloadGenerator(config)
+    with InvocationStoreWriter(path, duration_minutes=config.duration_minutes) as writer:
+        for chunk in generator.generate_chunks(chunk_apps=chunk_apps):
+            writer.append_apps(chunk.app_functions(), chunk.app_times, chunk.app_positions)
+            if progress is not None:
+                progress(chunk.start_index + chunk.num_apps, config.num_apps)
+    return StreamStats(
+        path=writer.path,
+        num_apps=writer.num_apps,
+        num_functions=writer.num_functions,
+        num_invocations=writer.num_invocations,
+        duration_minutes=config.duration_minutes,
+        on_disk_bytes=writer.path.stat().st_size,
+    )
+
+
+def open_streamed_store(path: str | Path, *, mmap: bool = True) -> InvocationStore:
+    """Open a streamed (or ``save()``-written) archive, mapped by default."""
+    return InvocationStore.open(path, mmap=mmap)

@@ -451,3 +451,51 @@ class TestFaultCampaignDeterminism:
         second = self._fault_campaign(fault_workload, workers=2).run()
         for cell_a, cell_b in zip(first.cells, second.cells):
             assert _deterministic_summary(cell_a) == _deterministic_summary(cell_b)
+
+
+class TestCampaignDescriptorShards:
+    """Disk-backed campaign workloads: forked workers re-open the store
+    memory-mapped (``ReplayCampaign._task_workload``) and produce results
+    byte-identical to the fork-inherited heap columns."""
+
+    @pytest.fixture(scope="class")
+    def campaign_workload(self) -> Workload:
+        config = GeneratorConfig(
+            num_apps=12, duration_minutes=480.0, seed=23, max_daily_rate=500.0
+        )
+        return WorkloadGenerator(config).generate()
+
+    def _campaign(self, workload: Workload, workers: int) -> ReplayCampaign:
+        return ReplayCampaign(
+            workload,
+            [fixed_keepalive_factory(10.0), hybrid_factory()],
+            seeds=(5,),
+            replay_config=ReplayConfig(duration_minutes=90.0, seed=5),
+            workers=workers,
+        )
+
+    def test_mapped_workers_match_heap_reference(self, campaign_workload, tmp_path):
+        reference = self._campaign(campaign_workload, workers=1).run()
+        campaign_workload.store.save(tmp_path / "campaign.npz")
+        mapped = campaign_workload.reopened()
+        assert mapped.store.is_memory_mapped
+        forked = self._campaign(mapped, workers=2).run()
+        assert len(reference.cells) == len(forked.cells)
+        for cell_a, cell_b in zip(reference.cells, forked.cells):
+            assert cell_a.policy_name == cell_b.policy_name
+            assert cell_a.seed == cell_b.seed
+            summary_a = {
+                k: v for k, v in cell_a.summary.items() if k != "controller_overhead_us"
+            }
+            summary_b = {
+                k: v for k, v in cell_b.summary.items() if k != "controller_overhead_us"
+            }
+            assert summary_a == summary_b
+            np.testing.assert_array_equal(
+                cell_a.app_cold_start_pct, cell_b.app_cold_start_pct
+            )
+
+    def test_parent_process_keeps_its_own_workload(self, campaign_workload, tmp_path):
+        campaign_workload.store.save(tmp_path / "campaign.npz")
+        campaign = self._campaign(campaign_workload, workers=2)
+        assert campaign._task_workload() is campaign_workload

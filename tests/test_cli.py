@@ -86,6 +86,57 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "apps" in output
 
+    def test_trace_gen_streams_store(self, tmp_path, capsys):
+        store_path = tmp_path / "streamed.npz"
+        assert (
+            main(
+                [
+                    "trace",
+                    "gen",
+                    str(store_path),
+                    "--apps",
+                    "30",
+                    "--days",
+                    "1",
+                    "--seed",
+                    "6",
+                    "--target-rps",
+                    "1.5",
+                    "--chunk-apps",
+                    "9",
+                ]
+            )
+            == 0
+        )
+        assert store_path.exists()
+        output = capsys.readouterr().out
+        assert "streamed" in output
+        assert "invocations/s" in output
+        # The streamed store opens memory-mapped and reports a near-zero
+        # resident (heap) footprint next to the on-disk archive.
+        assert main(["trace", "info", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "on disk" in output
+        assert "memory-mapped" in output
+        assert "resident (heap)" in output
+        assert "0.00 MB" in output
+
+    def test_simulate_accepts_max_resident_mb(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    *SMALL,
+                    "--policies",
+                    "fixed:10",
+                    "--max-resident-mb",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        assert "fixed-10min" in capsys.readouterr().out
+
     def test_trace_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["trace"])

@@ -157,3 +157,29 @@ class TestWorkload:
         assert summary["num_apps"] == 2
         assert summary["total_invocations"] == 52
         assert summary["duration_days"] == pytest.approx(1.0)
+
+
+class TestReopened:
+    def test_reopened_requires_backing_archive(self, two_app_workload):
+        with pytest.raises(ValueError, match="backing archive"):
+            two_app_workload.reopened()
+
+    def test_reopened_maps_identical_columns(self, two_app_workload, tmp_path):
+        two_app_workload.store.save(tmp_path / "w.npz")
+        reopened = two_app_workload.reopened()
+        assert reopened.store.is_memory_mapped
+        assert reopened.apps == two_app_workload.apps
+        np.testing.assert_array_equal(
+            reopened.store.times, two_app_workload.store.times
+        )
+        np.testing.assert_array_equal(
+            reopened.store.app_offsets, two_app_workload.store.app_offsets
+        )
+
+    def test_reopened_without_mmap_loads_heap_columns(self, two_app_workload, tmp_path):
+        two_app_workload.store.save(tmp_path / "w.npz")
+        reopened = two_app_workload.reopened(mmap=False)
+        assert not reopened.store.is_memory_mapped
+        np.testing.assert_array_equal(
+            reopened.store.times, two_app_workload.store.times
+        )

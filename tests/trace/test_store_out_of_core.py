@@ -1,0 +1,157 @@
+"""Out-of-core guarantees of :class:`InvocationStore` derivations.
+
+``subset()`` and ``truncated()`` used to materialize full-size
+intermediates (a whole-column boolean mask, an invocation-length owner
+array), which silently paged an entire memory-mapped store into RAM the
+moment anyone sliced it.  These tests pin the minimal-copy contract:
+contiguous subsets keep the timestamp column as a zero-copy view, and
+both derivations allocate proportionally to their *output*, never to the
+parent store.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.trace.store import InvocationStore
+
+DURATION = 1440.0
+
+
+def build_store(num_apps: int = 300, per_app: int = 700) -> InvocationStore:
+    rng = np.random.default_rng(17)
+    app_functions = [(f"a{i}", (f"a{i}-f0", f"a{i}-f1")) for i in range(num_apps)]
+    app_times = [
+        np.sort(rng.uniform(0.0, DURATION, size=per_app)) for _ in range(num_apps)
+    ]
+    app_positions = [
+        rng.integers(0, 2, size=per_app).astype(np.int64) for _ in range(num_apps)
+    ]
+    return InvocationStore.from_app_columns(
+        app_functions, app_times, app_positions, duration_minutes=DURATION
+    )
+
+
+@pytest.fixture(scope="module")
+def store() -> InvocationStore:
+    return build_store()
+
+
+@pytest.fixture()
+def mapped_store(store, tmp_path) -> InvocationStore:
+    return InvocationStore.open(store.save(tmp_path / "store.npz"), mmap=True)
+
+
+class TestContiguousSubset:
+    def test_times_column_is_zero_copy_view(self, store):
+        sub = store.subset(range(10, 25))
+        assert np.shares_memory(sub.times, store.times)
+
+    def test_contiguous_matches_gather_path(self, store):
+        contiguous = store.subset(range(10, 25))
+        # A permuted-then-restored index list forces the general gather.
+        indices = list(range(10, 25))
+        gathered = store.subset(indices[::-1]).subset(range(len(indices))[::-1])
+        np.testing.assert_array_equal(contiguous.times, gathered.times)
+        np.testing.assert_array_equal(contiguous.app_offsets, gathered.app_offsets)
+        np.testing.assert_array_equal(
+            contiguous.function_idx, gathered.function_idx
+        )
+        assert contiguous.app_ids == gathered.app_ids
+        assert contiguous.function_ids == gathered.function_ids
+        np.testing.assert_array_equal(
+            contiguous.function_app_idx, gathered.function_app_idx
+        )
+
+    def test_mapped_subset_stays_file_backed(self, mapped_store):
+        sub = mapped_store.subset(range(50, 80))
+        assert sub.is_memory_mapped
+        assert np.shares_memory(sub.times, mapped_store.times)
+
+    def test_single_app_subset_is_contiguous(self, store):
+        sub = store.subset([7])
+        assert np.shares_memory(sub.times, store.times)
+        np.testing.assert_array_equal(sub.times, store.app_slice(7))
+
+
+class TestTruncated:
+    def test_matches_mask_reference(self, store):
+        cut = DURATION / 3.0
+        truncated = store.truncated(cut)
+        expected_blocks = []
+        expected_counts = []
+        for app_index in range(store.num_apps):
+            block = store.app_slice(app_index)
+            keep = block[block < cut]
+            expected_blocks.append(keep)
+            expected_counts.append(keep.size)
+        np.testing.assert_array_equal(
+            truncated.times, np.concatenate(expected_blocks)
+        )
+        np.testing.assert_array_equal(
+            np.diff(truncated.app_offsets), np.asarray(expected_counts)
+        )
+        assert truncated.duration_minutes == cut
+        assert truncated.app_ids == store.app_ids
+        assert truncated.function_ids == store.function_ids
+
+
+class TestPeakAllocation:
+    """Regression: derivation cost is proportional to the *subset*.
+
+    numpy routes its allocations through tracemalloc, so the traced peak
+    bounds what a derivation materializes.  The parent's ``times`` column
+    alone is ~1.7 MB here; a few-app subset must stay far below that.
+    """
+
+    @staticmethod
+    def _traced_peak(operation) -> int:
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            operation()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    def test_contiguous_subset_peak_is_output_sized(self, store):
+        column_bytes = store.times.nbytes
+        assert column_bytes > 1_000_000
+        peak = self._traced_peak(lambda: store.subset(range(10, 14)))
+        assert peak < column_bytes / 8
+
+    def test_gather_subset_peak_is_output_sized(self, store):
+        column_bytes = store.times.nbytes
+        peak = self._traced_peak(lambda: store.subset([250, 3, 77]))
+        assert peak < column_bytes / 8
+
+    def test_truncated_peak_tracks_surviving_prefix(self, store):
+        column_bytes = store.times.nbytes
+        # Keep ~5% of the trace: the old mask-based cut allocated several
+        # full-length intermediates regardless of the survivor count.
+        peak = self._traced_peak(lambda: store.truncated(DURATION / 20.0))
+        assert peak < column_bytes / 2
+
+
+class TestMemoryProfile:
+    def test_mapped_store_reports_mapped_columns(self, mapped_store):
+        profile = mapped_store.memory_profile()
+        assert profile["mapped_bytes"] >= mapped_store.times.nbytes
+        assert profile["heap_bytes"] == 0
+
+    def test_heap_store_reports_heap_columns(self, store):
+        profile = store.memory_profile()
+        assert profile["mapped_bytes"] == 0
+        assert profile["heap_bytes"] >= store.times.nbytes
+
+    def test_release_mapped_pages(self, store, mapped_store):
+        assert mapped_store.release_mapped_pages() is True
+        # Released pages fault back in transparently.
+        np.testing.assert_array_equal(
+            mapped_store.app_slice(5), store.app_slice(5)
+        )
+        assert store.release_mapped_pages() is False

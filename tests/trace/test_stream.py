@@ -1,0 +1,202 @@
+"""Tests for the out-of-core trace pipeline: chunked generation and the
+incremental store writer.
+
+The contract under test is bit-identity: a store streamed chunk-by-chunk
+through :class:`InvocationStoreWriter` must be member-for-member
+byte-identical to the archive ``generate().store.save()`` writes for the
+same :class:`GeneratorConfig`, for any chunk size — chunk boundaries must
+never touch the RNG stream or the column layout.  Plus the crash-safety
+contract: a crashed or aborted writer never publishes anything, and
+truncated archives are rejected with a clear error instead of silently
+loading a shorter trace.
+"""
+
+from __future__ import annotations
+
+import zipfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+from repro.trace.store import InvocationStore
+from repro.trace.store_writer import InvocationStoreWriter
+from repro.trace.stream import open_streamed_store, stream_workload_to_store
+
+SMALL = dict(num_apps=30, duration_minutes=1440.0, seed=9, max_daily_rate=400.0)
+
+
+def archive_members(path) -> dict[str, bytes]:
+    with zipfile.ZipFile(path) as archive:
+        return {name: archive.read(name) for name in archive.namelist()}
+
+
+class TestWriterRoundTrip:
+    def test_streamed_archive_bit_identical_to_save(self, tmp_path):
+        config = GeneratorConfig(**SMALL)
+        workload = WorkloadGenerator(config).generate()
+        saved = workload.store.save(tmp_path / "saved.npz")
+
+        stats = stream_workload_to_store(
+            config, tmp_path / "streamed.npz", chunk_apps=7
+        )
+        assert stats.num_apps == workload.num_apps
+        assert stats.num_invocations == workload.total_invocations
+
+        saved_members = archive_members(saved)
+        streamed_members = archive_members(stats.path)
+        assert sorted(saved_members) == sorted(streamed_members)
+        for name in saved_members:
+            assert saved_members[name] == streamed_members[name], name
+
+    def test_streamed_store_round_trips_through_open(self, tmp_path):
+        config = GeneratorConfig(**SMALL)
+        stats = stream_workload_to_store(config, tmp_path / "t.npz", chunk_apps=11)
+        store = open_streamed_store(stats.path)
+        assert store.is_memory_mapped
+        assert store.source_path == stats.path
+        reference = WorkloadGenerator(config).generate().store
+        np.testing.assert_array_equal(store.times, reference.times)
+        np.testing.assert_array_equal(store.function_idx, reference.function_idx)
+        np.testing.assert_array_equal(store.app_offsets, reference.app_offsets)
+        assert store.app_ids == reference.app_ids
+        assert store.function_ids == reference.function_ids
+
+    def test_writer_appends_npz_suffix_and_empty_store(self, tmp_path):
+        with InvocationStoreWriter(tmp_path / "bare", duration_minutes=60.0) as writer:
+            pass
+        assert writer.path == tmp_path / "bare.npz"
+        store = InvocationStore.open(writer.path)
+        assert store.num_apps == 0
+        assert store.num_invocations == 0
+
+    def test_progress_callback_reports_every_chunk(self, tmp_path):
+        config = GeneratorConfig(**SMALL)
+        seen: list[tuple[int, int]] = []
+        stream_workload_to_store(
+            config,
+            tmp_path / "t.npz",
+            chunk_apps=8,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (config.num_apps, config.num_apps)
+        assert [done for done, _ in seen] == sorted({done for done, _ in seen})
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    num_apps=st.integers(min_value=1, max_value=40),
+    chunk_apps=st.integers(min_value=1, max_value=50),
+)
+def test_chunked_generation_matches_monolithic(tmp_path, seed, num_apps, chunk_apps):
+    """Property: chunk size never changes the published archive bytes."""
+    config = GeneratorConfig(
+        num_apps=num_apps, duration_minutes=720.0, seed=seed, max_daily_rate=200.0
+    )
+    mono = tmp_path / f"mono-{seed}-{num_apps}.npz"
+    WorkloadGenerator(config).generate().store.save(mono)
+    streamed = stream_workload_to_store(
+        config, tmp_path / f"chunk-{seed}-{num_apps}-{chunk_apps}.npz",
+        chunk_apps=chunk_apps,
+    )
+    assert archive_members(mono) == archive_members(streamed.path)
+
+
+class TestCrashSafety:
+    def test_exception_in_body_publishes_nothing(self, tmp_path):
+        out = tmp_path / "crash.npz"
+        with pytest.raises(RuntimeError):
+            with InvocationStoreWriter(out, duration_minutes=60.0) as writer:
+                writer.append_apps(
+                    [("a0", ("a0-f0",))],
+                    [np.array([1.0, 2.0])],
+                    [np.array([0, 0])],
+                )
+                raise RuntimeError("generator died")
+        assert not out.exists()
+        assert list(tmp_path.iterdir()) == []  # no .partial litter either
+
+    def test_abort_discards_partial_state(self, tmp_path):
+        out = tmp_path / "aborted.npz"
+        writer = InvocationStoreWriter(out, duration_minutes=60.0)
+        writer.append_apps(
+            [("a0", ("a0-f0",))], [np.array([1.0])], [np.array([0])]
+        )
+        writer.abort()
+        assert not out.exists()
+        assert writer.closed
+        assert list(tmp_path.iterdir()) == []
+
+    def test_append_after_close_rejected(self, tmp_path):
+        writer = InvocationStoreWriter(tmp_path / "t.npz", duration_minutes=60.0)
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.append_apps([], [], [])
+        with pytest.raises(ValueError, match="closed"):
+            writer.close()
+
+    def test_truncated_archive_rejected_with_clear_error(self, tmp_path):
+        config = GeneratorConfig(**SMALL)
+        stats = stream_workload_to_store(config, tmp_path / "t.npz", chunk_apps=10)
+        data = stats.path.read_bytes()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            InvocationStore.open(truncated)
+
+    def test_archive_missing_members_rejected(self, tmp_path):
+        partial = tmp_path / "partial.npz"
+        np.savez(partial, times=np.zeros(3), duration_minutes=np.asarray([60.0]))
+        with pytest.raises(ValueError, match="missing member"):
+            InvocationStore.open(partial)
+
+    def test_writer_validates_inputs(self, tmp_path):
+        with pytest.raises(ValueError, match="duration must be positive"):
+            InvocationStoreWriter(tmp_path / "t.npz", duration_minutes=0.0)
+        writer = InvocationStoreWriter(tmp_path / "t.npz", duration_minutes=60.0)
+        with pytest.raises(ValueError, match="horizon"):
+            writer.append_apps(
+                [("a0", ("a0-f0",))], [np.array([61.0])], [np.array([0])]
+            )
+        with pytest.raises(ValueError, match="newlines"):
+            writer.append_apps(
+                [("a\n0", ("a0-f0",))], [np.array([1.0])], [np.array([0])]
+            )
+        with pytest.raises(ValueError, match="per application"):
+            writer.append_apps([("a0", ("a0-f0",))], [], [])
+        writer.abort()
+
+
+class TestTargetRps:
+    def test_target_rps_rescales_aggregate_load(self):
+        base = GeneratorConfig(num_apps=60, duration_minutes=1440.0, seed=3)
+        scaled = GeneratorConfig(
+            num_apps=60, duration_minutes=1440.0, seed=3, target_rps=5.0
+        )
+        low = WorkloadGenerator(base).generate().total_invocations
+        high = WorkloadGenerator(scaled).generate().total_invocations
+        measured_rps = high / (1440.0 * 60.0)
+        # Arrival realizations and per-app caps leave slack around the
+        # target; the rescale must land well within a factor of two.
+        assert 0.5 * 5.0 <= measured_rps <= 2.0 * 5.0
+        assert high != low
+
+    def test_target_rps_validation(self):
+        with pytest.raises(ValueError, match="target_rps"):
+            GeneratorConfig(num_apps=5, duration_minutes=60.0, target_rps=0.0)
+
+    def test_target_rps_streams_identically(self, tmp_path):
+        config = GeneratorConfig(
+            num_apps=25, duration_minutes=720.0, seed=5, target_rps=2.0
+        )
+        mono = tmp_path / "mono.npz"
+        WorkloadGenerator(config).generate().store.save(mono)
+        streamed = stream_workload_to_store(config, tmp_path / "s.npz", chunk_apps=6)
+        assert archive_members(mono) == archive_members(streamed.path)
