@@ -13,6 +13,9 @@ Usage (after ``pip install -e .``)::
     repro replay --invoker-counts 4 8 18 --workers 4            # cluster-shape scan
     repro replay --faults 0 2 6 --balancer ring least-loaded    # fault & balancer axes
     repro replay --faults 2 --autoscale 2:8                     # crashes + elastic fleet
+    repro replay --fault-domains 3 --domain-outage-rate 1       # correlated rack outages
+    repro replay --slow-rate 2 --controller-mttf 4              # degradation + failover
+    repro replay --autoscale 2:8 --autoscale-policy predictive  # histogram-driven scaling
     repro trace pack traces/ traces/store.npz                   # CSVs -> columnar .npz store
     repro trace info traces/store.npz                           # store shape + memory footprint
     repro trace gen big.npz --apps 100000 --target-rps 200      # stream 100k apps to disk
@@ -322,10 +325,12 @@ def _compose_fault_scenarios(
     """Cross the cluster-shape scenarios with the fault/balancer axes.
 
     ``--faults`` (crash rates per invoker-hour) and ``--balancer`` are
-    scenario axes; ``--autoscale MIN:MAX``, ``--restart-seconds``,
-    ``--message-delay-ms``, ``--retry-limit``, and ``--fault-seed``
-    apply to every scenario.  Rate 0 with no message delay keeps the
-    scenario fault-free (byte-identical to a plain replay).
+    scenario axes; ``--autoscale MIN:MAX``, ``--autoscale-policy``,
+    ``--restart-seconds``, ``--message-delay-ms``, ``--retry-limit``,
+    ``--fault-domains``, ``--domain-outage-rate``, ``--slow-rate``,
+    ``--controller-mttf``, and ``--fault-seed`` apply to every scenario.
+    Rate 0 on every fault axis with no message delay keeps the scenario
+    fault-free (byte-identical to a plain replay).
     """
     autoscaler = None
     if args.autoscale:
@@ -335,16 +340,39 @@ def _compose_fault_scenarios(
             raise ValueError(
                 f"--autoscale expects MIN:MAX, got {args.autoscale!r}"
             ) from None
-        autoscaler = AutoscalerConfig(min_invokers=low, max_invokers=high)
+        autoscaler = AutoscalerConfig(
+            min_invokers=low, max_invokers=high, policy=args.autoscale_policy
+        )
+    elif args.autoscale_policy != "threshold":
+        raise ValueError(
+            "--autoscale-policy requires --autoscale MIN:MAX to enable "
+            "the elastic fleet"
+        )
+
+    faulty = (
+        args.message_delay_ms > 0
+        or args.domain_outage_rate != 0
+        or args.slow_rate != 0
+        or args.controller_mttf != 0
+    )
 
     def plan_for(rate: float) -> FaultPlan | None:
-        if rate <= 0 and args.message_delay_ms <= 0:
+        if rate <= 0 and not faulty:
             return None
         return FaultPlan(
             crash_rate_per_hour=rate,
             restart_delay_seconds=args.restart_seconds,
             message_delay_seconds=args.message_delay_ms / 1000.0,
             retry_limit=args.retry_limit,
+            domain_outage_rate_per_hour=args.domain_outage_rate,
+            domain_outage_seconds=args.domain_outage_seconds,
+            slow_rate_per_hour=args.slow_rate,
+            slow_duration_seconds=args.slow_seconds,
+            slow_execution_factor=args.slow_factor,
+            slow_message_delay_factor=args.slow_factor,
+            brownout_concurrency=args.brownout_concurrency,
+            controller_mttf_hours=args.controller_mttf,
+            controller_failover_seconds=args.failover_seconds,
             seed=args.fault_seed,
         )
 
@@ -370,6 +398,7 @@ def _compose_fault_scenarios(
                             balancer=strategy,
                             fault_plan=plan_for(rate),
                             autoscaler=autoscaler,
+                            fault_domains=args.fault_domains,
                         ),
                     )
                 )
@@ -679,6 +708,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the fault-injection random streams",
     )
     replay.add_argument(
+        "--fault-domains",
+        type=int,
+        default=1,
+        help=(
+            "number of correlated failure domains (racks/zones); invoker i "
+            "belongs to domain i %% N and domain outages take every member "
+            "down together"
+        ),
+    )
+    replay.add_argument(
+        "--domain-outage-rate",
+        type=float,
+        default=0.0,
+        help="correlated domain outages per domain-hour (0 disables)",
+    )
+    replay.add_argument(
+        "--domain-outage-seconds",
+        type=float,
+        default=120.0,
+        help="duration of one correlated domain outage",
+    )
+    replay.add_argument(
+        "--slow-rate",
+        type=float,
+        default=0.0,
+        help="partial-degradation (slow invoker) episodes per invoker-hour",
+    )
+    replay.add_argument(
+        "--slow-factor",
+        type=float,
+        default=4.0,
+        help="execution/startup/message-delay multiplier while degraded",
+    )
+    replay.add_argument(
+        "--slow-seconds",
+        type=float,
+        default=300.0,
+        help="duration of one degradation episode",
+    )
+    replay.add_argument(
+        "--brownout-concurrency",
+        type=int,
+        default=0,
+        help=(
+            "in-flight cap above which a degraded invoker sheds activations "
+            "(0 disables brownout shedding)"
+        ),
+    )
+    replay.add_argument(
+        "--controller-mttf",
+        type=float,
+        default=0.0,
+        help=(
+            "controller mean time to failure in hours (0 disables controller "
+            "crashes; enables at-least-once redelivery with dedup)"
+        ),
+    )
+    replay.add_argument(
+        "--failover-seconds",
+        type=float,
+        default=5.0,
+        help="controller recovery time after a crash",
+    )
+    replay.add_argument(
         "--balancer",
         nargs="+",
         default=["ring"],
@@ -690,6 +783,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="MIN:MAX",
         help="enable invoker autoscaling with the given fleet bounds",
+    )
+    replay.add_argument(
+        "--autoscale-policy",
+        default="threshold",
+        help=(
+            "autoscaling policy: threshold (reactive) or predictive "
+            "(scale from the per-app arrival histograms); requires "
+            "--autoscale"
+        ),
     )
     replay.set_defaults(handler=_cmd_replay)
 

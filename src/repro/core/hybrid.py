@@ -117,6 +117,18 @@ class HybridHistogramPolicy(KeepAlivePolicy):
 
         return HybridPolicyBank(num_apps, self.config)
 
+    def expected_interarrival_minutes(self) -> float | None:
+        """Mean idle time from the IT histogram (predictive autoscaling).
+
+        Only answers once the histogram holds enough in-bounds samples to
+        be meaningful (the same ``min_observations`` bar that gates
+        histogram-mode decisions); out-of-bounds-dominated apps simply
+        abstain rather than extrapolating from a truncated distribution.
+        """
+        if self.histogram.in_bounds_count < self.config.min_observations:
+            return None
+        return self.histogram.mean_idle_time()
+
     def reset(self) -> None:
         self.histogram.reset()
         self.forecaster.reset()

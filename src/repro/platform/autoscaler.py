@@ -2,36 +2,58 @@
 
 The paper's deployment (and PR 5's campaigns) run a fixed 18-invoker
 fleet; real platforms resize the invoker pool against load.  The
-:class:`Autoscaler` samples the cluster on a fixed tick and
+:class:`Autoscaler` samples the cluster on a fixed tick under one of two
+policies:
 
-* **scales out** — provisions one fresh invoker — when the fleet's mean
-  memory utilization crosses ``scale_up_utilization`` or submissions are
-  piling up deferred (the whole-fleet-down queue), and
-* **scales in** — decommissions one fully idle invoker — when mean
-  utilization drops below ``scale_down_utilization``,
+* ``threshold`` — the classic reactive rule: **scale out** (provision
+  one fresh invoker) when the fleet's mean *effective* memory
+  utilization crosses ``scale_up_utilization`` or submissions are piling
+  up deferred (the whole-fleet-down queue); **scale in** (decommission
+  one fully idle invoker) when mean utilization drops below
+  ``scale_down_utilization``.
+* ``predictive`` — scales against the *forecast* arrival rate instead of
+  the current load: the keep-alive policies already maintain per-app
+  idle-time histograms (the paper's hybrid policy), whose mean
+  inter-arrival time predicts each app's near-future rate.  The tick
+  compares the predicted aggregate rate to the observed rate since the
+  last tick, projects the utilization forward, and steps the fleet one
+  invoker toward the projected need — ahead of the load actually
+  arriving.
 
-always keeping the fleet inside ``[min_invokers, max_invokers]`` and
-honouring a cooldown between scaling actions.  Every decision goes
+Both policies keep the fleet inside ``[min_invokers, max_invokers]`` and
+honour a cooldown between scaling actions.  Every decision goes
 through the shared :class:`~repro.platform.events.EventLoop` as an
 ordinary flat event record, fleet-size samples land in
 :class:`~repro.platform.metrics.PlatformMetrics` (the fleet-size
 timeline), and topology changes are pushed through the load balancer's
 ``add_invoker``/``remove_invoker`` so its caches are invalidated.
 
+Utilization is the mean of the fleet's *effective* load
+(:attr:`~repro.platform.invoker.Invoker.effective_load_fraction`): a
+degraded (slow) invoker counts as proportionally more loaded, so the
+autoscaler compensates for partial degradation — exactly like a real
+capacity controller watching work-in-progress rather than raw memory.
+
 Determinism: new invokers draw their cold-start-latency RNG from
 ``default_rng([cluster seed, invoker id])`` — a pure function of the
 configuration and the (deterministic) scaling trajectory — so
-autoscaled replays stay byte-reproducible across campaign workers.
+autoscaled replays stay byte-reproducible across campaign workers; the
+predictive policy reads only simulation state (histograms, counters),
+never a clock or an unseeded stream.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster wires us)
     from repro.platform.cluster import FaasCluster
     from repro.platform.invoker import Invoker
+
+#: Autoscaling policies accepted by :class:`AutoscalerConfig`.
+AUTOSCALER_POLICIES = ("threshold", "predictive")
 
 
 @dataclass(frozen=True)
@@ -42,15 +64,18 @@ class AutoscalerConfig:
         min_invokers: Lower fleet bound (never scale in below this).
         max_invokers: Upper fleet bound (never scale out above this).
         tick_seconds: Sampling period of the control loop.
-        scale_up_utilization: Mean memory-load fraction above which the
-            fleet grows by one invoker.
-        scale_down_utilization: Mean memory-load fraction below which an
-            idle invoker is decommissioned.
+        scale_up_utilization: Mean effective-load fraction above which
+            the fleet grows by one invoker.
+        scale_down_utilization: Mean effective-load fraction below which
+            an idle invoker is decommissioned.
         scale_up_queue_depth: Deferred submissions (whole fleet down or
             saturated) that force a scale-out regardless of utilization.
         cooldown_seconds: Minimum time between two scaling actions.
         invoker_memory_mb: Memory budget of autoscaled invokers; ``None``
             inherits the cluster's homogeneous budget.
+        policy: ``"threshold"`` (reactive, the default) or
+            ``"predictive"`` (scale from the per-app arrival histograms
+            the keep-alive policies maintain).
     """
 
     min_invokers: int = 1
@@ -61,6 +86,7 @@ class AutoscalerConfig:
     scale_up_queue_depth: int = 4
     cooldown_seconds: float = 120.0
     invoker_memory_mb: float | None = None
+    policy: str = "threshold"
 
     def __post_init__(self) -> None:
         if self.min_invokers < 1:
@@ -81,6 +107,11 @@ class AutoscalerConfig:
             raise ValueError("cooldown must be non-negative")
         if self.invoker_memory_mb is not None and self.invoker_memory_mb <= 0:
             raise ValueError("invoker memory must be positive")
+        if self.policy not in AUTOSCALER_POLICIES:
+            raise ValueError(
+                f"unknown autoscaler policy {self.policy!r}; "
+                f"expected one of {AUTOSCALER_POLICIES}"
+            )
 
 
 class Autoscaler:
@@ -91,6 +122,8 @@ class Autoscaler:
         self.config = config
         self._last_action_seconds = -float("inf")
         self._deferrals_seen = 0
+        self._submissions_seen = 0
+        self._last_sample_seconds = 0.0
         self._next_invoker_id = max(
             invoker.invoker_id for invoker in cluster.invokers
         ) + 1
@@ -131,16 +164,28 @@ class Autoscaler:
         fleet = self.fleet
         alive = [inv for inv in fleet if inv.alive]
         if alive:
-            utilization = sum(inv.load_fraction for inv in alive) / len(alive)
+            # Effective load: degraded invokers count as proportionally
+            # more loaded (bit-identical to the raw load when healthy).
+            utilization = sum(
+                inv.effective_load_fraction for inv in alive
+            ) / len(alive)
         else:
             # Whole fleet down: treat as fully loaded so we scale out.
             utilization = 1.0
-        # Deferred submissions since the last tick (a rate, not a level:
-        # the controller counter only ever grows).
-        deferrals = self.cluster.controller.stats.deferrals
-        queued = deferrals - self._deferrals_seen
-        self._deferrals_seen = deferrals
+        # Deferred/submitted counts since the last evaluation (rates, not
+        # levels: the controller counters only ever grow).
+        stats = self.cluster.controller.stats
+        queued = stats.deferrals - self._deferrals_seen
+        self._deferrals_seen = stats.deferrals
+        observed = stats.submissions - self._submissions_seen
+        self._submissions_seen = stats.submissions
+        elapsed = loop.now - self._last_sample_seconds
+        self._last_sample_seconds = loop.now
 
+        if config.policy == "predictive":
+            observed_rate = observed / elapsed if elapsed > 0 else 0.0
+            self._evaluate_predictive(utilization, queued, observed_rate)
+            return
         if (
             utilization > config.scale_up_utilization
             or queued >= config.scale_up_queue_depth
@@ -150,6 +195,52 @@ class Autoscaler:
             utilization < config.scale_down_utilization
             and len(fleet) > config.min_invokers
         ):
+            self._scale_down()
+
+    def _evaluate_predictive(
+        self, utilization: float, queued: int, observed_rate: float
+    ) -> None:
+        """Step the fleet toward the histogram-forecast arrival rate.
+
+        The controller aggregates each app policy's expected
+        inter-arrival time (the hybrid policy's idle-time histogram
+        mean) into a predicted fleet-wide arrival rate; apps whose
+        policy cannot estimate yet contribute their share of the
+        *observed* rate instead.  Utilization is projected forward by
+        ``predicted / observed`` and the fleet steps one invoker toward
+        the size that would bring the projection back to the midpoint of
+        the scaling band.
+        """
+        config = self.config
+        fleet_size = len(self.fleet)
+        predicted_rate, estimated_apps, total_apps = (
+            self.cluster.controller.arrival_rate_estimate()
+        )
+        if total_apps > 0 and estimated_apps < total_apps:
+            # Apps without a histogram estimate keep arriving at their
+            # observed share of the rate.
+            predicted_rate += observed_rate * (
+                (total_apps - estimated_apps) / total_apps
+            )
+        if observed_rate > 0:
+            projected = utilization * (predicted_rate / observed_rate)
+        elif predicted_rate > 0:
+            # Nothing arrived this tick but the histograms expect load:
+            # hold the current utilization estimate rather than scaling
+            # in on a lull the forecast says is temporary.
+            projected = max(utilization, config.scale_down_utilization)
+        else:
+            projected = utilization
+        target = (config.scale_up_utilization + config.scale_down_utilization) / 2.0
+        desired = fleet_size
+        if projected > 0 and target > 0:
+            desired = math.ceil(fleet_size * projected / target)
+        desired = max(config.min_invokers, min(config.max_invokers, desired))
+        if queued >= config.scale_up_queue_depth:
+            desired = max(desired, min(config.max_invokers, fleet_size + 1))
+        if desired > fleet_size:
+            self._scale_up()
+        elif desired < fleet_size and projected < config.scale_up_utilization:
             self._scale_down()
 
     # ------------------------------------------------------------------ #

@@ -19,9 +19,18 @@ Scenario builders cover the axes the paper only gestures at:
 * :func:`heterogeneous_memory_scenario` — mixed-size invoker fleets;
 * :func:`fault_rate_scenarios` — invoker crash-rate sweeps (fault
   injection via :class:`~repro.platform.faults.FaultPlan`);
+* :func:`domain_outage_scenarios` — correlated rack/zone outage sweeps
+  (every invoker in a failure domain goes down together);
+* :func:`degradation_scenarios` — partial-degradation sweeps (slow
+  invokers with execution/message-delay multipliers and optional
+  brownout shedding);
+* :func:`controller_failover_scenario` — controller crash/recovery with
+  at-least-once redelivery and completion dedup;
 * :func:`balancer_scenarios` — load-balancer strategy comparison;
 * :func:`autoscaling_scenario` — an elastic fleet driven by the
-  :class:`~repro.platform.autoscaler.Autoscaler`.
+  :class:`~repro.platform.autoscaler.Autoscaler`;
+* :func:`autoscaler_policy_scenarios` — threshold vs predictive
+  autoscaling under identical load and faults.
 
 Each replay's outcome travels back as a :class:`CampaignCell` holding
 the scalar summary plus the per-app cold-start percentages (the Figure
@@ -37,7 +46,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.platform.autoscaler import AutoscalerConfig
+from repro.platform.autoscaler import AUTOSCALER_POLICIES, AutoscalerConfig
 from repro.platform.cluster import ClusterConfig
 from repro.platform.faults import FaultPlan
 from repro.platform.loadbalancer import BALANCER_STRATEGIES
@@ -59,6 +68,12 @@ AGGREGATED_METRICS: tuple[str, ...] = (
     "invoker_crashes",
     "crash_cold_starts",
     "dropped_invocations",
+    "domain_outages",
+    "slowdowns",
+    "brownout_rejections",
+    "controller_failovers",
+    "duplicate_completions",
+    "redeliveries",
 )
 
 
@@ -148,6 +163,106 @@ def fault_rate_scenarios(
     return scenarios
 
 
+def domain_outage_scenarios(
+    outage_rates_per_hour: Sequence[float],
+    *,
+    base: ClusterConfig | None = None,
+    fault_domains: int = 3,
+    outage_seconds: float = 120.0,
+    fault_seed: int = 0,
+) -> list[ClusterScenario]:
+    """One scenario per correlated domain-outage rate (rack/zone failures).
+
+    Every invoker in a failure domain (``invoker_id % fault_domains``)
+    goes down and comes back together.  Rate 0 maps to a scenario
+    without a fault plan — byte-identical to a plain replay.
+    """
+    base = base or ClusterConfig()
+    scenarios = []
+    for rate in outage_rates_per_hour:
+        plan = (
+            FaultPlan(
+                domain_outage_rate_per_hour=float(rate),
+                domain_outage_seconds=outage_seconds,
+                seed=fault_seed,
+            )
+            if rate > 0
+            else None
+        )
+        scenarios.append(
+            ClusterScenario(
+                name=f"domain-outage-{rate:g}ph",
+                config=replace(base, fault_plan=plan, fault_domains=fault_domains),
+            )
+        )
+    return scenarios
+
+
+def degradation_scenarios(
+    slow_rates_per_hour: Sequence[float],
+    *,
+    base: ClusterConfig | None = None,
+    slow_execution_factor: float = 4.0,
+    slow_duration_seconds: float = 300.0,
+    brownout_concurrency: int = 0,
+    fault_seed: int = 0,
+) -> list[ClusterScenario]:
+    """One scenario per partial-degradation rate (slow invokers).
+
+    Degraded invokers multiply execution and startup times by
+    ``slow_execution_factor`` and (with ``brownout_concurrency > 0``)
+    shed activations above that in-flight cap.  Rate 0 maps to a
+    scenario without a fault plan.
+    """
+    base = base or ClusterConfig()
+    scenarios = []
+    for rate in slow_rates_per_hour:
+        plan = (
+            FaultPlan(
+                slow_rate_per_hour=float(rate),
+                slow_duration_seconds=slow_duration_seconds,
+                slow_execution_factor=slow_execution_factor,
+                brownout_concurrency=brownout_concurrency,
+                seed=fault_seed,
+            )
+            if rate > 0
+            else None
+        )
+        scenarios.append(
+            ClusterScenario(
+                name=f"slow-{rate:g}ph", config=replace(base, fault_plan=plan)
+            )
+        )
+    return scenarios
+
+
+def controller_failover_scenario(
+    mttf_hours: float,
+    *,
+    name: str | None = None,
+    base: ClusterConfig | None = None,
+    failover_seconds: float = 5.0,
+    fault_seed: int = 0,
+) -> ClusterScenario:
+    """A controller crash/recovery scenario with at-least-once redelivery.
+
+    The controller crashes on a seeded exponential schedule with the
+    given mean time to failure and recovers ``failover_seconds`` later,
+    re-driving every unacknowledged activation from its replay log;
+    duplicate completions are swallowed by id.
+    """
+    base = base or ClusterConfig()
+    plan = FaultPlan(
+        controller_mttf_hours=float(mttf_hours),
+        controller_failover_seconds=failover_seconds,
+        seed=fault_seed,
+    )
+    return ClusterScenario(
+        name=name or f"failover-{mttf_hours:g}h",
+        config=replace(base, fault_plan=plan),
+    )
+
+
 def balancer_scenarios(
     strategies: Sequence[str] | None = None, base: ClusterConfig | None = None
 ) -> list[ClusterScenario]:
@@ -173,6 +288,29 @@ def autoscaling_scenario(
         name=name,
         config=replace(base, autoscaler=autoscaler or AutoscalerConfig()),
     )
+
+
+def autoscaler_policy_scenarios(
+    policies: Sequence[str] | None = None,
+    *,
+    base: ClusterConfig | None = None,
+    autoscaler: AutoscalerConfig | None = None,
+) -> list[ClusterScenario]:
+    """One elastic-fleet scenario per autoscaling policy.
+
+    Same load, same faults, same bounds — only the scaling rule differs
+    (``threshold`` reacts to current utilization, ``predictive`` scales
+    from the keep-alive policies' arrival histograms).
+    """
+    base = base or ClusterConfig()
+    template = autoscaler or AutoscalerConfig()
+    return [
+        ClusterScenario(
+            name=f"autoscale-{policy}",
+            config=replace(base, autoscaler=replace(template, policy=policy)),
+        )
+        for policy in (policies or AUTOSCALER_POLICIES)
+    ]
 
 
 @dataclass(frozen=True)

@@ -47,9 +47,14 @@ class ClusterConfig:
         balancer: Load-balancing strategy (one of
             :data:`~repro.platform.loadbalancer.BALANCER_STRATEGIES`).
         fault_plan: Optional fault-injection plan (invoker crashes,
+            domain outages, slowdowns, controller failover,
             controller→invoker message delay); ``None`` disables faults.
         autoscaler: Optional autoscaling rules; ``None`` keeps the fleet
             fixed at ``num_invokers``.
+        fault_domains: Number of correlated failure domains (racks /
+            zones).  Invoker *i* belongs to domain ``i % fault_domains``
+            — autoscaled invokers included — so a domain outage in the
+            fault plan takes every member down together.
     """
 
     num_invokers: int = 18
@@ -62,10 +67,13 @@ class ClusterConfig:
     balancer: str = "ring"
     fault_plan: FaultPlan | None = None
     autoscaler: AutoscalerConfig | None = None
+    fault_domains: int = 1
 
     def __post_init__(self) -> None:
         if self.num_invokers < 1:
             raise ValueError("cluster needs at least one invoker")
+        if self.fault_domains < 1:
+            raise ValueError("cluster needs at least one failure domain")
         if self.invoker_memory_mb <= 0:
             raise ValueError("invoker memory must be positive")
         if self.invoker_memories_mb is not None:
@@ -115,6 +123,10 @@ class ClusterConfig:
             return self.invoker_memories_mb
         return (self.invoker_memory_mb,) * self.num_invokers
 
+    def domain_of(self, invoker_id: int) -> int:
+        """Failure domain of an invoker (round-robin rack assignment)."""
+        return invoker_id % self.fault_domains
+
     def scaled(self, num_invokers: int) -> "ClusterConfig":
         """The same cluster with a different (homogeneous) invoker count."""
         return replace(self, num_invokers=num_invokers, invoker_memories_mb=None)
@@ -149,13 +161,26 @@ class FaasCluster:
             overload_threshold=self.config.overload_threshold,
         )
         plan = self.config.fault_plan
-        self.controller = Controller(
-            loop=self.loop,
-            load_balancer=self.load_balancer,
-            metrics=self.metrics,
-            policy_factory=policy_factory,
-            retry_limit=plan.retry_limit if plan is not None else 1,
-        )
+        if plan is not None:
+            self.controller = Controller(
+                loop=self.loop,
+                load_balancer=self.load_balancer,
+                metrics=self.metrics,
+                policy_factory=policy_factory,
+                retry_limit=plan.retry_limit,
+                retry_backoff_base_seconds=plan.retry_backoff_base_seconds,
+                retry_backoff_cap_seconds=plan.retry_backoff_cap_seconds,
+                retry_jitter_fraction=plan.retry_jitter_fraction,
+                retry_seed=plan.seed,
+                failover_enabled=plan.has_controller_faults,
+            )
+        else:
+            self.controller = Controller(
+                loop=self.loop,
+                load_balancer=self.load_balancer,
+                metrics=self.metrics,
+                policy_factory=policy_factory,
+            )
         self.fault_injector: FaultInjector | None = None
         if plan is not None and not plan.is_zero_fault:
             self.fault_injector = FaultInjector(plan, self)

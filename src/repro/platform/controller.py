@@ -13,12 +13,22 @@ the critical path in the real system), matching the paper's production
 implementation notes in Section 6.
 
 Under fault injection the controller is also the platform's retry
-authority: activations lost to an invoker crash come back through
+authority: activations lost to an invoker crash (or shed by a browning-
+out degraded invoker) come back through
 :meth:`Controller.handle_lost_activations` and are resubmitted (fresh
 arrival time, refreshed keep-alive) until the fault plan's retry limit,
-then dropped — keeping the conservation invariant ``completed + dropped
-== submitted``.  When the whole fleet is down, submissions are deferred
-and retried on a short timer instead of being lost.
+then dropped.  Retries and whole-fleet-down deferrals back off
+exponentially with seeded jitter.
+
+With a controller crash schedule in the fault plan the controller also
+models **failover with at-least-once delivery**: every submission is
+written to a replay log *before* dispatch, completions are acknowledged
+(and the log entry retired) only while the controller is up, and on
+recovery every unacknowledged entry is re-driven.  An execution that
+survived the outage then completes twice; completions are deduplicated
+by invocation id, upgrading the conservation invariant to
+``completed_unique + dropped == submitted`` with a
+``duplicate_completions`` counter for the copies.
 """
 
 from __future__ import annotations
@@ -27,8 +37,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict
 
+import numpy as np
+
 from repro.core.windows import PolicyDecision
 from repro.platform.events import EventHandle, EventLoop
+from repro.platform.faults import RETRY_STREAM as _RETRY_STREAM
 from repro.platform.invoker import Invoker
 from repro.platform.loadbalancer import LoadBalancer
 from repro.platform.messages import ActivationMessage, CompletionMessage
@@ -38,9 +51,12 @@ from repro.policies.registry import PolicyFactory
 
 SECONDS_PER_MINUTE = 60.0
 
-#: How long a submission waits before retrying placement when the whole
-#: fleet is down (every invoker mid-crash-restart).
+#: Base delay of the exponential retry/deferral backoff (doubles per
+#: attempt, capped, with seeded jitter on top — see ``_retry_delay``).
 DEFER_RETRY_SECONDS = 1.0
+
+#: Default cap on the backoff delay (overridden by the fault plan).
+RETRY_BACKOFF_CAP_SECONDS = 30.0
 
 #: Policy updates are wall-clock timed one-in-N (always including the
 #: first): two ``perf_counter`` calls per completion are measurable at
@@ -52,10 +68,12 @@ POLICY_TIMING_SAMPLE_EVERY = 16
 class ControllerStats:
     """Operational counters for the controller itself.
 
-    ``activations`` counts every dispatch, including crash retries;
-    ``submissions`` counts unique trace invocations, so the conservation
-    invariant under fault injection is ``completed + dropped ==
-    submissions``.
+    ``activations`` counts every dispatch, including crash retries and
+    redeliveries; ``submissions`` counts unique trace invocations, so
+    the conservation invariant under fault injection is
+    ``completed_unique + dropped == submissions`` (without controller
+    failover no duplicates exist and ``completed_unique`` equals the
+    number of recorded completions).
     """
 
     activations: int = 0
@@ -64,6 +82,10 @@ class ControllerStats:
     dropped: int = 0
     deferrals: int = 0
     prewarm_messages: int = 0
+    completed_unique: int = 0
+    duplicate_completions: int = 0
+    redeliveries: int = 0
+    controller_failovers: int = 0
     policy_update_seconds_total: float = 0.0
     policy_updates: int = 0
     policy_update_samples: int = 0
@@ -104,6 +126,11 @@ class Controller:
         policy_factory: PolicyFactory,
         default_keepalive_seconds: float = 600.0,
         retry_limit: int = 1,
+        retry_backoff_base_seconds: float = DEFER_RETRY_SECONDS,
+        retry_backoff_cap_seconds: float = RETRY_BACKOFF_CAP_SECONDS,
+        retry_jitter_fraction: float = 0.0,
+        retry_seed: int = 0,
+        failover_enabled: bool = False,
     ) -> None:
         self.loop = loop
         self.load_balancer = load_balancer
@@ -112,19 +139,57 @@ class Controller:
         self.default_keepalive_seconds = default_keepalive_seconds
         #: Resubmission budget for activations lost to invoker crashes.
         self.retry_limit = retry_limit
-        #: Optional controller→invoker delivery-delay sampler (wired by the
-        #: fault injector); ``None`` keeps the synchronous dispatch path.
-        self.activation_delay: Callable[[], float] | None = None
+        self.retry_backoff_base_seconds = retry_backoff_base_seconds
+        self.retry_backoff_cap_seconds = retry_backoff_cap_seconds
+        self.retry_jitter_fraction = retry_jitter_fraction
+        # The jitter stream is created eagerly but only ever *consumed*
+        # on retries and deferrals, which cannot occur without faults —
+        # zero-fault replays stay byte-identical.
+        self._retry_rng = np.random.default_rng([retry_seed, _RETRY_STREAM])
+        #: Optional controller→invoker delivery-delay sampler (wired by
+        #: the fault injector, called with the placed invoker); ``None``
+        #: keeps the synchronous dispatch path.
+        self.activation_delay: Callable[[Invoker], float] | None = None
         self.stats = ControllerStats()
         self._apps: Dict[str, _AppState] = {}
         self._activation_counter = 0
+        #: Failover mode: maintain the write-ahead replay log and the
+        #: completion dedup set.  Off by default — the extra per-message
+        #: bookkeeping stays out of the zero-fault hot path entirely.
+        self.failover_enabled = failover_enabled
+        self._down = False
+        # Write-ahead replay log: unacknowledged activations by id, in
+        # submission order (dict insertion order).  An entry is retired
+        # when its completion is acknowledged while the controller is up.
+        self._inflight_log: Dict[int, ActivationMessage] = {}
+        # Invocation ids that have completed at least once (dedup set).
+        self._completed_ids: set[int] = set()
+        # Copies of each activation currently dispatched somewhere (only
+        # maintained in failover mode): redelivery can put two copies of
+        # one id in flight, and an id is dropped only when no copy
+        # remains and it never completed.
+        self._live_copies: Dict[int, int] = {}
+        # Scheduled-but-not-yet-dispatched retries and deferrals by id
+        # (failover mode): when several copies of one activation are lost
+        # in the same fault event, the first loss schedules a retry and a
+        # later loss must see it and forget its copy instead of dropping
+        # the invocation — otherwise the retried copy completes after the
+        # drop and the invocation counts twice.
+        self._retry_pending: Dict[int, int] = {}
         for invoker in load_balancer.invokers:
             self.register_invoker(invoker)
+
+    @property
+    def down(self) -> bool:
+        """Whether the controller is currently failed over."""
+        return self._down
 
     def register_invoker(self, invoker: Invoker) -> None:
         """Wire an invoker's callbacks to this controller (also autoscaling)."""
         invoker.on_completion = self._handle_completion
         invoker.on_activations_lost = self.handle_lost_activations
+        if self.failover_enabled:
+            invoker.completion_gate = self._completion_gate
 
     # ------------------------------------------------------------------ #
     def _app_state(self, app_id: str, memory_mb: float) -> _AppState:
@@ -174,40 +239,168 @@ class Controller:
             keepalive_seconds=state.keepalive_seconds,
             prewarm_seconds=state.prewarm_seconds,
         )
+        if self.failover_enabled:
+            # Write-ahead: the log entry exists before any dispatch, so a
+            # controller crash between accept and deliver loses nothing.
+            self._inflight_log[message.activation_id] = message
         self._dispatch(message)
 
+    def _retry_delay(self, attempt: int) -> float:
+        """Exponential backoff with seeded jitter for retries/deferrals."""
+        delay = min(
+            self.retry_backoff_base_seconds * (2.0 ** attempt),
+            self.retry_backoff_cap_seconds,
+        )
+        jitter = self.retry_jitter_fraction
+        if jitter > 0:
+            delay *= 1.0 + float(self._retry_rng.uniform(0.0, jitter))
+        return delay
+
     def _dispatch(self, message: ActivationMessage) -> None:
-        """Place and deliver one activation (initial submit or crash retry)."""
+        """Place and deliver one activation (submit, retry, or redelivery)."""
+        if self._down:
+            # Controller failed over mid-flight: the activation sits in
+            # the replay log and is re-driven on recovery.
+            return
         placement = self.load_balancer.place(message.app_id, message.memory_mb)
         if placement is None:
             # Whole fleet down: hold the activation and retry placement
-            # shortly — restarts are always scheduled, so this drains.
+            # with exponential backoff — restarts are always scheduled,
+            # so this drains.
             self.stats.deferrals += 1
-            self.loop.schedule(DEFER_RETRY_SECONDS, lambda: self._dispatch(message))
+            delay = self._retry_delay(message.defer_attempts)
+            message.defer_attempts += 1
+            if self.failover_enabled:
+                # A deferred copy is neither live nor gone: count it as
+                # pending so a concurrent loss of another copy cannot
+                # conclude the invocation is unrecoverable and drop it.
+                self._mark_retry_pending(message.activation_id)
+                self.loop.schedule(
+                    delay, lambda: self._dispatch_pending(message)
+                )
+            else:
+                self.loop.schedule(delay, lambda: self._dispatch(message))
             return
+        message.defer_attempts = 0
         self.stats.activations += 1
-        delay = self.activation_delay() if self.activation_delay is not None else 0.0
+        if self.failover_enabled:
+            counts = self._live_copies
+            counts[message.activation_id] = counts.get(message.activation_id, 0) + 1
+        invoker = placement.invoker
+        delay = (
+            self.activation_delay(invoker)
+            if self.activation_delay is not None
+            else 0.0
+        )
         if delay > 0:
-            invoker = placement.invoker
             self.loop.schedule(delay, lambda: invoker.handle_activation(message))
         else:
-            placement.invoker.handle_activation(message)
+            invoker.handle_activation(message)
 
     # ------------------------------------------------------------------ #
-    # Fault handling (crash-lost activations)
+    # Fault handling (crash-lost and brownout-shed activations)
     # ------------------------------------------------------------------ #
     def handle_lost_activations(self, lost: list[ActivationMessage]) -> None:
-        """Retry or drop activations whose invoker crashed mid-execution."""
+        """Retry or drop activations whose dispatched copy was lost."""
+        failover = self.failover_enabled
         for message in lost:
+            if failover:
+                activation_id = message.activation_id
+                copies = self._live_copies.get(activation_id, 1) - 1
+                if copies > 0:
+                    self._live_copies[activation_id] = copies
+                else:
+                    self._live_copies.pop(activation_id, None)
+                if activation_id in self._completed_ids:
+                    # Another copy already completed: this loss is moot.
+                    self._inflight_log.pop(activation_id, None)
+                    continue
+                if message.retries >= self.retry_limit and (
+                    copies > 0 or self._retry_pending.get(activation_id, 0) > 0
+                ):
+                    # Out of budget, but another copy is still in flight
+                    # (or a retry/deferral is already scheduled — a domain
+                    # outage can lose several copies in one event, and
+                    # the first loss may have queued a retry): forget
+                    # this copy instead of dropping the invocation.
+                    continue
             if message.retries >= self.retry_limit:
                 self.stats.dropped += 1
                 self.metrics.record_dropped(message.app_id)
+                if failover:
+                    self._inflight_log.pop(message.activation_id, None)
                 continue
             message.retries += 1
             self.stats.crash_retries += 1
-            # The retry is a fresh arrival: queueing restarts now, and the
-            # keep-alive parameter is refreshed from the current policy
-            # state (it may have changed since the original dispatch).
+            # The retry is a fresh arrival after a backoff: queueing
+            # restarts then, and the keep-alive parameter is refreshed
+            # from the current policy state at dispatch time.
+            if failover:
+                self._mark_retry_pending(message.activation_id)
+            delay = self._retry_delay(message.retries - 1)
+            self.loop.schedule(delay, lambda message=message: self._redispatch(message))
+
+    def _mark_retry_pending(self, activation_id: int) -> None:
+        pending = self._retry_pending
+        pending[activation_id] = pending.get(activation_id, 0) + 1
+
+    def _clear_retry_pending(self, activation_id: int) -> None:
+        pending = self._retry_pending.get(activation_id, 0) - 1
+        if pending > 0:
+            self._retry_pending[activation_id] = pending
+        else:
+            self._retry_pending.pop(activation_id, None)
+
+    def _dispatch_pending(self, message: ActivationMessage) -> None:
+        """Run a deferred dispatch, consuming its pending-retry marker."""
+        self._clear_retry_pending(message.activation_id)
+        self._dispatch(message)
+
+    def _redispatch(self, message: ActivationMessage) -> None:
+        """Dispatch a retried activation with refreshed arrival/keep-alive."""
+        if self.failover_enabled:
+            self._clear_retry_pending(message.activation_id)
+            if message.activation_id in self._completed_ids:
+                # A surviving duplicate completed during the backoff.
+                return
+        message.arrival_time_seconds = self.loop.now
+        state = self._apps.get(message.app_id)
+        if state is not None:
+            message.keepalive_seconds = state.keepalive_seconds
+            message.prewarm_seconds = state.prewarm_seconds
+        self._dispatch(message)
+
+    # ------------------------------------------------------------------ #
+    # Controller failover (at-least-once delivery)
+    # ------------------------------------------------------------------ #
+    def fail(self) -> None:
+        """Crash the controller: stop dispatching, acking, and pre-warming."""
+        if not self.failover_enabled:
+            raise RuntimeError("controller failover is not enabled for this run")
+        self._down = True
+        self.stats.controller_failovers += 1
+        for state in self._apps.values():
+            if state.pending_prewarm is not None:
+                state.pending_prewarm.cancel()
+                state.pending_prewarm = None
+
+    def recover(self) -> None:
+        """Fail over: come back up and re-drive the unacknowledged log.
+
+        Entries whose invocation already completed (the ack was lost with
+        the controller) are retired without redelivery — the dedup store
+        is durable.  Everything else is re-driven in submission order;
+        copies still running on an invoker then finish as duplicates and
+        are swallowed by the completion gate.
+        """
+        self._down = False
+        for activation_id in list(self._inflight_log):
+            if activation_id in self._completed_ids:
+                del self._inflight_log[activation_id]
+                continue
+            message = self._inflight_log[activation_id]
+            self.stats.redeliveries += 1
+            self.metrics.record_redelivery()
             message.arrival_time_seconds = self.loop.now
             state = self._apps.get(message.app_id)
             if state is not None:
@@ -215,10 +408,43 @@ class Controller:
                 message.prewarm_seconds = state.prewarm_seconds
             self._dispatch(message)
 
+    def _completion_gate(self, completion: CompletionMessage) -> bool:
+        """Accept or reject one completion (failover mode only).
+
+        Returns False for duplicates (the invocation id already
+        completed); the invoker then neither records nor reports it.
+        """
+        activation_id = completion.activation_id
+        copies = self._live_copies.get(activation_id, 1) - 1
+        if copies > 0:
+            self._live_copies[activation_id] = copies
+        else:
+            self._live_copies.pop(activation_id, None)
+        if activation_id in self._completed_ids:
+            self.stats.duplicate_completions += 1
+            self.metrics.record_duplicate_completion(completion.app_id)
+            return False
+        self._completed_ids.add(activation_id)
+        self.stats.completed_unique += 1
+        if self._down:
+            # The completion happened but its ack is lost with the
+            # controller: the log entry stays and is redelivered on
+            # recovery, where the dedup set retires it.
+            return True
+        self._inflight_log.pop(activation_id, None)
+        return True
+
     # ------------------------------------------------------------------ #
     # Completion path (policy updates, pre-warm scheduling)
     # ------------------------------------------------------------------ #
     def _handle_completion(self, completion: CompletionMessage) -> None:
+        if not self.failover_enabled:
+            self.stats.completed_unique += 1
+        elif self._down:
+            # The completion was recorded (it is unique) but the
+            # controller is down: no policy update, no pre-warm — the
+            # standby recovers the policy state from its own log.
+            return
         state = self._apps.get(completion.app_id)
         if state is None:  # pragma: no cover - defensive, submit() created it
             return
@@ -258,6 +484,24 @@ class Controller:
         state.pending_prewarm = self.loop.schedule(delay_seconds, _fire)
 
     # ------------------------------------------------------------------ #
+    def arrival_rate_estimate(self) -> tuple[float, int, int]:
+        """Aggregate per-app arrival forecast for the predictive autoscaler.
+
+        Returns ``(rate_per_second, estimated_apps, total_apps)`` where
+        the rate sums ``1 / expected_interarrival`` over every app whose
+        policy offers a positive forecast (the hybrid policy's histogram
+        mean); apps whose policy abstains are counted in ``total_apps``
+        only, letting the caller fill their share from observed traffic.
+        """
+        rate_per_second = 0.0
+        estimated = 0
+        for state in self._apps.values():
+            interarrival_minutes = state.policy.expected_interarrival_minutes()
+            if interarrival_minutes is not None and interarrival_minutes > 0:
+                rate_per_second += 1.0 / (interarrival_minutes * SECONDS_PER_MINUTE)
+                estimated += 1
+        return rate_per_second, estimated, len(self._apps)
+
     def policy_for(self, app_id: str) -> KeepAlivePolicy | None:
         """The per-application policy instance (None before first submit)."""
         state = self._apps.get(app_id)

@@ -1,32 +1,43 @@
-"""Fault injection for the platform substrate: crashes, restarts, delays.
+"""Fault injection for the platform substrate: crashes, outages, slowdowns.
 
-A real OpenWhisk deployment loses invoker VMs: containers (and the
-executions inside them) disappear, keep-alive timers die with the
-process, and the activation path between controller and invokers rides a
-message bus with non-zero latency.  The replay campaigns of PR 5 never
-exercised any of that — every figure was produced on a cluster where
-nothing fails.  This module closes the gap with two pieces:
+A real OpenWhisk deployment misbehaves in more ways than a lost invoker
+VM.  Racks and availability zones fail together, taking every invoker in
+a *failure domain* down at once; invokers go *slow* (noisy neighbours,
+thermal throttling, failing disks) without dying; and the controller
+itself crashes and fails over, re-driving its in-flight activations from
+a replay log with at-least-once — that is, sometimes duplicate —
+delivery.  This module models all of it with two pieces:
 
 * :class:`FaultPlan` — a frozen, **seeded** description of the faults to
-  inject: a per-invoker crash rate (exponential inter-crash gaps), the
-  restart delay, controller→invoker message delay (fixed plus uniform
-  jitter), and the retry budget for executions lost to a crash.  The
-  plan is pure data: picklable, hashable per campaign cell, and the
-  same plan always produces the same crash schedule.
-* :class:`FaultInjector` — schedules the plan's crash/restart events as
-  ordinary flat event records on the cluster's
+  inject: per-invoker crash rate (exponential inter-crash gaps), restart
+  delay, controller→invoker message delay (fixed plus uniform jitter),
+  per-domain outage rate and duration, per-invoker slowdown rate /
+  duration / multipliers (with an optional brownout concurrency cap),
+  the controller's MTTF and failover time, and the retry budget plus
+  exponential-backoff parameters for lost executions.  The plan is pure
+  data: picklable, hashable per campaign cell, and the same plan always
+  produces the same schedules.
+* :class:`FaultInjector` — schedules the plan's events as ordinary flat
+  event records on the cluster's
   :class:`~repro.platform.events.EventLoop` and samples activation
   delays.  A crash calls :meth:`~repro.platform.invoker.Invoker.crash`
   (containers destroyed, in-flight executions lost, keep-alive timers
-  dropped), hands the lost activations to the controller for
-  retry-or-drop accounting, and schedules the restart.
+  dropped) and hands the lost activations to the controller for
+  retry-or-drop accounting; a domain outage crashes every invoker of the
+  domain together; a slowdown flips an invoker into its degraded state
+  (and back); a controller crash fails the controller and schedules its
+  recovery (which re-drives the replay log).
 
-Determinism contract: the crash schedule of invoker *i* is a pure
-function of ``(plan.seed, i)`` — independent of every other invoker, of
-the balancer strategy, and of how many campaign workers run — so fault
-campaigns stay byte-reproducible.  A zero-fault plan schedules nothing
-and samples nothing, leaving the replay bit-identical to a run without
-any plan at all (locked by ``tests/platform/test_replay_equivalence.py``).
+Determinism contract: every fault stream is a pure function of the plan
+seed plus a stable stream index — the crash schedule of invoker *i* is a
+pure function of ``(plan.seed, i)``, the outage schedule of domain *d*
+of ``(plan.seed, domain-stream, d)``, the slowdown schedule of invoker
+*i* of ``(plan.seed, slow-stream, i)``, and the controller schedule of
+``(plan.seed, controller-stream)`` — independent of the balancer
+strategy and of how many campaign workers run, so fault campaigns stay
+byte-reproducible.  A zero-fault plan schedules nothing and samples
+nothing, leaving the replay bit-identical to a run without any plan at
+all (locked by ``tests/platform/test_replay_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -45,6 +56,35 @@ SECONDS_PER_HOUR = 3600.0
 #: Sub-stream index for the message-delay jitter generator, kept clear of
 #: the per-invoker crash streams (which use the invoker id).
 _DELAY_STREAM = 0x7FFF_FFFF
+#: Sub-stream index for per-domain outage schedules.
+_DOMAIN_STREAM = 0x7FFF_FFFE
+#: Sub-stream index for per-invoker slowdown schedules.
+_SLOW_STREAM = 0x7FFF_FFFD
+#: Sub-stream index for the controller crash/recovery schedule.
+_CONTROLLER_STREAM = 0x7FFF_FFFC
+#: Sub-stream index for the controller's retry-backoff jitter.
+RETRY_STREAM = 0x7FFF_FFFB
+
+
+def _exponential_schedule(
+    rng: np.random.Generator,
+    rate_per_hour: float,
+    downtime_seconds: float,
+    horizon_seconds: float,
+) -> np.ndarray:
+    """Event start times: exponential gaps with the downtime inserted.
+
+    The downtime after each event is added to the clock before the next
+    gap is drawn, so an entity can never be scheduled to fail while its
+    previous failure is still in effect.
+    """
+    scale = SECONDS_PER_HOUR / rate_per_hour
+    times: list[float] = []
+    clock = float(rng.exponential(scale))
+    while clock < horizon_seconds:
+        times.append(clock)
+        clock += downtime_seconds + float(rng.exponential(scale))
+    return np.asarray(times, dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -64,6 +104,35 @@ class FaultPlan:
         retry_limit: How many times an activation lost to a crash is
             resubmitted before it is dropped.
         seed: Root seed of every fault stream.
+        domain_outage_rate_per_hour: Mean correlated outages per failure
+            domain per hour; an outage crashes every invoker of the
+            domain together.  ``0`` disables domain outages (domains
+            come from :attr:`~repro.platform.cluster.ClusterConfig.fault_domains`).
+        domain_outage_seconds: How long a domain outage lasts before the
+            whole domain restarts together.
+        slow_rate_per_hour: Mean slowdown episodes per invoker per hour;
+            during an episode the invoker is *degraded*, not dead.
+            ``0`` disables slowdowns.
+        slow_duration_seconds: Length of one slowdown episode.
+        slow_execution_factor: Multiplier (>= 1) applied to container
+            start-up and execution time while an invoker is degraded.
+        slow_message_delay_factor: Multiplier (>= 1) applied to the
+            controller→invoker message delay for a degraded invoker
+            (only effective when a message delay is configured).
+        brownout_concurrency: When positive, a *degraded* invoker
+            rejects new activations above this many concurrent
+            executions (brownout-style load shedding; the controller
+            retries them elsewhere).  ``0`` disables brownout.
+        controller_mttf_hours: Mean time between controller crashes
+            (exponential gaps).  ``0`` disables controller failover.
+        controller_failover_seconds: How long the controller stays down
+            before the standby takes over and re-drives the replay log.
+        retry_backoff_base_seconds: First retry/deferral delay of the
+            exponential backoff (doubles per attempt).
+        retry_backoff_cap_seconds: Upper bound on the backoff delay.
+        retry_jitter_fraction: Relative uniform jitter in
+            ``[0, fraction]`` multiplied onto each backoff delay
+            (sampled from the plan's seed); ``0`` disables jitter.
     """
 
     crash_rate_per_hour: float = 0.0
@@ -72,6 +141,18 @@ class FaultPlan:
     message_delay_jitter_seconds: float = 0.0
     retry_limit: int = 1
     seed: int = 0
+    domain_outage_rate_per_hour: float = 0.0
+    domain_outage_seconds: float = 120.0
+    slow_rate_per_hour: float = 0.0
+    slow_duration_seconds: float = 300.0
+    slow_execution_factor: float = 4.0
+    slow_message_delay_factor: float = 4.0
+    brownout_concurrency: int = 0
+    controller_mttf_hours: float = 0.0
+    controller_failover_seconds: float = 5.0
+    retry_backoff_base_seconds: float = 1.0
+    retry_backoff_cap_seconds: float = 30.0
+    retry_jitter_fraction: float = 0.1
 
     def __post_init__(self) -> None:
         if self.crash_rate_per_hour < 0:
@@ -84,6 +165,30 @@ class FaultPlan:
             raise ValueError("message delay jitter must be non-negative")
         if self.retry_limit < 0:
             raise ValueError("retry limit must be non-negative")
+        if self.domain_outage_rate_per_hour < 0:
+            raise ValueError("domain outage rate must be non-negative")
+        if self.domain_outage_seconds <= 0:
+            raise ValueError("domain outage duration must be positive")
+        if self.slow_rate_per_hour < 0:
+            raise ValueError("slowdown rate must be non-negative")
+        if self.slow_duration_seconds <= 0:
+            raise ValueError("slowdown duration must be positive")
+        if self.slow_execution_factor < 1.0:
+            raise ValueError("slow execution factor must be >= 1")
+        if self.slow_message_delay_factor < 1.0:
+            raise ValueError("slow message delay factor must be >= 1")
+        if self.brownout_concurrency < 0:
+            raise ValueError("brownout concurrency must be non-negative")
+        if self.controller_mttf_hours < 0:
+            raise ValueError("controller MTTF must be non-negative")
+        if self.controller_failover_seconds <= 0:
+            raise ValueError("controller failover time must be positive")
+        if self.retry_backoff_base_seconds <= 0:
+            raise ValueError("retry backoff base must be positive")
+        if self.retry_backoff_cap_seconds < self.retry_backoff_base_seconds:
+            raise ValueError("retry backoff cap must be >= the base delay")
+        if self.retry_jitter_fraction < 0:
+            raise ValueError("retry jitter fraction must be non-negative")
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -99,9 +204,27 @@ class FaultPlan:
         return self.message_delay_seconds > 0 or self.message_delay_jitter_seconds > 0
 
     @property
+    def has_domain_outages(self) -> bool:
+        return self.domain_outage_rate_per_hour > 0
+
+    @property
+    def has_slowdowns(self) -> bool:
+        return self.slow_rate_per_hour > 0
+
+    @property
+    def has_controller_faults(self) -> bool:
+        return self.controller_mttf_hours > 0
+
+    @property
     def is_zero_fault(self) -> bool:
         """Whether this plan injects nothing at all."""
-        return not self.has_crashes and not self.has_message_delay
+        return not (
+            self.has_crashes
+            or self.has_message_delay
+            or self.has_domain_outages
+            or self.has_slowdowns
+            or self.has_controller_faults
+        )
 
     def crash_schedule(self, invoker_id: int, horizon_seconds: float) -> np.ndarray:
         """Crash times (seconds) for one invoker within the horizon.
@@ -114,22 +237,69 @@ class FaultPlan:
         if not self.has_crashes or horizon_seconds <= 0:
             return np.empty(0, dtype=np.float64)
         rng = np.random.default_rng([self.seed, int(invoker_id)])
-        scale = SECONDS_PER_HOUR / self.crash_rate_per_hour
-        times: list[float] = []
-        clock = float(rng.exponential(scale))
-        while clock < horizon_seconds:
-            times.append(clock)
-            clock += self.restart_delay_seconds + float(rng.exponential(scale))
-        return np.asarray(times, dtype=np.float64)
+        return _exponential_schedule(
+            rng, self.crash_rate_per_hour, self.restart_delay_seconds, horizon_seconds
+        )
+
+    def domain_outage_schedule(
+        self, domain_id: int, horizon_seconds: float
+    ) -> np.ndarray:
+        """Outage start times for one failure domain within the horizon.
+
+        A pure function of ``(seed, domain_id)``, independent of the
+        per-invoker crash streams; the outage duration is inserted after
+        each start so a domain can never fail while already down.
+        """
+        if not self.has_domain_outages or horizon_seconds <= 0:
+            return np.empty(0, dtype=np.float64)
+        rng = np.random.default_rng([self.seed, _DOMAIN_STREAM, int(domain_id)])
+        return _exponential_schedule(
+            rng,
+            self.domain_outage_rate_per_hour,
+            self.domain_outage_seconds,
+            horizon_seconds,
+        )
+
+    def slow_schedule(self, invoker_id: int, horizon_seconds: float) -> np.ndarray:
+        """Slowdown-episode start times for one invoker within the horizon.
+
+        A pure function of ``(seed, invoker_id)`` on a dedicated
+        sub-stream, so slowdowns compose with (and never perturb) the
+        same invoker's crash schedule.
+        """
+        if not self.has_slowdowns or horizon_seconds <= 0:
+            return np.empty(0, dtype=np.float64)
+        rng = np.random.default_rng([self.seed, _SLOW_STREAM, int(invoker_id)])
+        return _exponential_schedule(
+            rng, self.slow_rate_per_hour, self.slow_duration_seconds, horizon_seconds
+        )
+
+    def controller_crash_schedule(self, horizon_seconds: float) -> np.ndarray:
+        """Controller crash times within the horizon.
+
+        A pure function of the plan seed alone; the failover time is
+        inserted after each crash.
+        """
+        if not self.has_controller_faults or horizon_seconds <= 0:
+            return np.empty(0, dtype=np.float64)
+        rng = np.random.default_rng([self.seed, _CONTROLLER_STREAM])
+        rate = 1.0 / self.controller_mttf_hours
+        return _exponential_schedule(
+            rng, rate, self.controller_failover_seconds, horizon_seconds
+        )
 
 
 class FaultInjector:
     """Schedules a :class:`FaultPlan` onto a cluster's event loop.
 
-    The injector only touches the *initial* fleet: invokers added later
-    by the autoscaler never crash (their crash streams would otherwise
-    depend on the scaling trajectory, breaking the per-invoker
-    determinism contract).
+    The injector only touches the *initial* fleet with per-invoker
+    streams (crashes, slowdowns): invokers added later by the autoscaler
+    never draw from them (their streams would otherwise depend on the
+    scaling trajectory, breaking the per-invoker determinism contract).
+    Domain outages, by contrast, act on *membership* — whoever is in the
+    domain when the outage fires goes down, including autoscaled
+    invokers — which is still deterministic because the scaling
+    trajectory itself is.
     """
 
     def __init__(self, plan: FaultPlan, cluster: "FaasCluster") -> None:
@@ -137,37 +307,71 @@ class FaultInjector:
         self.cluster = cluster
         self._delay_rng = np.random.default_rng([plan.seed, _DELAY_STREAM])
         self._started = False
+        #: Domains currently in outage: their invokers' individual
+        #: restarts are suppressed until the domain comes back.
+        self._domains_down: set[int] = set()
 
     def start(self, horizon_seconds: float) -> None:
-        """Schedule every crash (and implied restart) within the horizon."""
+        """Schedule every fault event within the horizon."""
         if self._started:
             raise RuntimeError("fault injector already started")
         self._started = True
-        if not self.plan.has_crashes:
-            return
-        for invoker in self.cluster.invokers:
-            for crash_time in self.plan.crash_schedule(
-                invoker.invoker_id, horizon_seconds
-            ):
-                self.cluster.loop.schedule_at(
-                    float(crash_time),
-                    lambda invoker=invoker: self._crash(invoker),
-                )
+        loop = self.cluster.loop
+        plan = self.plan
+        if plan.has_crashes:
+            for invoker in self.cluster.invokers:
+                for crash_time in plan.crash_schedule(
+                    invoker.invoker_id, horizon_seconds
+                ):
+                    loop.schedule_at(
+                        float(crash_time),
+                        lambda invoker=invoker: self._crash(invoker),
+                    )
+        if plan.has_domain_outages:
+            for domain_id in range(self.cluster.config.fault_domains):
+                for outage_time in plan.domain_outage_schedule(
+                    domain_id, horizon_seconds
+                ):
+                    loop.schedule_at(
+                        float(outage_time),
+                        lambda domain_id=domain_id: self._domain_down(domain_id),
+                    )
+        if plan.has_slowdowns:
+            for invoker in self.cluster.invokers:
+                for slow_time in plan.slow_schedule(
+                    invoker.invoker_id, horizon_seconds
+                ):
+                    loop.schedule_at(
+                        float(slow_time),
+                        lambda invoker=invoker: self._slow_start(invoker),
+                    )
+        if plan.has_controller_faults:
+            for crash_time in plan.controller_crash_schedule(horizon_seconds):
+                loop.schedule_at(float(crash_time), self._controller_down)
 
     # ------------------------------------------------------------------ #
-    def activation_delay(self) -> float:
-        """Sample the controller→invoker delivery delay for one activation."""
+    def activation_delay(self, invoker: "Invoker") -> float:
+        """Sample the controller→invoker delivery delay for one activation.
+
+        A degraded target multiplies the sampled delay by the plan's
+        ``slow_message_delay_factor`` (its message path is slow too).
+        """
         delay = self.plan.message_delay_seconds
         jitter = self.plan.message_delay_jitter_seconds
         if jitter > 0:
             delay += float(self._delay_rng.uniform(0.0, jitter))
+        if invoker.degraded:
+            delay *= self.plan.slow_message_delay_factor
         return delay
 
+    # ------------------------------------------------------------------ #
+    # Invoker crashes
     # ------------------------------------------------------------------ #
     def _crash(self, invoker: "Invoker") -> None:
         if not invoker.alive or invoker.decommissioned:
             # Already down (overlapping schedules cannot happen for the
-            # injector's own events, but a decommission can race a crash).
+            # injector's own per-invoker events, but a domain outage or a
+            # decommission can race a crash).
             return
         now = self.cluster.loop.now
         lost = invoker.crash()
@@ -183,7 +387,98 @@ class FaultInjector:
         if invoker.decommissioned:
             # Scaled in while down: it never rejoins the fleet.
             return
+        if invoker.alive:
+            # Already restarted (a domain recovery beat this event).
+            return
+        if self.cluster.config.domain_of(invoker.invoker_id) in self._domains_down:
+            # Its whole domain is in outage: the domain recovery restarts
+            # it (an individual restart cannot outrun the rack coming back).
+            return
         invoker.restart()
         self.cluster.metrics.record_restart(
             invoker.invoker_id, self.cluster.loop.now
         )
+
+    # ------------------------------------------------------------------ #
+    # Correlated domain outages
+    # ------------------------------------------------------------------ #
+    def _domain_down(self, domain_id: int) -> None:
+        cluster = self.cluster
+        now = cluster.loop.now
+        self._domains_down.add(domain_id)
+        cluster.metrics.record_domain_outage(domain_id, now)
+        for invoker in cluster.invokers:
+            if invoker.decommissioned or not invoker.alive:
+                continue
+            if cluster.config.domain_of(invoker.invoker_id) != domain_id:
+                continue
+            lost = invoker.crash()
+            cluster.metrics.record_crash(
+                invoker.invoker_id, now, lost_in_flight=len(lost)
+            )
+            cluster.controller.handle_lost_activations(lost)
+        cluster.loop.schedule(
+            self.plan.domain_outage_seconds,
+            lambda: self._domain_up(domain_id),
+        )
+
+    def _domain_up(self, domain_id: int) -> None:
+        cluster = self.cluster
+        self._domains_down.discard(domain_id)
+        cluster.metrics.record_domain_recovery(domain_id, cluster.loop.now)
+        # Every down invoker of the domain rejoins together — including
+        # ones that crashed individually before the outage and whose
+        # solo restart was suppressed while the domain was dark.
+        for invoker in cluster.invokers:
+            if invoker.decommissioned or invoker.alive:
+                continue
+            if cluster.config.domain_of(invoker.invoker_id) != domain_id:
+                continue
+            invoker.restart()
+            cluster.metrics.record_restart(invoker.invoker_id, cluster.loop.now)
+
+    # ------------------------------------------------------------------ #
+    # Partial degradation (slow invokers)
+    # ------------------------------------------------------------------ #
+    def _slow_start(self, invoker: "Invoker") -> None:
+        if invoker.decommissioned:
+            return
+        plan = self.plan
+        invoker.degrade(
+            plan.slow_execution_factor,
+            brownout_concurrency=plan.brownout_concurrency,
+        )
+        self.cluster.metrics.record_slowdown(
+            invoker.invoker_id, self.cluster.loop.now
+        )
+        self.cluster.loop.schedule(
+            plan.slow_duration_seconds, lambda: self._slow_end(invoker)
+        )
+
+    def _slow_end(self, invoker: "Invoker") -> None:
+        if invoker.decommissioned or not invoker.degraded:
+            return
+        invoker.recover()
+        self.cluster.metrics.record_slowdown_end(
+            invoker.invoker_id, self.cluster.loop.now
+        )
+
+    # ------------------------------------------------------------------ #
+    # Controller failover
+    # ------------------------------------------------------------------ #
+    def _controller_down(self) -> None:
+        controller = self.cluster.controller
+        if controller.down:  # pragma: no cover - schedule inserts failover time
+            return
+        now = self.cluster.loop.now
+        controller.fail()
+        self.cluster.metrics.record_controller_event("controller-down", now)
+        self.cluster.loop.schedule(
+            self.plan.controller_failover_seconds, self._controller_up
+        )
+
+    def _controller_up(self) -> None:
+        controller = self.cluster.controller
+        now = self.cluster.loop.now
+        self.cluster.metrics.record_controller_event("controller-up", now)
+        controller.recover()

@@ -14,6 +14,15 @@ their queued expiry events are dropped, and the incremental memory
 accounting resets to zero.  A crashed invoker rejects activations (the
 controller retries them elsewhere) until :meth:`Invoker.restart` brings
 it back empty and cold.
+
+Beyond dying outright, an invoker can be **degraded** (slow, not dead):
+:meth:`Invoker.degrade` applies a multiplier to container start-up and
+execution time and optionally a brownout concurrency cap above which new
+activations are shed back to the controller.  Degradation changes the
+invoker's *effective* capacity — :attr:`Invoker.effective_load_fraction`
+and :attr:`Invoker.effective_free_memory_mb` discount for the slowdown —
+which is what the least-loaded balancer and the autoscaler observe, so a
+slow invoker never looks more attractive than a healthy one.
 """
 
 from __future__ import annotations
@@ -92,15 +101,30 @@ class Invoker:
         #: when an activation is delivered to it while down); the
         #: controller wires itself here for retry-or-drop accounting.
         self.on_activations_lost: Callable[[list[ActivationMessage]], None] | None = None
+        #: Completion gate wired by the controller in failover mode: it
+        #: returns False for duplicate deliveries (the completion is then
+        #: neither recorded nor reported, but container bookkeeping still
+        #: runs).  ``None`` keeps the direct path.
+        self.completion_gate: Callable[[CompletionMessage], bool] | None = None
         #: False while the invoker is down after a crash.
         self.alive = True
         #: True once the autoscaler has permanently removed this invoker.
         self.decommissioned = False
+        #: True while the invoker is in its slow (degraded) state.
+        self.degraded = False
+        #: Execution/start-up multiplier while degraded (>= 1).
+        self.slow_factor = 1.0
+        #: Concurrency cap while degraded; above it new activations are
+        #: shed (brownout).  0 disables shedding.
+        self.brownout_concurrency = 0
         self._containers: dict[str, Container] = {}
-        # In-flight executions by activation id: the completion event
+        # In-flight executions keyed by a local delivery sequence (not the
+        # activation id: under at-least-once delivery two copies of the
+        # same activation can run here concurrently): the completion event
         # handle plus the activation message, so a crash can cancel the
         # completions and report exactly which activations were lost.
         self._inflight: dict[int, tuple[EventHandle, ActivationMessage]] = {}
+        self._delivery_counter = 0
         # Lazy keep-alive bookkeeping: the authoritative expiry time per
         # application lives in _keepalive_deadline; _keepalive_handles
         # tracks at most one outstanding expiry event per application,
@@ -129,6 +153,28 @@ class Invoker:
     def load_fraction(self) -> float:
         """Memory utilization in [0, 1+]; the load balancer keys off this."""
         return self.used_memory_mb / self.memory_capacity_mb
+
+    @property
+    def effective_load_fraction(self) -> float:
+        """Load discounted for degradation (>= the raw load when slow).
+
+        A degraded invoker processes work ``slow_factor`` times slower,
+        so the same resident memory represents proportionally more
+        pending work.  Healthy invokers return :attr:`load_fraction`
+        unchanged (bit-identical, not merely equal).
+        """
+        load = self.load_fraction
+        if not self.degraded:
+            return load
+        return load * self.slow_factor
+
+    @property
+    def effective_free_memory_mb(self) -> float:
+        """Free memory discounted for degradation (<= the raw free when slow)."""
+        free = self.free_memory_mb
+        if not self.degraded:
+            return free
+        return free / self.slow_factor
 
     @property
     def total_in_flight(self) -> int:
@@ -161,6 +207,17 @@ class Invoker:
             if self.on_activations_lost is not None:
                 self.on_activations_lost([message])
             return
+        if (
+            self.degraded
+            and self.brownout_concurrency > 0
+            and len(self._inflight) >= self.brownout_concurrency
+        ):
+            # Brownout: the degraded invoker sheds load above its cap;
+            # the controller retries the activation elsewhere.
+            self.metrics.record_brownout_rejection(self.invoker_id)
+            if self.on_activations_lost is not None:
+                self.on_activations_lost([message])
+            return
         loop = self.loop
         now = loop.now
         container = self._containers.get(message.app_id)
@@ -174,26 +231,37 @@ class Invoker:
         self._cancel_keepalive(message.app_id)
         container.begin_invocation(now)
         queued = max(now - message.arrival_time_seconds, 0.0)
-        finish_delay = startup + message.execution_seconds
+        execution_seconds = message.execution_seconds
+        if self.degraded:
+            # The slowdown stretches both start-up and execution; the
+            # healthy path leaves the floats untouched (bit-identical).
+            startup *= self.slow_factor
+            execution_seconds *= self.slow_factor
+        finish_delay = startup + execution_seconds
+        self._delivery_counter += 1
+        delivery_id = self._delivery_counter
 
         def _finish() -> None:
-            self._finish_activation(message, container, cold, queued, startup)
+            self._finish_activation(
+                delivery_id, message, container, cold, queued, startup, execution_seconds
+            )
 
-        self._inflight[message.activation_id] = (loop.schedule(finish_delay, _finish), message)
+        self._inflight[delivery_id] = (loop.schedule(finish_delay, _finish), message)
 
     def _finish_activation(
         self,
+        delivery_id: int,
         message: ActivationMessage,
         container: Container,
         cold: bool,
         queued: float,
         startup: float,
+        execution_seconds: float,
     ) -> None:
-        self._inflight.pop(message.activation_id, None)
+        self._inflight.pop(delivery_id, None)
         now = self.loop.now
         container.mark_warm(now)
         container.end_invocation(now)
-        execution_seconds = message.execution_seconds
         completion = CompletionMessage(
             activation_id=message.activation_id,
             app_id=message.app_id,
@@ -204,10 +272,16 @@ class Invoker:
             startup_seconds=startup,
             execution_seconds=execution_seconds,
         )
-        self.metrics.record(message.app_id, cold, queued, startup, execution_seconds)
+        # Under controller failover the gate rejects duplicate deliveries:
+        # the execution still happened (container bookkeeping runs), but
+        # the completion is neither recorded nor reported.
+        gate = self.completion_gate
+        accepted = gate is None or gate(completion)
+        if accepted:
+            self.metrics.record(message.app_id, cold, queued, startup, execution_seconds)
         if container.in_flight == 0:
             self._apply_post_execution_policy(message, container)
-        if self.on_completion is not None:
+        if accepted and self.on_completion is not None:
             self.on_completion(completion)
 
     def _apply_post_execution_policy(
@@ -360,8 +434,8 @@ class Invoker:
 
         Returns:
             The activation messages of the executions that were lost, in
-            activation-id (submission) order, for the controller to retry
-            or drop.
+            delivery order (activation-id order when every activation is
+            delivered once), for the controller to retry or drop.
         """
         now = self.loop.now
         lost = [message for _handle, message in self._inflight.values()]
@@ -387,12 +461,44 @@ class Invoker:
         return lost
 
     def restart(self) -> None:
-        """Bring a crashed invoker back: empty, cold, and accepting work."""
+        """Bring a crashed invoker back: empty, cold, and accepting work.
+
+        Degradation survives the restart: a slow episode belongs to the
+        host, not the process, so its end is governed solely by the
+        seeded slowdown schedule.
+        """
         if self.decommissioned:
             raise RuntimeError(
                 f"invoker {self.invoker_id} was decommissioned and cannot restart"
             )
         self.alive = True
+
+    # ------------------------------------------------------------------ #
+    # Degradation lifecycle (slow invokers)
+    # ------------------------------------------------------------------ #
+    def degrade(self, slow_factor: float, *, brownout_concurrency: int = 0) -> None:
+        """Enter the slow state: stretch executions, optionally shed load.
+
+        Args:
+            slow_factor: Multiplier (>= 1) on start-up and execution time
+                for activations *started* while degraded.
+            brownout_concurrency: When positive, new activations are
+                rejected (back to the controller) once this many
+                executions are in flight.
+        """
+        if slow_factor < 1.0:
+            raise ValueError("slow factor must be >= 1")
+        if brownout_concurrency < 0:
+            raise ValueError("brownout concurrency must be non-negative")
+        self.degraded = True
+        self.slow_factor = float(slow_factor)
+        self.brownout_concurrency = int(brownout_concurrency)
+
+    def recover(self) -> None:
+        """Leave the slow state (already-running executions keep their pace)."""
+        self.degraded = False
+        self.slow_factor = 1.0
+        self.brownout_concurrency = 0
 
     def decommission(self) -> None:
         """Permanently remove the invoker from service (autoscaler scale-in).

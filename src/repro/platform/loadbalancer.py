@@ -295,9 +295,12 @@ class ConsistentHashBalancer(LoadBalancer):
 class LeastLoadedBalancer(LoadBalancer):
     """Greedy least-memory-loaded placement (no affinity hashing).
 
-    Candidates are ordered by ``(load_fraction, invoker_id)`` at decision
-    time, so the warm-container pass picks the least-loaded holder and
-    the free-memory pass spreads new containers across the fleet.
+    Candidates are ordered by ``(effective_load_fraction, invoker_id)``
+    at decision time, so the warm-container pass picks the least-loaded
+    holder and the free-memory pass spreads new containers across the
+    fleet.  The *effective* load discounts degraded (slow) invokers —
+    they sort behind equally-loaded healthy ones — and is bit-identical
+    to the raw load when nothing is degraded.
     """
 
     strategy = "least-loaded"
@@ -305,7 +308,8 @@ class LeastLoadedBalancer(LoadBalancer):
     def _candidate_order(self, app_id: str) -> tuple[list[Invoker], int]:
         del app_id
         order = sorted(
-            self._invokers, key=lambda inv: (inv.load_fraction, inv.invoker_id)
+            self._invokers,
+            key=lambda inv: (inv.effective_load_fraction, inv.invoker_id),
         )
         return order, order[0].invoker_id
 

@@ -38,8 +38,11 @@ class ActivationMessage:
             container right after execution when this is positive, and the
             controller schedules a pre-warm message for later.
         retries: How many times this activation has been resubmitted after
-            being lost to an invoker crash (fault injection only; the one
-            field the controller mutates).
+            being lost to an invoker crash or shed by a degraded invoker
+            (fault injection only; mutated by the controller).
+        defer_attempts: Consecutive whole-fleet-down placement deferrals,
+            driving the controller's exponential backoff (reset once the
+            activation places; fault injection only).
     """
 
     activation_id: int
@@ -51,6 +54,7 @@ class ActivationMessage:
     keepalive_seconds: float
     prewarm_seconds: float = 0.0
     retries: int = 0
+    defer_attempts: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -56,8 +56,22 @@ class AppInvocationStats:
         return 100.0 * self.cold_starts / self.invocations
 
 
-#: Platform-event kinds, in code order (the event column stores codes).
-PLATFORM_EVENT_KINDS: tuple[str, ...] = ("crash", "restart", "scale-up", "scale-down")
+#: Platform-event kinds, in code order (the event column stores codes;
+#: new kinds are appended so historical codes stay stable).  For
+#: ``domain-down``/``domain-up`` the invoker column carries the *domain*
+#: id; for the controller kinds it is unused (-1).
+PLATFORM_EVENT_KINDS: tuple[str, ...] = (
+    "crash",
+    "restart",
+    "scale-up",
+    "scale-down",
+    "domain-down",
+    "domain-up",
+    "slow-start",
+    "slow-end",
+    "controller-down",
+    "controller-up",
+)
 _EVENT_CODE = {kind: code for code, kind in enumerate(PLATFORM_EVENT_KINDS)}
 
 
@@ -108,6 +122,12 @@ class PlatformMetrics:
         self._crash_lost_in_flight = 0
         self._dropped = 0
         self._crash_cold_starts = 0
+        self._domain_outages = 0
+        self._slowdowns = 0
+        self._brownout_rejections = 0
+        self._controller_failovers = 0
+        self._duplicate_completions = 0
+        self._redeliveries = 0
         # Applications whose warm container was destroyed by a crash and
         # that have not completed an invocation since: their next cold
         # start is attributed to the crash.
@@ -200,6 +220,42 @@ class PlatformMetrics:
         del app_id  # per-app drop attribution is not summarized (yet)
         self._dropped += 1
 
+    def record_domain_outage(self, domain_id: int, time_seconds: float) -> None:
+        """A failure domain went dark (the invoker column stores the domain)."""
+        self._domain_outages += 1
+        self.record_platform_event("domain-down", time_seconds, domain_id)
+
+    def record_domain_recovery(self, domain_id: int, time_seconds: float) -> None:
+        self.record_platform_event("domain-up", time_seconds, domain_id)
+
+    def record_slowdown(self, invoker_id: int, time_seconds: float) -> None:
+        """An invoker entered its degraded (slow) state."""
+        self._slowdowns += 1
+        self.record_platform_event("slow-start", time_seconds, invoker_id)
+
+    def record_slowdown_end(self, invoker_id: int, time_seconds: float) -> None:
+        self.record_platform_event("slow-end", time_seconds, invoker_id)
+
+    def record_brownout_rejection(self, invoker_id: int) -> None:
+        """A degraded invoker shed an activation above its concurrency cap."""
+        del invoker_id  # per-invoker attribution is not summarized (yet)
+        self._brownout_rejections += 1
+
+    def record_controller_event(self, kind: str, time_seconds: float) -> None:
+        """Controller failover lifecycle (``controller-down``/``controller-up``)."""
+        if kind == "controller-down":
+            self._controller_failovers += 1
+        self.record_platform_event(kind, time_seconds)
+
+    def record_duplicate_completion(self, app_id: str) -> None:
+        """A completion whose invocation id already completed (at-least-once)."""
+        del app_id  # duplicates are a count; the unique completion is recorded
+        self._duplicate_completions += 1
+
+    def record_redelivery(self) -> None:
+        """An in-flight activation re-driven from the controller replay log."""
+        self._redeliveries += 1
+
     def record_fleet_size(self, time_seconds: float, size: int) -> None:
         """Sample the in-service fleet size (autoscaler ticks and events)."""
         self._fleet_time.append(time_seconds)
@@ -276,6 +332,64 @@ class PlatformMetrics:
     def crash_cold_starts(self) -> int:
         """Cold starts attributable to a crash destroying a warm container."""
         return self._crash_cold_starts
+
+    @property
+    def domain_outages(self) -> int:
+        """Correlated failure-domain outages injected during the replay."""
+        return self._domain_outages
+
+    @property
+    def slowdowns(self) -> int:
+        """Degradation episodes (invokers entering the slow state)."""
+        return self._slowdowns
+
+    @property
+    def brownout_rejections(self) -> int:
+        """Activations shed by degraded invokers above their concurrency cap."""
+        return self._brownout_rejections
+
+    @property
+    def controller_failovers(self) -> int:
+        """Controller crash/failover cycles during the replay."""
+        return self._controller_failovers
+
+    @property
+    def duplicate_completions(self) -> int:
+        """Completions deduplicated by invocation id (at-least-once delivery)."""
+        return self._duplicate_completions
+
+    @property
+    def redeliveries(self) -> int:
+        """Activations re-driven from the controller replay log on recovery."""
+        return self._redeliveries
+
+    def events_of_kind(self, kind: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, invoker/domain ids) of one platform-event kind.
+
+        The id column holds invoker ids for crash/restart/scaling/slow
+        events, *domain* ids for ``domain-down``/``domain-up``, and -1
+        for the controller kinds.
+        """
+        code = _EVENT_CODE[kind]
+        kinds, times, ids = self.platform_events()
+        mask = kinds == code
+        return times[mask], ids[mask]
+
+    def domain_outage_timeline(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, domain ids, down flags) of every domain outage edge."""
+        kinds, times, ids = self.platform_events()
+        mask = (kinds == _EVENT_CODE["domain-down"]) | (
+            kinds == _EVENT_CODE["domain-up"]
+        )
+        return times[mask], ids[mask], kinds[mask] == _EVENT_CODE["domain-down"]
+
+    def degradation_timeline(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, invoker ids, degraded flags) of every slowdown edge."""
+        kinds, times, ids = self.platform_events()
+        mask = (kinds == _EVENT_CODE["slow-start"]) | (
+            kinds == _EVENT_CODE["slow-end"]
+        )
+        return times[mask], ids[mask], kinds[mask] == _EVENT_CODE["slow-start"]
 
     def evictions_by_invoker(self) -> Mapping[int, int]:
         """Memory-pressure evictions per invoker id."""
@@ -390,6 +504,12 @@ class PlatformMetrics:
             "crash_lost_in_flight": float(self._crash_lost_in_flight),
             "dropped_invocations": float(self._dropped),
             "crash_cold_starts": float(self._crash_cold_starts),
+            "domain_outages": float(self._domain_outages),
+            "slowdowns": float(self._slowdowns),
+            "brownout_rejections": float(self._brownout_rejections),
+            "controller_failovers": float(self._controller_failovers),
+            "duplicate_completions": float(self._duplicate_completions),
+            "redeliveries": float(self._redeliveries),
             "min_fleet_size": float(min(self._fleet_size)) if self._fleet_size else 0.0,
             "max_fleet_size": float(max(self._fleet_size)) if self._fleet_size else 0.0,
             "final_fleet_size": float(self._fleet_size[-1]) if self._fleet_size else 0.0,

@@ -75,11 +75,27 @@ class ReplayResult:
     metrics: PlatformMetrics
     controller_overhead_microseconds: float
     prewarm_messages: int
+    submissions: int = 0
+    completed_unique: int = 0
+    dropped: int = 0
+    duplicate_completions: int = 0
+
+    @property
+    def conservation_holds(self) -> bool:
+        """The at-least-once invariant: every submission completes or drops.
+
+        ``completed_unique + dropped == submissions`` must hold for any
+        fault plan — duplicates from controller failover are counted
+        separately and never inflate ``completed_unique``.
+        """
+        return self.completed_unique + self.dropped == self.submissions
 
     def summary(self) -> dict[str, float]:
         data = self.metrics.summary()
         data["controller_overhead_us"] = self.controller_overhead_microseconds
         data["prewarm_messages"] = float(self.prewarm_messages)
+        data["submissions"] = float(self.submissions)
+        data["completed_unique"] = float(self.completed_unique)
         return data
 
 
@@ -254,13 +270,18 @@ class TraceReplayer:
             source=self.feed.cursor(cluster), horizon_seconds=horizon_seconds
         )
         metrics.finish(max(horizon_seconds, cluster.loop.now))
+        stats = cluster.controller.stats
         return ReplayResult(
             policy_name=policy_factory.name,
             metrics=metrics,
             controller_overhead_microseconds=(
-                cluster.controller.stats.average_policy_update_microseconds
+                stats.average_policy_update_microseconds
             ),
-            prewarm_messages=cluster.controller.stats.prewarm_messages,
+            prewarm_messages=stats.prewarm_messages,
+            submissions=stats.submissions,
+            completed_unique=stats.completed_unique,
+            dropped=stats.dropped,
+            duplicate_completions=stats.duplicate_completions,
         )
 
 

@@ -81,6 +81,16 @@ class KeepAlivePolicy(abc.ABC):
             ``now_minutes`` until the next invocation.
         """
 
+    def expected_interarrival_minutes(self) -> float | None:
+        """Forecast mean time between this app's invocations, in minutes.
+
+        Used by the predictive autoscaler to aggregate a fleet-wide
+        arrival-rate estimate.  Return ``None`` (the default) when the
+        policy has no forecast — stateless baselines, or history-driven
+        policies that have not observed enough invocations yet.
+        """
+        return None
+
     def reset(self) -> None:
         """Forget all per-application state (default: nothing to forget)."""
 

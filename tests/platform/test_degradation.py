@@ -1,0 +1,210 @@
+"""Partial degradation: slow invokers, brownout shedding, effective capacity.
+
+A degraded invoker is alive but impaired — start-up and execution are
+stretched by ``slow_factor``, message delivery is stretched by
+``slow_message_delay_factor``, and (optionally) activations above
+``brownout_concurrency`` are shed back to the controller.  These tests
+pin the invoker-level state machine, the seeded slowdown schedules, the
+effective-capacity view the least-loaded balancer keys off, and the
+end-to-end physics: slow replays must be strictly slower than healthy
+ones, and brownouts must never break conservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.faults import FaultPlan
+from repro.platform.messages import ActivationMessage
+from repro.platform.replay import ReplayConfig, TraceReplayer
+from repro.policies.registry import fixed_keepalive_factory
+from tests.platform.test_faults import chaos_workload, make_invoker
+
+
+def activation(activation_id: int, *, execution_seconds: float, memory_mb: float = 128.0, app_id: str | None = None) -> ActivationMessage:
+    return ActivationMessage(
+        activation_id=activation_id,
+        app_id=app_id or f"app-{activation_id}",
+        function_id="f",
+        arrival_time_seconds=0.0,
+        execution_seconds=execution_seconds,
+        memory_mb=memory_mb,
+        keepalive_seconds=60.0,
+    )
+
+
+class TestDegradeStateMachine:
+    def test_degrade_and_recover(self):
+        invoker = make_invoker()
+        assert not invoker.degraded
+        invoker.degrade(3.0, brownout_concurrency=2)
+        assert invoker.degraded
+        assert invoker.slow_factor == 3.0
+        assert invoker.brownout_concurrency == 2
+        invoker.recover()
+        assert not invoker.degraded
+        assert invoker.slow_factor == 1.0
+        assert invoker.brownout_concurrency == 0
+
+    def test_degrade_validation(self):
+        invoker = make_invoker()
+        with pytest.raises(ValueError, match="slow factor must be >= 1"):
+            invoker.degrade(0.5)
+        with pytest.raises(ValueError, match="brownout concurrency"):
+            invoker.degrade(2.0, brownout_concurrency=-1)
+
+    def test_degradation_survives_crash_and_restart(self):
+        """A slow episode belongs to the host, not the process."""
+        invoker = make_invoker()
+        invoker.degrade(4.0)
+        invoker.crash()
+        invoker.restart()
+        assert invoker.degraded
+        assert invoker.slow_factor == 4.0
+
+    def test_degraded_execution_is_stretched(self):
+        # Twin invokers (same id -> same rng -> same cold-start draw);
+        # only one of them is degraded before its first activation.
+        healthy, slow = make_invoker(), make_invoker()
+        slow.degrade(3.0)
+
+        def run_one(invoker) -> float:
+            invoker.handle_activation(activation(0, execution_seconds=10.0))
+            invoker.loop.run()
+            latencies = invoker.metrics.latencies_seconds()
+            assert latencies.size == 1
+            return float(latencies[0])
+
+        # Cold start + bootstrap + execution, all stretched exactly 3x.
+        assert run_one(slow) == pytest.approx(3.0 * run_one(healthy))
+
+    def test_brownout_sheds_above_cap(self):
+        invoker = make_invoker()
+        lost: list[ActivationMessage] = []
+        invoker.on_activations_lost = lost.extend
+        invoker.degrade(2.0, brownout_concurrency=1)
+        invoker.handle_activation(activation(0, execution_seconds=30.0))
+        invoker.handle_activation(activation(1, execution_seconds=30.0))
+        assert invoker.total_in_flight == 1
+        assert [m.activation_id for m in lost] == [1]
+        assert invoker.metrics.summary()["brownout_rejections"] == 1
+
+
+class TestEffectiveCapacity:
+    def test_healthy_views_are_bit_identical(self):
+        invoker = make_invoker()
+        assert invoker.effective_load_fraction == invoker.load_fraction
+        assert invoker.effective_free_memory_mb == invoker.free_memory_mb
+
+    def test_degraded_invoker_looks_fuller_and_smaller(self):
+        invoker = make_invoker()
+        invoker.handle_activation(
+            activation(0, execution_seconds=60.0, memory_mb=256.0)
+        )
+        invoker.degrade(4.0)
+        assert invoker.effective_load_fraction == 4.0 * invoker.load_fraction
+        assert invoker.effective_free_memory_mb == invoker.free_memory_mb / 4.0
+        assert invoker.effective_load_fraction >= invoker.load_fraction
+        assert invoker.effective_free_memory_mb <= invoker.free_memory_mb
+
+
+class TestSlowSchedules:
+    def test_slow_schedule_pure_and_per_invoker(self):
+        plan = FaultPlan(slow_rate_per_hour=3.0, seed=17)
+        first = plan.slow_schedule(0, 7200.0)
+        np.testing.assert_array_equal(first, plan.slow_schedule(0, 7200.0))
+        assert not np.array_equal(first, plan.slow_schedule(1, 7200.0))
+
+    def test_slow_stream_independent_of_crash_stream(self):
+        plan = FaultPlan(crash_rate_per_hour=3.0, slow_rate_per_hour=3.0, seed=17)
+        assert not np.array_equal(
+            plan.crash_schedule(0, 7200.0), plan.slow_schedule(0, 7200.0)
+        )
+
+    def test_episodes_do_not_overlap(self):
+        plan = FaultPlan(
+            slow_rate_per_hour=30.0, slow_duration_seconds=120.0, seed=2
+        )
+        times = plan.slow_schedule(0, 7200.0)
+        assert times.size > 1
+        assert np.all(np.diff(times) >= plan.slow_duration_seconds)
+
+
+def degraded_replay(plan: FaultPlan | None, *, balancer: str = "least-loaded"):
+    replayer = TraceReplayer(
+        chaos_workload(),
+        replay_config=ReplayConfig(duration_minutes=60.0, seed=11),
+        cluster_config=ClusterConfig(
+            num_invokers=4,
+            invoker_memory_mb=1024.0,
+            seed=5,
+            balancer=balancer,
+            fault_plan=plan,
+        ),
+    )
+    return replayer, replayer.run(fixed_keepalive_factory(10.0))
+
+
+class TestDegradedReplay:
+    def test_slowdowns_stretch_latency(self):
+        _, healthy = degraded_replay(None)
+        _, slowed = degraded_replay(
+            FaultPlan(
+                slow_rate_per_hour=6.0,
+                slow_duration_seconds=600.0,
+                slow_execution_factor=5.0,
+                seed=23,
+            )
+        )
+        assert slowed.metrics.summary()["slowdowns"] > 0
+        assert (
+            slowed.metrics.p99_latency_seconds()
+            > healthy.metrics.p99_latency_seconds()
+        )
+        # Degradation loses no work: nothing crashes, nothing drops.
+        assert slowed.conservation_holds
+        assert slowed.dropped == 0
+
+    def test_brownout_sheds_and_conserves(self):
+        plan = FaultPlan(
+            slow_rate_per_hour=8.0,
+            slow_duration_seconds=600.0,
+            slow_execution_factor=6.0,
+            brownout_concurrency=1,
+            retry_limit=3,
+            seed=23,
+        )
+        replayer, result = degraded_replay(plan)
+        summary = result.metrics.summary()
+        assert summary["brownout_rejections"] > 0
+        assert result.conservation_holds
+        assert (
+            result.metrics.total_invocations + summary["dropped_invocations"]
+            == replayer.feed.num_submissions
+        )
+
+    def test_least_loaded_prefers_healthy_invoker(self):
+        """With one invoker degraded, the least-loaded balancer routes the
+        lion's share of work to the healthy peer."""
+        cluster = FaasCluster(
+            fixed_keepalive_factory(10.0),
+            ClusterConfig(
+                num_invokers=2,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                balancer="least-loaded",
+            ),
+        )
+        slow, healthy = cluster.invokers
+        slow.degrade(8.0)
+        for i in range(8):
+            cluster.controller.submit(
+                f"app-{i}", "f", execution_seconds=30.0, memory_mb=200.0
+            )
+        # Both start empty; the first placement ties at zero load and the
+        # rest see the degraded invoker's inflated effective load.
+        assert healthy._delivery_counter > slow._delivery_counter
+        cluster.loop.run()
+        assert cluster.metrics.total_invocations == 8

@@ -199,3 +199,53 @@ class TestCompiledReplayByteIdentity:
         fallback_summary.pop("controller_overhead_us")
         assert compiled_summary == fallback_summary
         assert compiled.prewarm_messages == fallback.prewarm_messages
+
+    def _chaos_replay(self, workload, factory):
+        cluster = ClusterConfig(
+            num_invokers=4,
+            invoker_memory_mb=1024.0,
+            seed=5,
+            balancer="least-loaded",
+            fault_domains=2,
+            fault_plan=FaultPlan(
+                crash_rate_per_hour=1.0,
+                domain_outage_rate_per_hour=1.0,
+                domain_outage_seconds=90.0,
+                slow_rate_per_hour=2.0,
+                slow_execution_factor=3.0,
+                brownout_concurrency=8,
+                controller_mttf_hours=1.0,
+                retry_limit=2,
+                retry_jitter_fraction=0.1,
+                seed=17,
+            ),
+            autoscaler=AutoscalerConfig(
+                min_invokers=2, max_invokers=6, tick_seconds=120.0, policy="predictive"
+            ),
+        )
+        return TraceReplayer(
+            workload,
+            replay_config=ReplayConfig(duration_minutes=150.0, seed=3),
+            cluster_config=cluster,
+        ).run(factory)
+
+    @pytest.mark.parametrize(
+        "factory", [fixed_keepalive_factory(10.0), hybrid_factory()], ids=["fixed", "hybrid"]
+    )
+    def test_full_chaos_replay_identical_across_cores(
+        self, fault_workload, factory, monkeypatch
+    ):
+        """Domain outages + slowdowns + brownouts + controller failover +
+        predictive autoscaling: same bytes on both event-loop cores."""
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        fallback = self._chaos_replay(fault_workload, factory)
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        compiled = self._chaos_replay(fault_workload, factory)
+        assert_metrics_equivalent(fallback.metrics, compiled.metrics)
+        compiled_summary = compiled.summary()
+        fallback_summary = fallback.summary()
+        compiled_summary.pop("controller_overhead_us")
+        fallback_summary.pop("controller_overhead_us")
+        assert compiled_summary == fallback_summary
+        assert fallback.conservation_holds and compiled.conservation_holds
+        assert fallback_summary["controller_failovers"] > 0

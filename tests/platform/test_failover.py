@@ -1,0 +1,218 @@
+"""Controller failover, at-least-once delivery, and retry backoff.
+
+The controller in failover mode keeps a write-ahead replay log: every
+accepted submission is logged before dispatch, completions are
+deduplicated by activation id against a durable set, and on recovery
+every incomplete entry is re-driven.  The upgraded conservation
+invariant is ``completed_unique + dropped == submissions`` — duplicates
+are counted separately and can never inflate the completion count.
+Retries and deferrals back off exponentially with seeded jitter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.faults import FaultPlan
+from repro.platform.replay import ReplayConfig, TraceReplayer
+from repro.policies.registry import fixed_keepalive_factory
+from tests.platform.test_faults import chaos_workload
+
+
+def failover_cluster(
+    *, num_invokers: int = 2, plan: FaultPlan | None = None
+) -> FaasCluster:
+    return FaasCluster(
+        fixed_keepalive_factory(10.0),
+        ClusterConfig(
+            num_invokers=num_invokers,
+            invoker_memory_mb=1024.0,
+            seed=5,
+            fault_plan=plan or FaultPlan(controller_mttf_hours=1e9, seed=1),
+        ),
+    )
+
+
+class TestFailoverGuards:
+    def test_fail_requires_failover_mode(self):
+        cluster = FaasCluster(
+            fixed_keepalive_factory(10.0),
+            ClusterConfig(num_invokers=1, invoker_memory_mb=1024.0),
+        )
+        assert not cluster.controller.failover_enabled
+        with pytest.raises(RuntimeError, match="failover is not enabled"):
+            cluster.controller.fail()
+
+    def test_controller_fault_plan_enables_failover(self):
+        cluster = failover_cluster()
+        assert cluster.controller.failover_enabled
+        assert not cluster.controller.down
+
+    def test_down_controller_accepts_but_does_not_dispatch(self):
+        cluster = failover_cluster()
+        controller = cluster.controller
+        controller.fail()
+        assert controller.down
+        controller.submit("app", "f", execution_seconds=5.0, memory_mb=128.0)
+        assert controller.stats.submissions == 1
+        assert controller.stats.activations == 0
+        assert all(inv.total_in_flight == 0 for inv in cluster.invokers)
+
+
+class TestRecoveryRedrivesLog:
+    def test_submission_while_down_runs_after_recovery(self):
+        cluster = failover_cluster()
+        controller = cluster.controller
+        controller.fail()
+        controller.submit("app", "f", execution_seconds=5.0, memory_mb=128.0)
+        cluster.loop.schedule_at(10.0, controller.recover)
+        cluster.loop.run()
+        stats = controller.stats
+        assert stats.redeliveries == 1
+        assert stats.completed_unique == 1
+        assert stats.completed_unique + stats.dropped == stats.submissions
+        assert cluster.metrics.total_invocations == 1
+
+    def test_redelivery_of_inflight_copy_is_deduplicated(self):
+        """Failover mid-execution re-drives an activation whose original
+        copy is still running: both complete, exactly one is recorded."""
+        cluster = failover_cluster()
+        controller = cluster.controller
+        controller.submit("app", "f", execution_seconds=50.0, memory_mb=128.0)
+        assert sum(inv.total_in_flight for inv in cluster.invokers) == 1
+        controller.fail()
+        cluster.loop.schedule_at(5.0, controller.recover)
+        cluster.loop.run()
+        stats = controller.stats
+        assert stats.redeliveries == 1
+        assert stats.completed_unique == 1
+        assert stats.duplicate_completions == 1
+        assert stats.completed_unique + stats.dropped == stats.submissions
+        # The duplicate never reaches the latency record.
+        assert cluster.metrics.total_invocations == 1
+        assert cluster.metrics.summary()["duplicate_completions"] == 1
+
+    def test_completion_while_down_is_not_redelivered(self):
+        """An execution finishing during the outage is logged as complete
+        and must not be re-driven on recovery."""
+        cluster = failover_cluster()
+        controller = cluster.controller
+        controller.submit("app", "f", execution_seconds=5.0, memory_mb=128.0)
+        controller.fail()
+        cluster.loop.schedule_at(60.0, controller.recover)
+        cluster.loop.run()
+        stats = controller.stats
+        assert stats.redeliveries == 0
+        assert stats.duplicate_completions == 0
+        assert stats.completed_unique == 1
+        assert stats.completed_unique + stats.dropped == stats.submissions
+        assert cluster.metrics.total_invocations == 1
+
+
+class TestRetryBackoff:
+    def backoff_controller(self, **plan_kwargs):
+        plan = FaultPlan(crash_rate_per_hour=1.0, seed=3, **plan_kwargs)
+        return failover_cluster(plan=plan).controller
+
+    def test_delay_doubles_then_caps(self):
+        controller = self.backoff_controller(
+            retry_backoff_base_seconds=2.0,
+            retry_backoff_cap_seconds=10.0,
+            retry_jitter_fraction=0.0,
+        )
+        assert [controller._retry_delay(a) for a in range(4)] == [2.0, 4.0, 8.0, 10.0]
+        assert controller._retry_delay(30) == 10.0  # no overflow past the cap
+
+    def test_no_jitter_consumes_no_randomness(self):
+        controller = self.backoff_controller(retry_jitter_fraction=0.0)
+        state_before = controller._retry_rng.bit_generator.state
+        controller._retry_delay(0)
+        assert controller._retry_rng.bit_generator.state == state_before
+
+    def test_jitter_bounded_and_seeded(self):
+        def delays(seed: int) -> list[float]:
+            plan = FaultPlan(
+                crash_rate_per_hour=1.0,
+                retry_backoff_base_seconds=2.0,
+                retry_backoff_cap_seconds=64.0,
+                retry_jitter_fraction=0.5,
+                seed=seed,
+            )
+            controller = failover_cluster(plan=plan).controller
+            return [controller._retry_delay(a) for a in range(6)]
+
+        first = delays(3)
+        for attempt, delay in enumerate(first):
+            base = 2.0 * 2**attempt
+            assert base <= delay <= base * 1.5
+        assert first == delays(3)  # pure function of the seed
+        assert first != delays(4)
+
+    def test_backoff_validation(self):
+        with pytest.raises(ValueError, match="retry backoff base"):
+            FaultPlan(retry_backoff_base_seconds=0.0)
+        with pytest.raises(ValueError, match="retry backoff cap"):
+            FaultPlan(retry_backoff_base_seconds=5.0, retry_backoff_cap_seconds=1.0)
+        with pytest.raises(ValueError, match="retry jitter"):
+            FaultPlan(retry_jitter_fraction=-0.1)
+
+
+class TestFailoverReplay:
+    def test_conservation_under_controller_faults(self):
+        replayer = TraceReplayer(
+            chaos_workload(),
+            replay_config=ReplayConfig(duration_minutes=60.0, seed=11),
+            cluster_config=ClusterConfig(
+                num_invokers=4,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                fault_plan=FaultPlan(
+                    controller_mttf_hours=0.25,
+                    controller_failover_seconds=20.0,
+                    seed=31,
+                ),
+            ),
+        )
+        result = replayer.run(fixed_keepalive_factory(10.0))
+        summary = result.metrics.summary()
+        assert summary["controller_failovers"] > 0
+        assert result.conservation_holds
+        assert result.submissions == replayer.feed.num_submissions
+        # Controller events come in down/up pairs on the platform timeline.
+        down_times, _ = result.metrics.events_of_kind("controller-down")
+        up_times, _ = result.metrics.events_of_kind("controller-up")
+        assert down_times.size == up_times.size == summary["controller_failovers"]
+
+    def test_combined_chaos_preserves_invariant(self):
+        """Crashes + domain outages + slowdowns + failover, all at once."""
+        replayer = TraceReplayer(
+            chaos_workload(),
+            replay_config=ReplayConfig(duration_minutes=60.0, seed=11),
+            cluster_config=ClusterConfig(
+                num_invokers=4,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                balancer="least-loaded",
+                fault_domains=2,
+                fault_plan=FaultPlan(
+                    crash_rate_per_hour=2.0,
+                    domain_outage_rate_per_hour=2.0,
+                    domain_outage_seconds=90.0,
+                    slow_rate_per_hour=4.0,
+                    slow_execution_factor=3.0,
+                    brownout_concurrency=8,
+                    controller_mttf_hours=0.5,
+                    retry_limit=3,
+                    retry_jitter_fraction=0.2,
+                    seed=37,
+                ),
+            ),
+        )
+        result = replayer.run(fixed_keepalive_factory(10.0))
+        summary = result.metrics.summary()
+        assert result.conservation_holds
+        assert summary["invoker_crashes"] > 0
+        assert summary["domain_outages"] > 0
+        assert summary["slowdowns"] > 0
+        assert summary["controller_failovers"] > 0

@@ -1,0 +1,259 @@
+"""Correlated failure domains: rack/zone outages that hit invokers together.
+
+Covers the domain-outage half of the failure-realism layer: the seeded
+per-domain schedules, the all-members-down / all-members-up semantics,
+the interaction with individually crashed invokers (a solo restart must
+not outrun the rack coming back), liveness of every balancer strategy
+across an outage, and the decommission regression — a scaled-in invoker
+never rejoins the fleet through a domain recovery, and never receives a
+retried or re-driven activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.cluster import ClusterConfig, FaasCluster
+from repro.platform.faults import FaultPlan
+from repro.platform.replay import ReplayConfig, TraceReplayer
+from repro.policies.registry import fixed_keepalive_factory
+from tests.platform.test_faults import chaos_workload
+
+
+def outage_cluster(
+    *,
+    num_invokers: int = 4,
+    fault_domains: int = 2,
+    balancer: str = "ring",
+    plan: FaultPlan | None = None,
+) -> FaasCluster:
+    return FaasCluster(
+        fixed_keepalive_factory(10.0),
+        ClusterConfig(
+            num_invokers=num_invokers,
+            invoker_memory_mb=1024.0,
+            seed=5,
+            balancer=balancer,
+            fault_domains=fault_domains,
+            fault_plan=plan
+            or FaultPlan(
+                domain_outage_rate_per_hour=6.0,
+                domain_outage_seconds=60.0,
+                seed=9,
+            ),
+        ),
+    )
+
+
+class TestDomainAssignment:
+    def test_round_robin_domains(self):
+        config = ClusterConfig(num_invokers=5, fault_domains=3)
+        assert [config.domain_of(i) for i in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_single_domain_default(self):
+        config = ClusterConfig(num_invokers=4)
+        assert {config.domain_of(i) for i in range(4)} == {0}
+
+    def test_domain_count_validation(self):
+        with pytest.raises(ValueError, match="failure domain"):
+            ClusterConfig(fault_domains=0)
+
+
+class TestDomainSchedules:
+    def test_schedule_is_pure_function_of_seed_and_domain(self):
+        plan = FaultPlan(domain_outage_rate_per_hour=4.0, seed=11)
+        first = plan.domain_outage_schedule(1, 7200.0)
+        second = plan.domain_outage_schedule(1, 7200.0)
+        np.testing.assert_array_equal(first, second)
+        other_domain = plan.domain_outage_schedule(2, 7200.0)
+        assert not np.array_equal(first, other_domain)
+
+    def test_outages_never_overlap_on_one_domain(self):
+        plan = FaultPlan(
+            domain_outage_rate_per_hour=30.0, domain_outage_seconds=90.0, seed=3
+        )
+        times = plan.domain_outage_schedule(0, 7200.0)
+        assert times.size > 1
+        assert np.all(np.diff(times) >= plan.domain_outage_seconds)
+
+    def test_domain_stream_independent_of_crash_stream(self):
+        """Domain 0's outages must not alias invoker 0's crash stream."""
+        plan = FaultPlan(
+            crash_rate_per_hour=4.0, domain_outage_rate_per_hour=4.0, seed=7
+        )
+        crashes = plan.crash_schedule(0, 7200.0)
+        outages = plan.domain_outage_schedule(0, 7200.0)
+        assert not np.array_equal(crashes, outages)
+
+    def test_zero_rate_schedules_nothing(self):
+        plan = FaultPlan(crash_rate_per_hour=1.0, seed=7)
+        assert plan.domain_outage_schedule(0, 7200.0).size == 0
+        assert not plan.has_domain_outages
+
+
+class TestDomainOutageSemantics:
+    def test_outage_takes_whole_domain_down_and_up_together(self):
+        cluster = outage_cluster()
+        injector = cluster.fault_injector
+        assert injector is not None
+        members = [
+            inv
+            for inv in cluster.invokers
+            if cluster.config.domain_of(inv.invoker_id) == 1
+        ]
+        others = [inv for inv in cluster.invokers if inv not in members]
+        injector._started = True  # drive the handlers directly
+        injector._domain_down(1)
+        assert all(not inv.alive for inv in members)
+        assert all(inv.alive for inv in others)
+        cluster.loop.run()  # drains the scheduled _domain_up
+        assert all(inv.alive for inv in members)
+
+        summary = cluster.metrics.summary()
+        assert summary["domain_outages"] == 1
+        assert summary["invoker_crashes"] == len(members)
+        assert summary["invoker_restarts"] == len(members)
+
+    def test_solo_restart_suppressed_while_domain_is_down(self):
+        """An invoker crashed before its domain's outage rejoins with the
+        domain, not on its own earlier restart timer."""
+        plan = FaultPlan(
+            crash_rate_per_hour=0.0,
+            domain_outage_rate_per_hour=1e-9,  # enables the domain machinery
+            domain_outage_seconds=100.0,
+            restart_delay_seconds=10.0,
+            seed=1,
+        )
+        cluster = outage_cluster(plan=plan)
+        injector = cluster.fault_injector
+        assert injector is not None
+        injector._started = True
+        victim = cluster.invokers[0]
+        domain = cluster.config.domain_of(victim.invoker_id)
+
+        # Individual crash at t=0: restart scheduled for t=10.
+        injector._crash(victim)
+        # Domain outage at t=5, lasting until t=105.
+        cluster.loop.schedule_at(5.0, lambda: injector._domain_down(domain))
+        alive_at_restart_time: list[bool] = []
+        cluster.loop.schedule_at(50.0, lambda: alive_at_restart_time.append(victim.alive))
+        cluster.loop.run()
+        assert alive_at_restart_time == [False], (
+            "solo restart fired while the invoker's domain was still dark"
+        )
+        assert victim.alive  # came back with the domain recovery
+
+    def test_outage_events_land_in_timeline(self):
+        cluster = outage_cluster()
+        injector = cluster.fault_injector
+        injector._started = True
+        injector._domain_down(0)
+        cluster.loop.run()
+        times, domain_ids, down_flags = cluster.metrics.domain_outage_timeline()
+        assert times.size == 2  # down + up
+        assert domain_ids.tolist() == [0, 0]
+        assert down_flags.tolist() == [True, False]
+
+    @pytest.mark.parametrize("balancer", ["ring", "consistent-hash", "least-loaded"])
+    def test_replay_survives_domain_outages_under_every_balancer(self, balancer):
+        plan = FaultPlan(
+            domain_outage_rate_per_hour=8.0,
+            domain_outage_seconds=120.0,
+            retry_limit=2,
+            seed=29,
+        )
+        replayer = TraceReplayer(
+            chaos_workload(),
+            replay_config=ReplayConfig(duration_minutes=60.0, seed=11),
+            cluster_config=ClusterConfig(
+                num_invokers=4,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                balancer=balancer,
+                fault_domains=2,
+                fault_plan=plan,
+            ),
+        )
+        result = replayer.run(fixed_keepalive_factory(10.0))
+        summary = result.metrics.summary()
+        assert summary["domain_outages"] > 0
+        # Conservation across correlated outages.
+        assert result.conservation_holds
+        assert (
+            result.metrics.total_invocations + summary["dropped_invocations"]
+            == replayer.feed.num_submissions
+        )
+
+
+class TestDecommissionNeverRedelivered:
+    """Regression: a scaled-in invoker must never see a retried or
+    re-driven activation, and a domain recovery must not resurrect it."""
+
+    def test_domain_recovery_skips_decommissioned_member(self):
+        cluster = outage_cluster()
+        injector = cluster.fault_injector
+        injector._started = True
+        victim = cluster.invokers[0]
+        domain = cluster.config.domain_of(victim.invoker_id)
+        injector._domain_down(domain)
+        assert not victim.alive
+        cluster.decommission_invoker(victim)
+        cluster.loop.run()  # domain comes back up
+        assert victim.decommissioned
+        assert not victim.alive, "domain recovery resurrected a decommissioned invoker"
+
+    def test_retry_never_lands_on_decommissioned_invoker(self):
+        cluster = FaasCluster(
+            fixed_keepalive_factory(10.0),
+            ClusterConfig(
+                num_invokers=2,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                fault_plan=FaultPlan(crash_rate_per_hour=1e-9, retry_limit=3, seed=1),
+            ),
+        )
+        injector = cluster.fault_injector
+        injector._started = True
+        victim, survivor = cluster.invokers
+        cluster.controller.submit("app", "f", execution_seconds=50.0, memory_mb=128.0)
+        target = victim if victim.total_in_flight else survivor
+        other = survivor if target is victim else victim
+        injector._crash(target)  # loses the in-flight activation -> retry
+        cluster.decommission_invoker(target)
+        deliveries_at_decommission = target._delivery_counter
+        cluster.loop.run()
+        assert target._delivery_counter == deliveries_at_decommission, (
+            "retried activation delivered to a decommissioned invoker"
+        )
+        stats = cluster.controller.stats
+        assert stats.completed_unique + stats.dropped == stats.submissions
+        assert cluster.metrics.total_invocations == 1  # survivor ran it
+        assert other.metrics is cluster.metrics
+
+    def test_redelivery_never_lands_on_decommissioned_invoker(self):
+        """Controller recovery re-drives the log around a scaled-in node."""
+        cluster = FaasCluster(
+            fixed_keepalive_factory(10.0),
+            ClusterConfig(
+                num_invokers=2,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                fault_plan=FaultPlan(controller_mttf_hours=1e9, seed=1),
+            ),
+        )
+        controller = cluster.controller
+        assert controller.failover_enabled
+        cluster.controller.submit("app", "f", execution_seconds=50.0, memory_mb=128.0)
+        target = next(inv for inv in cluster.invokers if inv.total_in_flight)
+        controller.fail()
+        lost = target.crash()  # execution dies while the controller is down
+        controller.handle_lost_activations(lost)
+        cluster.decommission_invoker(target)
+        deliveries_at_decommission = target._delivery_counter
+        cluster.loop.schedule_at(10.0, controller.recover)
+        cluster.loop.run()
+        assert target._delivery_counter == deliveries_at_decommission
+        stats = controller.stats
+        assert stats.completed_unique + stats.dropped == stats.submissions
+        assert stats.completed_unique == 1

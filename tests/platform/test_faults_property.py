@@ -229,3 +229,99 @@ class TestCrashSchedulePurity:
             plan.crash_schedule(other, 3600.0)
         with_neighbours = plan.crash_schedule(invoker_id, 3600.0)
         np.testing.assert_array_equal(alone, with_neighbours)
+
+
+class TestDomainOutageLiveness:
+    @given(
+        strategy=st.sampled_from(BALANCER_STRATEGIES),
+        num_invokers=st.integers(min_value=1, max_value=8),
+        fault_domains=st.integers(min_value=1, max_value=4),
+        dark=st.sets(st.integers(min_value=0, max_value=3)),
+        app_id=APP_IDS,
+    )
+    @settings(max_examples=80)
+    def test_outage_never_leaves_balancer_selecting_a_down_invoker(
+        self, strategy, num_invokers, fault_domains, dark, app_id
+    ):
+        """Whatever set of domains is dark, the balancer places on a live
+        invoker whenever one exists and declines when the fleet is dark."""
+        config = ClusterConfig(
+            num_invokers=num_invokers,
+            invoker_memory_mb=1024.0,
+            fault_domains=fault_domains,
+        )
+        invokers = build_invokers(num_invokers)
+        balancer = make_balancer(strategy, invokers)
+        for invoker in invokers:
+            if config.domain_of(invoker.invoker_id) in dark:
+                invoker.crash()
+        decision = balancer.place(app_id, 128.0)
+        if any(invoker.alive for invoker in invokers):
+            assert decision is not None
+            assert decision.invoker.alive
+            assert config.domain_of(decision.invoker.invoker_id) not in dark
+        else:
+            assert decision is None
+
+
+class TestConservationForAnySeed:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_dedup_keeps_completed_plus_dropped_equal_submitted(self, seed):
+        """``completed_unique + dropped == submissions`` for any fault seed,
+        with crashes, domain outages, slowdowns, and controller failover
+        all drawn from that seed."""
+        from repro.platform.replay import ReplayConfig, TraceReplayer
+        from tests.platform.test_faults import chaos_workload
+
+        replayer = TraceReplayer(
+            chaos_workload(),
+            replay_config=ReplayConfig(duration_minutes=30.0, seed=11),
+            cluster_config=ClusterConfig(
+                num_invokers=3,
+                invoker_memory_mb=1024.0,
+                seed=5,
+                fault_domains=2,
+                fault_plan=FaultPlan(
+                    crash_rate_per_hour=4.0,
+                    domain_outage_rate_per_hour=3.0,
+                    domain_outage_seconds=60.0,
+                    slow_rate_per_hour=4.0,
+                    slow_execution_factor=3.0,
+                    controller_mttf_hours=0.2,
+                    controller_failover_seconds=10.0,
+                    retry_limit=2,
+                    seed=seed,
+                ),
+            ),
+        )
+        result = replayer.run(fixed_keepalive_factory(10.0))
+        assert result.completed_unique + result.dropped == result.submissions
+        assert result.submissions == replayer.feed.num_submissions
+        # Duplicates are tallied separately, never as completions.
+        assert result.metrics.total_invocations == result.completed_unique
+
+
+class TestEffectiveCapacityMonotonicity:
+    @given(
+        slow_factor=st.floats(min_value=1.0, max_value=64.0),
+        used_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80)
+    def test_degraded_never_reports_more_capacity_than_healthy(
+        self, slow_factor, used_fraction
+    ):
+        """A degraded invoker never looks *more* attractive than the same
+        invoker healthy: effective load only rises, effective free memory
+        only falls, for any slow factor >= 1 and any occupancy."""
+        healthy, degraded = build_invokers(2, capacity_mb=1024.0)
+        memory_mb = used_fraction * 512.0
+        for invoker in (healthy, degraded):
+            if memory_mb > 0.0:
+                invoker.prewarm("app", memory_mb, keepalive_seconds=600.0)
+        degraded.degrade(slow_factor)
+        assert degraded.effective_load_fraction >= healthy.effective_load_fraction
+        assert degraded.effective_free_memory_mb <= healthy.effective_free_memory_mb
+        # And against its own raw view.
+        assert degraded.effective_load_fraction >= degraded.load_fraction
+        assert degraded.effective_free_memory_mb <= degraded.free_memory_mb

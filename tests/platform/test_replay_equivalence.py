@@ -20,8 +20,12 @@ from repro.platform.autoscaler import AutoscalerConfig
 from repro.platform.campaign import (
     ClusterScenario,
     ReplayCampaign,
+    autoscaler_policy_scenarios,
     autoscaling_scenario,
     balancer_scenarios,
+    controller_failover_scenario,
+    degradation_scenarios,
+    domain_outage_scenarios,
     fault_rate_scenarios,
     heterogeneous_memory_scenario,
     invoker_count_scenarios,
@@ -451,6 +455,120 @@ class TestFaultCampaignDeterminism:
         second = self._fault_campaign(fault_workload, workers=2).run()
         for cell_a, cell_b in zip(first.cells, second.cells):
             assert _deterministic_summary(cell_a) == _deterministic_summary(cell_b)
+
+
+class TestChaosCampaignDeterminism:
+    """The PR-9 fault taxonomy — domain outages, slowdowns, controller
+    failover, predictive autoscaling — must stay bit-reproducible across
+    campaign worker counts, like the crash-only campaign above."""
+
+    @pytest.fixture(scope="class")
+    def chaos_workload(self) -> Workload:
+        config = GeneratorConfig(
+            num_apps=16, duration_minutes=300.0, seed=14, max_daily_rate=600.0
+        )
+        return WorkloadGenerator(config).generate()
+
+    def _chaos_campaign(self, workload: Workload, workers: int) -> ReplayCampaign:
+        base = ClusterConfig(
+            num_invokers=4,
+            invoker_memory_mb=1024.0,
+            seed=5,
+            balancer="least-loaded",
+        )
+        storm = ClusterConfig(
+            num_invokers=4,
+            invoker_memory_mb=1024.0,
+            seed=5,
+            balancer="least-loaded",
+            fault_domains=2,
+            fault_plan=FaultPlan(
+                crash_rate_per_hour=1.0,
+                domain_outage_rate_per_hour=1.0,
+                domain_outage_seconds=90.0,
+                slow_rate_per_hour=2.0,
+                slow_execution_factor=3.0,
+                controller_mttf_hours=1.0,
+                retry_limit=2,
+                retry_jitter_fraction=0.1,
+                seed=17,
+            ),
+        )
+        scenarios = (
+            domain_outage_scenarios(
+                [2.0], base=base, fault_domains=2, outage_seconds=90.0, fault_seed=17
+            )
+            + degradation_scenarios(
+                [3.0], base=base, brownout_concurrency=6, fault_seed=17
+            )
+            + [controller_failover_scenario(0.5, base=base, fault_seed=17)]
+            + autoscaler_policy_scenarios(
+                base=storm,
+                autoscaler=AutoscalerConfig(
+                    min_invokers=2, max_invokers=6, tick_seconds=120.0
+                ),
+            )
+        )
+        return ReplayCampaign(
+            workload,
+            [fixed_keepalive_factory(10.0)],
+            scenarios=scenarios,
+            seeds=(3, 4),
+            replay_config=ReplayConfig(duration_minutes=180.0, seed=3),
+            workers=workers,
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_chaos_campaign_independent_of_worker_count(
+        self, chaos_workload, workers
+    ):
+        serial = self._chaos_campaign(chaos_workload, workers=1).run()
+        forked = self._chaos_campaign(chaos_workload, workers=workers).run()
+        assert len(serial.cells) == len(forked.cells) == 10  # 5 scenarios x 2 seeds
+        fault_kinds_seen = {"domain_outages": 0.0, "slowdowns": 0.0, "controller_failovers": 0.0}
+        for cell_a, cell_b in zip(serial.cells, forked.cells):
+            assert (cell_a.policy_name, cell_a.scenario_name, cell_a.seed) == (
+                cell_b.policy_name,
+                cell_b.scenario_name,
+                cell_b.seed,
+            )
+            assert _deterministic_summary(cell_a) == _deterministic_summary(cell_b)
+            np.testing.assert_array_equal(
+                cell_a.app_cold_start_pct, cell_b.app_cold_start_pct
+            )
+            # The upgraded invariant holds in every chaos cell.
+            assert (
+                cell_a.summary["completed_unique"]
+                + cell_a.summary["dropped_invocations"]
+                == cell_a.summary["submissions"]
+            )
+            for kind in fault_kinds_seen:
+                fault_kinds_seen[kind] += cell_a.summary[kind]
+        for kind, count in fault_kinds_seen.items():
+            assert count > 0, f"campaign sized to actually trigger {kind}"
+        assert serial.rows() == forked.rows()
+
+    def test_chaos_scenario_builders(self):
+        outage = domain_outage_scenarios([0.0, 2.0], fault_domains=3)
+        assert [s.name for s in outage] == ["domain-outage-0ph", "domain-outage-2ph"]
+        assert outage[0].config.fault_plan is None  # rate 0 anchors the curve
+        assert outage[0].config.fault_domains == 3
+        assert outage[1].config.fault_plan.domain_outage_rate_per_hour == 2.0
+        slow = degradation_scenarios([4.0], brownout_concurrency=8)
+        assert slow[0].name == "slow-4ph"
+        assert slow[0].config.fault_plan.brownout_concurrency == 8
+        failover = controller_failover_scenario(1.5)
+        assert failover.name == "failover-1.5h"
+        assert failover.config.fault_plan.controller_mttf_hours == 1.5
+        policies = autoscaler_policy_scenarios(
+            base=ClusterConfig(num_invokers=2, invoker_memory_mb=1024.0),
+            autoscaler=AutoscalerConfig(min_invokers=1, max_invokers=4),
+        )
+        assert [s.name for s in policies] == [
+            "autoscale-threshold",
+            "autoscale-predictive",
+        ]
+        assert policies[1].config.autoscaler.policy == "predictive"
 
 
 class TestCampaignDescriptorShards:

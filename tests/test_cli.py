@@ -190,6 +190,92 @@ class TestCommands:
         )
         assert "duplicate policy name" in capsys.readouterr().err
 
+    def test_replay_with_fault_realism_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "replay",
+                    *SMALL,
+                    "--policies",
+                    "fixed:10",
+                    "--minutes",
+                    "60",
+                    "--sample-apps",
+                    "6",
+                    "--seeds",
+                    "1",
+                    "--invoker-counts",
+                    "3",
+                    "--fault-domains",
+                    "3",
+                    "--domain-outage-rate",
+                    "2",
+                    "--domain-outage-seconds",
+                    "60",
+                    "--slow-rate",
+                    "2",
+                    "--slow-factor",
+                    "3",
+                    "--brownout-concurrency",
+                    "8",
+                    "--controller-mttf",
+                    "0.5",
+                    "--autoscale",
+                    "2:6",
+                    "--autoscale-policy",
+                    "predictive",
+                    "--workers",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "completed 1 replays" in capsys.readouterr().out
+
+    def test_replay_rejects_negative_domain_outage_rate(self, capsys):
+        args = ["replay", *SMALL, "--sample-apps", "4", "--domain-outage-rate", "-1"]
+        assert main(args) == 2
+        assert "domain outage rate must be non-negative" in capsys.readouterr().err
+
+    def test_replay_rejects_negative_slow_rate(self, capsys):
+        args = ["replay", *SMALL, "--sample-apps", "4", "--slow-rate", "-2"]
+        assert main(args) == 2
+        assert "slowdown rate must be non-negative" in capsys.readouterr().err
+
+    def test_replay_rejects_negative_controller_mttf(self, capsys):
+        args = ["replay", *SMALL, "--sample-apps", "4", "--controller-mttf", "-1"]
+        assert main(args) == 2
+        assert "controller MTTF must be non-negative" in capsys.readouterr().err
+
+    def test_replay_rejects_malformed_autoscale(self, capsys):
+        args = ["replay", *SMALL, "--sample-apps", "4", "--autoscale", "2-8"]
+        assert main(args) == 2
+        assert "--autoscale expects MIN:MAX" in capsys.readouterr().err
+
+    def test_replay_rejects_unknown_autoscale_policy(self, capsys):
+        args = [
+            "replay", *SMALL, "--sample-apps", "4",
+            "--autoscale", "2:8", "--autoscale-policy", "oracle",
+        ]
+        assert main(args) == 2
+        assert "unknown autoscaler policy" in capsys.readouterr().err
+
+    def test_replay_rejects_policy_without_autoscale_bounds(self, capsys):
+        args = [
+            "replay", *SMALL, "--sample-apps", "4",
+            "--autoscale-policy", "predictive",
+        ]
+        assert main(args) == 2
+        assert "requires --autoscale MIN:MAX" in capsys.readouterr().err
+
+    def test_replay_rejects_unknown_balancer(self, capsys):
+        # Balancer choices are enforced by argparse itself (exit code 2).
+        args = ["replay", *SMALL, "--sample-apps", "4", "--balancer", "round-robin"]
+        with pytest.raises(SystemExit) as excinfo:
+            main(args)
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'round-robin'" in capsys.readouterr().err
+
     def test_sweep_figures(self, capsys):
         assert main(["sweep", *SMALL, "--figures", "fig14", "fig18"]) == 0
         output = capsys.readouterr().out
