@@ -9,6 +9,14 @@ sessions and machines::
 
     python benchmarks/report_trend.py            # whole trajectory
     python benchmarks/report_trend.py scaleout   # keys containing "scaleout"
+
+Beyond printing, the report is a **regression gate**: for every bench
+key, the latest entry's speedup/throughput numbers are compared against
+the previous entry (preferring one recorded on a machine with the same
+``cpu_count``, so a laptop run never trips the CI bar), and any value
+more than 20% below its predecessor flags the key and makes the script
+exit nonzero — which fails the nightly job instead of letting the
+trajectory silently decay.
 """
 
 from __future__ import annotations
@@ -20,6 +28,14 @@ from collections import defaultdict
 from pathlib import Path
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+#: Fraction a speedup/throughput value may drop below its predecessor
+#: before the key is flagged as a regression.
+REGRESSION_THRESHOLD = 0.20
+
+#: Detail keys holding more-is-better performance numbers: the top-level
+#: ``speedup`` plus any detail whose name marks it as a rate or speedup.
+_PERF_KEY_MARKERS = ("speedup", "per_second")
 
 
 def load_entries(path: Path = RESULTS_PATH) -> list[dict]:
@@ -50,6 +66,51 @@ def format_entry(entry: dict) -> str:
     return "  ".join(parts)
 
 
+def perf_values(entry: dict) -> dict[str, float]:
+    """The entry's more-is-better numbers, keyed for cross-run comparison."""
+    values: dict[str, float] = {}
+    if isinstance(entry.get("speedup"), (int, float)):
+        values["speedup"] = float(entry["speedup"])
+    details = entry.get("details")
+    if isinstance(details, dict):
+        for key, value in details.items():
+            if isinstance(value, (int, float)) and any(
+                marker in key for marker in _PERF_KEY_MARKERS
+            ):
+                values[key] = float(value)
+    return values
+
+
+def _cpu_count(entry: dict) -> object:
+    details = entry.get("details")
+    return details.get("cpu_count") if isinstance(details, dict) else None
+
+
+def find_regressions(
+    by_name: dict[str, list[dict]], threshold: float = REGRESSION_THRESHOLD
+) -> list[tuple[str, str, float, float]]:
+    """Latest-vs-previous drops beyond ``threshold``, per bench key.
+
+    The comparison baseline is the most recent *earlier* entry, preferring
+    one recorded with the same ``cpu_count`` as the latest (cross-machine
+    comparisons of parallel speedups are meaningless).
+    """
+    flagged: list[tuple[str, str, float, float]] = []
+    for name, entries in by_name.items():
+        if len(entries) < 2:
+            continue
+        latest = entries[-1]
+        earlier = entries[:-1]
+        same_cpu = [e for e in earlier if _cpu_count(e) == _cpu_count(latest)]
+        previous = (same_cpu or earlier)[-1]
+        previous_values = perf_values(previous)
+        for key, value in perf_values(latest).items():
+            baseline = previous_values.get(key)
+            if baseline is not None and baseline > 0 and value < (1 - threshold) * baseline:
+                flagged.append((name, key, baseline, value))
+    return flagged
+
+
 def main(argv: list[str]) -> int:
     needle = argv[0] if argv else ""
     entries = load_entries()
@@ -68,6 +129,16 @@ def main(argv: list[str]) -> int:
         print(name)
         for entry in by_name[name]:
             print(f"  {format_entry(entry)}")
+    regressions = find_regressions(by_name)
+    if regressions:
+        print()
+        for name, key, baseline, value in regressions:
+            drop = 100.0 * (1 - value / baseline)
+            print(
+                f"REGRESSION {name}: {key} {baseline:g} -> {value:g} "
+                f"({drop:.0f}% drop, threshold {REGRESSION_THRESHOLD:.0%})"
+            )
+        return 3
     return 0
 
 

@@ -11,8 +11,15 @@ The acceptance bar for the out-of-core pipeline, asserted directly:
 * The streamed archive is bit-identical to ``generate().store.save()``
   at small scale (chunk boundaries never touch the RNG stream).
 * Shared-memory shard results are byte-identical across 1/2/4 workers.
-* A measured invocations/sec throughput entry (generation and the
-  memory-bounded banked pass) is appended to ``BENCH_results.json``.
+* Parallel ``v2`` generation is byte-identical to the serial path for
+  any worker count, and on a >= 4-core machine at least 3x faster at 4
+  workers with near-linear scaling at 2.
+* A 1M-app / ~100M-invocation fused generate+simulate run completes
+  with peak RSS flat in app count (subprocess-measured, against a
+  quarter-scale run at the same aggregate load).
+* Measured invocations/sec throughput entries (generation, the banked
+  pass, parallel generation, and the fused million-app run) are
+  appended to ``BENCH_results.json``.
 
 Each scale runs in a subprocess so ``ru_maxrss`` reports that scale's
 own peak, not the pytest session's high-water mark.
@@ -28,6 +35,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 import zipfile
 from pathlib import Path
 
@@ -167,6 +175,184 @@ def test_scaleout_100k_apps_flat_rss(tmp_path, record_bench):
     )
     assert large["peak_rss_mb"] <= RSS_ABSOLUTE_BOUND_MB
     assert rss_ratio <= RSS_FLAT_RATIO
+
+
+#: App count for the parallel-generation speedup measurement (the same
+#: ~13M-invocation day as the flat-RSS scales; override to shrink local
+#: smoke runs).
+PARGEN_APPS = int(os.environ.get("REPRO_BENCH_PARGEN_APPS", str(LARGE_SCALE)))
+
+#: The million-app fused run: ~1200 rps over one day is ~104M
+#: invocations.  Both knobs are env-overridable so the bench can be
+#: smoke-tested at reduced scale.
+MILLION_APPS = int(os.environ.get("REPRO_BENCH_MILLION_APPS", "1000000"))
+MILLION_RPS = float(os.environ.get("REPRO_BENCH_MILLION_RPS", "1200"))
+
+#: The full-scale fused peak may exceed the quarter-scale peak only by
+#: this factor: per-chunk state is identical (same chunk_apps, same
+#: aggregate load), so what grows 4x are the O(num_apps) population
+#: arrays and per-app result rows.
+MILLION_RSS_FLAT_RATIO = 3.0
+MILLION_RSS_ABSOLUTE_BOUND_MB = 4096.0
+
+
+def test_parallel_generation_speedup_and_byte_identity(tmp_path, record_bench):
+    """v2 parallel generation: identical bytes, >= 3x at 4 workers."""
+    # Byte-identity leg (always runs, any core count): the fork-based
+    # fan-out must be invisible in the published archive.
+    small = GeneratorConfig(
+        num_apps=4_000,
+        duration_minutes=1440.0,
+        seed=2020,
+        target_rps=10.0,
+        rng_scheme="v2",
+    )
+    serial_small = stream_workload_to_store(small, tmp_path / "id1.npz", workers=1)
+    parallel_small = stream_workload_to_store(
+        small, tmp_path / "id4.npz", workers=4, chunk_apps=512
+    )
+    assert serial_small.path.read_bytes() == parallel_small.path.read_bytes()
+
+    # Timing leg: same shape as the flat-RSS scales (~13M invocations).
+    cores = os.cpu_count() or 1
+    config = GeneratorConfig(
+        num_apps=PARGEN_APPS,
+        duration_minutes=1440.0,
+        seed=2020,
+        target_rps=TARGET_RPS,
+        rng_scheme="v2",
+    )
+    seconds: dict[int, float] = {}
+    invocations = 0
+    for workers in (4, 2, 1):  # hottest caches go to the serial baseline
+        out = tmp_path / f"gen{workers}.npz"
+        start = time.perf_counter()
+        stats = stream_workload_to_store(config, out, workers=workers)
+        seconds[workers] = time.perf_counter() - start
+        invocations = stats.num_invocations
+        out.unlink()
+    speedup_2 = seconds[1] / seconds[2]
+    speedup_4 = seconds[1] / seconds[4]
+    print(
+        f"\nparallel generation ({PARGEN_APPS:,} apps, {invocations:,} inv, "
+        f"{cores} cores): 1w {seconds[1]:.1f}s, 2w {seconds[2]:.1f}s "
+        f"({speedup_2:.2f}x), 4w {seconds[4]:.1f}s ({speedup_4:.2f}x)"
+    )
+    record_bench(
+        "scaleout/parallel-generation",
+        speedup=speedup_4,
+        num_apps=PARGEN_APPS,
+        num_invocations=invocations,
+        cpu_count=cores,
+        gen_1w_invocations_per_second=round(invocations / seconds[1]),
+        gen_4w_invocations_per_second=round(invocations / seconds[4]),
+        speedup_2_workers=round(speedup_2, 3),
+    )
+    if cores >= 4:
+        assert speedup_4 >= 3.0, f"4-worker speedup {speedup_4:.2f}x below 3x"
+        assert speedup_2 >= 1.5, f"2-worker speedup {speedup_2:.2f}x not near-linear"
+    else:
+        print(f"(speedup bars skipped: only {cores} core(s) available)")
+
+
+#: One fused generate+simulate pass at full scale, in a child process:
+#: no disk round-trip, parallel v2 generation feeding the banked engine
+#: chunk by chunk, child-measured wall time and peak RSS.
+_FUSED_CHILD_SCRIPT = """
+import json, resource, sys, time
+
+from repro.policies.registry import hybrid_factory
+from repro.simulation.engine import RunnerOptions
+from repro.simulation.fused import simulate_streamed
+from repro.trace.generator import GeneratorConfig
+
+num_apps, target_rps, budget, gen_workers = (
+    int(sys.argv[1]), float(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4])
+)
+config = GeneratorConfig(
+    num_apps=num_apps, duration_minutes=1440.0, seed=2020,
+    target_rps=target_rps, rng_scheme="v2",
+)
+start = time.perf_counter()
+results = simulate_streamed(
+    config,
+    [hybrid_factory()],
+    options=RunnerOptions(execution="banked", max_resident_bytes=budget),
+    chunk_apps=16384,
+    gen_workers=gen_workers,
+)
+seconds = time.perf_counter() - start
+result = next(iter(results.values()))
+print(json.dumps({
+    "num_apps": num_apps,
+    "simulated_apps": result.num_apps,
+    "num_invocations": result.total_invocations,
+    "cold_starts": result.total_cold_starts,
+    "seconds": seconds,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+}))
+"""
+
+
+def _run_fused_scale(num_apps: int, gen_workers: int) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _FUSED_CHILD_SCRIPT,
+            str(num_apps),
+            str(MILLION_RPS),
+            str(BUDGET_BYTES),
+            str(gen_workers),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def test_million_app_fused_end_to_end(record_bench):
+    """1M apps / ~100M invocations, generated and simulated in one pass."""
+    gen_workers = min(4, os.cpu_count() or 1)
+    quarter = _run_fused_scale(max(MILLION_APPS // 4, 1), gen_workers)
+    full = _run_fused_scale(MILLION_APPS, gen_workers)
+
+    expected_invocations = MILLION_RPS * 86400.0
+    # Arrival realizations and per-app caps leave slack around the target.
+    assert 0.5 * expected_invocations <= full["num_invocations"] <= 2.0 * expected_invocations
+    assert full["simulated_apps"] > 0
+    assert full["cold_starts"] > 0
+
+    rss_ratio = full["peak_rss_mb"] / quarter["peak_rss_mb"]
+    rate = full["num_invocations"] / full["seconds"]
+    print(
+        f"\nfused {quarter['num_apps']:,} apps: {quarter['num_invocations']:,} inv "
+        f"in {quarter['seconds']:.1f}s, peak RSS {quarter['peak_rss_mb']:.0f} MB"
+        f"\nfused {full['num_apps']:,} apps: {full['num_invocations']:,} inv "
+        f"in {full['seconds']:.1f}s ({rate:,.0f} inv/s end-to-end), "
+        f"peak RSS {full['peak_rss_mb']:.0f} MB (ratio {rss_ratio:.2f}x, "
+        f"{gen_workers} gen workers)"
+    )
+    record_bench(
+        "scaleout/million-app-fused",
+        num_apps=full["num_apps"],
+        num_invocations=full["num_invocations"],
+        fused_invocations_per_second=round(rate),
+        seconds=round(full["seconds"], 1),
+        peak_rss_mb_quarter=round(quarter["peak_rss_mb"], 1),
+        peak_rss_mb_full=round(full["peak_rss_mb"], 1),
+        gen_workers=gen_workers,
+        cpu_count=os.cpu_count() or 1,
+    )
+    assert full["peak_rss_mb"] <= MILLION_RSS_ABSOLUTE_BOUND_MB
+    assert rss_ratio <= MILLION_RSS_FLAT_RATIO
 
 
 def test_streamed_archive_bit_identical_at_small_scale(tmp_path):

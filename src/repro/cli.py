@@ -39,6 +39,7 @@ memory-mapped for out-of-core simulation.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import replace
@@ -61,7 +62,8 @@ from repro.policies.registry import parse_policy_spec
 from repro.simulation.engine import EXECUTION_MODES, SWEEP_MODES
 from repro.simulation.runner import PolicyComparison, RunnerOptions, WorkloadRunner
 from repro.simulation.sweep import BASELINE_KEEPALIVE_MINUTES, combined_figure_factories
-from repro.trace.generator import GeneratorConfig, WorkloadGenerator
+from repro.simulation.fused import simulate_streamed
+from repro.trace.generator import RNG_SCHEMES, GeneratorConfig, WorkloadGenerator
 from repro.trace.loader import load_dataset
 from repro.trace.sampling import sample_mid_range_apps
 from repro.trace.schema import Workload
@@ -84,6 +86,17 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=4000.0,
         help="cap on per-app average invocations per day",
+    )
+    parser.add_argument(
+        "--rng-scheme",
+        choices=RNG_SCHEMES,
+        default="v1",
+        help=(
+            "generator randomness scheme: v1 threads one sequential stream "
+            "through all apps (legacy outputs), v2 keys an independent "
+            "stream per app (parallel generation, identical for any worker "
+            "count)"
+        ),
     )
     parser.add_argument(
         "--trace-dir",
@@ -146,16 +159,20 @@ def _runner_options(args: argparse.Namespace) -> RunnerOptions:
     )
 
 
-def _build_workload(args: argparse.Namespace) -> Workload:
-    if args.trace_dir is not None:
-        return load_dataset(args.trace_dir, seed=args.seed)
-    config = GeneratorConfig(
+def _workload_config(args: argparse.Namespace) -> GeneratorConfig:
+    return GeneratorConfig(
         num_apps=args.num_apps,
         duration_minutes=args.days * MINUTES_PER_DAY,
         seed=args.seed,
         max_daily_rate=args.max_daily_rate,
+        rng_scheme=getattr(args, "rng_scheme", "v1"),
     )
-    return WorkloadGenerator(config).generate()
+
+
+def _build_workload(args: argparse.Namespace) -> Workload:
+    if args.trace_dir is not None:
+        return load_dataset(args.trace_dir, seed=args.seed)
+    return WorkloadGenerator(_workload_config(args)).generate()
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -179,10 +196,41 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    workload = _build_workload(args)
     factories = [parse_policy_spec(spec) for spec in args.policies]
-    runner = WorkloadRunner(workload, _runner_options(args))
-    comparison = runner.compare(factories, baseline_name=None)
+    if args.fused:
+        try:
+            if args.trace_dir is not None:
+                raise ValueError(
+                    "--fused generates its own workload and cannot be combined "
+                    "with --trace-dir"
+                )
+            if args.gen_workers < 1:
+                raise ValueError("--gen-workers must be at least 1")
+            if args.chunk_apps < 1:
+                raise ValueError("--chunk-apps must be at least 1")
+            if args.gen_workers > 1 and args.rng_scheme != "v2":
+                raise ValueError(
+                    "--gen-workers above 1 requires --rng-scheme v2 (per-app "
+                    "random streams)"
+                )
+            results = simulate_streamed(
+                _workload_config(args),
+                factories,
+                options=_runner_options(args),
+                chunk_apps=args.chunk_apps,
+                gen_workers=args.gen_workers,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        baseline = f"fixed-{BASELINE_KEEPALIVE_MINUTES:g}min"
+        if baseline not in results:
+            baseline = next(iter(results))
+        comparison = PolicyComparison(results=results, baseline_name=baseline)
+    else:
+        workload = _build_workload(args)
+        runner = WorkloadRunner(workload, _runner_options(args))
+        comparison = runner.compare(factories, baseline_name=None)
     print(comparison.as_text_table())
     mode_usage = comparison.mode_usage_table()
     if mode_usage:
@@ -277,20 +325,38 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_gen(args: argparse.Namespace) -> int:
-    config = GeneratorConfig(
-        num_apps=args.apps,
-        duration_minutes=args.days * MINUTES_PER_DAY,
-        seed=args.seed,
-        max_daily_rate=args.max_daily_rate,
-        target_rps=args.target_rps,
-    )
+    try:
+        if args.workers < 1:
+            raise ValueError("--workers must be at least 1")
+        if args.chunk_apps < 1:
+            raise ValueError("--chunk-apps must be at least 1")
+        if args.workers > 1 and args.rng_scheme != "v2":
+            raise ValueError(
+                "--workers above 1 requires --rng-scheme v2 (per-app random "
+                "streams make chunk output independent of worker count)"
+            )
+        config = GeneratorConfig(
+            num_apps=args.apps,
+            duration_minutes=args.days * MINUTES_PER_DAY,
+            seed=args.seed,
+            max_daily_rate=args.max_daily_rate,
+            target_rps=args.target_rps,
+            rng_scheme=args.rng_scheme,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     start = time.perf_counter()
 
     def progress(apps_done: int, num_apps: int) -> None:
         print(f"\r  streamed {apps_done:,}/{num_apps:,} apps", end="", flush=True)
 
     stats = stream_workload_to_store(
-        config, args.out, chunk_apps=args.chunk_apps, progress=progress
+        config,
+        args.out,
+        chunk_apps=args.chunk_apps,
+        workers=args.workers,
+        progress=progress,
     )
     elapsed = time.perf_counter() - start
     print()
@@ -303,6 +369,23 @@ def _cmd_trace_gen(args: argparse.Namespace) -> int:
     print(
         f"  {stats.on_disk_bytes / 1e6:,.2f} MB on disk, "
         f"{elapsed:.2f}s ({rate:,.0f} invocations/s)"
+    )
+    # Machine-readable completion summary (one JSON line, for scripts and
+    # the nightly bench harness).
+    print(
+        json.dumps(
+            {
+                "apps": stats.num_apps,
+                "functions": stats.num_functions,
+                "invocations": stats.num_invocations,
+                "bytes": stats.on_disk_bytes,
+                "seconds": round(elapsed, 3),
+                "invocations_per_second": round(rate, 1),
+                "rng_scheme": stats.rng_scheme,
+                "workers": stats.workers,
+                "path": str(stats.path),
+            }
+        )
     )
     return 0
 
@@ -518,6 +601,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=["fixed:10", "fixed:60", "hybrid:240", "no-unloading"],
         help="policy specs, e.g. fixed:10 hybrid:240 hybrid:240:5:99 no-unloading",
     )
+    simulate.add_argument(
+        "--fused",
+        action="store_true",
+        help=(
+            "fused generate→simulate pipeline: stream generated chunks "
+            "straight into the engine with no materialized workload or disk "
+            "round-trip (results identical to the two-step path)"
+        ),
+    )
+    simulate.add_argument(
+        "--gen-workers",
+        type=int,
+        default=1,
+        help="parallel generation processes for --fused (requires --rng-scheme v2)",
+    )
+    simulate.add_argument(
+        "--chunk-apps",
+        type=int,
+        default=DEFAULT_CHUNK_APPS,
+        help="apps generated and simulated per fused chunk (memory high-water mark)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     sweep = subparsers.add_parser(
@@ -604,6 +708,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_CHUNK_APPS,
         help="apps generated and appended per chunk (the memory high-water mark)",
+    )
+    trace_gen.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "parallel generation processes (requires --rng-scheme v2; the "
+            "archive is byte-identical for any worker count)"
+        ),
+    )
+    trace_gen.add_argument(
+        "--rng-scheme",
+        choices=RNG_SCHEMES,
+        default="v1",
+        help=(
+            "generator randomness scheme: v1 threads one sequential stream "
+            "through all apps (legacy outputs), v2 keys an independent "
+            "stream per app (parallel generation, identical for any worker "
+            "count)"
+        ),
     )
     trace_gen.set_defaults(handler=_cmd_trace_gen)
 

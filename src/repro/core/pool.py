@@ -1,0 +1,167 @@
+"""Shared fork-based worker-pool infrastructure.
+
+The parallel backbone of the repo: the simulation engine's sharded runs,
+the sweep engine's family passes, the platform replay campaigns, and the
+parallel trace generator all fan tasks over the same ``fork``-based pool.
+Tasks travel to workers as an inherited closure (policy factories and
+generators capture state that cannot be pickled — only the *results*
+must pickle), and results come back keyed by task id so every caller can
+reassemble deterministic, worker-count-independent output.
+
+Two dispatch shapes:
+
+* :func:`fork_pool_map` — run every task, return the full result list
+  ordered by task id (results for all tasks are held at once).
+* :func:`fork_pool_imap` — *stream* results in task-id order with a
+  bounded number of tasks in flight.  This is the in-order bounded
+  reassembly queue behind parallel trace generation: the consumer
+  (e.g. the incremental store writer, or the fused simulation pass)
+  applies backpressure simply by iterating, so peak memory is the
+  in-flight window, never the whole output.
+
+Both fall back to an in-process loop — same results, same order — when
+one worker is requested or the platform lacks ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Callable, Iterator
+
+__all__ = ["fork_pool_map", "fork_pool_imap"]
+
+#: Task closure inherited by forked pool workers (engine shards and replay
+#: campaigns capture policy factories, which hold closures that cannot be
+#: pickled, so the whole task travels by fork instead of by pickle).
+#: Guarded by _POOL_TASK_LOCK from assignment until the pool has forked.
+_POOL_TASK: Callable[[int], object] | None = None
+_POOL_TASK_LOCK = threading.Lock()
+
+
+def _pool_entry(task_id: int) -> tuple[int, object]:
+    """Worker entry point: run one task of the forked closure."""
+    assert _POOL_TASK is not None, "pool task not initialized before fork"
+    return task_id, _POOL_TASK(task_id)
+
+
+def _fork_pool(task: Callable[[int], object], workers: int):
+    """Fork a pool whose workers inherit ``task`` as the pool closure.
+
+    The lock covers assignment through fork: once ``Pool()`` has forked
+    its workers they hold an inherited copy of the task, so the parent
+    can clear the global immediately and concurrent runs cannot observe
+    (or fork with) each other's state.
+    """
+    global _POOL_TASK
+    context = multiprocessing.get_context("fork")
+    with _POOL_TASK_LOCK:
+        _POOL_TASK = task
+        try:
+            return context.Pool(processes=workers)
+        finally:
+            _POOL_TASK = None
+
+
+def fork_pool_map(
+    task: Callable[[int], object],
+    num_tasks: int,
+    workers: int,
+    *,
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
+    """Run ``task(task_id)`` for every id over a fork-based worker pool.
+
+    Tasks are dispatched to forked workers and the returned list is
+    ordered by task id regardless of completion order or worker count.
+    Falls back to an in-process loop (same results) when only one worker
+    is requested or the platform lacks ``fork``.
+
+    Args:
+        task: Closure mapping a task id in ``range(num_tasks)`` to a
+            picklable result.
+        num_tasks: Number of tasks.
+        workers: Maximum pool size (clamped to ``num_tasks``).
+        on_result: Optional callback invoked as ``(task_id, result)`` in
+            completion order (progress reporting).
+    """
+    if num_tasks == 0:
+        return []
+    workers = max(1, min(int(workers), num_tasks))
+    if workers == 1 or "fork" not in multiprocessing.get_all_start_methods():
+        results = []
+        for task_id in range(num_tasks):
+            result = task(task_id)
+            results.append(result)
+            if on_result is not None:
+                on_result(task_id, result)
+        return results
+
+    pool = _fork_pool(task, workers)
+    ordered: list = [None] * num_tasks
+    with pool:
+        for task_id, result in pool.imap_unordered(_pool_entry, range(num_tasks)):
+            ordered[task_id] = result
+            if on_result is not None:
+                on_result(task_id, result)
+    return ordered
+
+
+def fork_pool_imap(
+    task: Callable[[int], object],
+    num_tasks: int,
+    workers: int,
+    *,
+    max_pending: int | None = None,
+) -> Iterator[object]:
+    """Yield ``task(task_id)`` results **in task-id order**, streaming.
+
+    The in-order bounded reassembly queue: at most ``max_pending`` tasks
+    are dispatched ahead of the consumer, so a slow consumer throttles
+    the workers (backpressure) and peak memory is one window of results,
+    never ``num_tasks`` of them.  Results are yielded strictly in task-id
+    order no matter which worker finishes first, so consumers see exactly
+    the sequence a serial loop would produce.
+
+    Falls back to a lazy in-process loop (same results, same order) when
+    one worker is requested or the platform lacks ``fork``.  Closing the
+    generator early terminates the pool and its outstanding tasks.
+
+    Args:
+        task: Closure mapping a task id in ``range(num_tasks)`` to a
+            picklable result.
+        num_tasks: Number of tasks.
+        workers: Maximum pool size (clamped to ``num_tasks``).
+        max_pending: In-flight window (dispatched but not yet consumed);
+            defaults to ``workers + 2`` — enough to keep every worker
+            busy while the consumer drains the head of the queue.
+    """
+    if num_tasks == 0:
+        return
+    workers = max(1, min(int(workers), num_tasks))
+    if workers == 1 or "fork" not in multiprocessing.get_all_start_methods():
+        for task_id in range(num_tasks):
+            yield task(task_id)
+        return
+    if max_pending is None:
+        max_pending = workers + 2
+    max_pending = max(workers, int(max_pending))
+
+    pool = _fork_pool(task, workers)
+    try:
+        with pool:
+            pending: list = []
+            next_submit = 0
+            while pending or next_submit < num_tasks:
+                while next_submit < num_tasks and len(pending) < max_pending:
+                    pending.append(pool.apply_async(_pool_entry, (next_submit,)))
+                    next_submit += 1
+                # Head-of-line blocking get(): later tasks keep running in
+                # the pool, but results are handed out in task-id order.
+                _, result = pending.pop(0).get()
+                yield result
+    finally:
+        # An abandoned generator (consumer stopped early or raised) must
+        # not leave forked workers running.
+        pool.terminate()
+        pool.join()

@@ -6,7 +6,7 @@ platform layer into a scenario engine — it fans every combination of
 policy factory, sampling seed, and :class:`ClusterScenario` (a named
 :class:`~repro.platform.cluster.ClusterConfig`) out over the simulation
 engine's shared fork pool
-(:func:`~repro.simulation.engine.fork_pool_map`), reassembling results by
+(:func:`~repro.core.pool.fork_pool_map`), reassembling results by
 task index so the campaign outcome is byte-identical no matter how many
 workers ran.
 
@@ -52,7 +52,7 @@ from repro.platform.faults import FaultPlan
 from repro.platform.loadbalancer import BALANCER_STRATEGIES
 from repro.platform.replay import ReplayConfig, ReplayFeed, TraceReplayer
 from repro.policies.registry import PolicyFactory
-from repro.simulation.engine import fork_pool_map
+from repro.core.pool import fork_pool_map
 from repro.simulation.sweep_engine import check_unique_policy_names
 from repro.trace.schema import Workload
 

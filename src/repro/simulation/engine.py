@@ -51,14 +51,13 @@ platforms without ``fork`` the shards run in-process, preserving results.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from repro.core.pool import fork_pool_imap, fork_pool_map  # noqa: F401 - re-export
 from repro.policies.registry import PolicyFactory
 from repro.simulation.coldstart import ColdStartSimulator
 from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
@@ -631,75 +630,8 @@ class SimulationEngine:
 
 
 # --------------------------------------------------------------------------- #
-# Shared fork-pool infrastructure
+# Shared fork-pool infrastructure now lives in :mod:`repro.core.pool`
+# (the parallel trace generator streams over the same pool); re-exported
+# here because the engine is where every simulation-side caller imports
+# it from.
 # --------------------------------------------------------------------------- #
-#: Task closure inherited by forked pool workers (engine shards and replay
-#: campaigns capture policy factories, which hold closures that cannot be
-#: pickled, so the whole task travels by fork instead of by pickle).
-#: Guarded by _POOL_TASK_LOCK from assignment until the pool has forked.
-_POOL_TASK: Callable[[int], object] | None = None
-_POOL_TASK_LOCK = threading.Lock()
-
-
-def _pool_entry(task_id: int) -> tuple[int, object]:
-    """Worker entry point: run one task of the forked closure."""
-    assert _POOL_TASK is not None, "pool task not initialized before fork"
-    return task_id, _POOL_TASK(task_id)
-
-
-def fork_pool_map(
-    task: Callable[[int], object],
-    num_tasks: int,
-    workers: int,
-    *,
-    on_result: Callable[[int, object], None] | None = None,
-) -> list:
-    """Run ``task(task_id)`` for every id over a fork-based worker pool.
-
-    The shared parallel backbone of the simulation engine's sharded runs
-    and of the platform replay campaigns: tasks are dispatched to forked
-    workers (the closure is inherited through fork, so it may capture
-    unpicklable state — only the *results* must pickle), and the returned
-    list is ordered by task id regardless of completion order or worker
-    count.  Falls back to an in-process loop (same results) when only one
-    worker is requested or the platform lacks ``fork``.
-
-    Args:
-        task: Closure mapping a task id in ``range(num_tasks)`` to a
-            picklable result.
-        num_tasks: Number of tasks.
-        workers: Maximum pool size (clamped to ``num_tasks``).
-        on_result: Optional callback invoked as ``(task_id, result)`` in
-            completion order (progress reporting).
-    """
-    if num_tasks == 0:
-        return []
-    workers = max(1, min(int(workers), num_tasks))
-    if workers == 1 or "fork" not in multiprocessing.get_all_start_methods():
-        results = []
-        for task_id in range(num_tasks):
-            result = task(task_id)
-            results.append(result)
-            if on_result is not None:
-                on_result(task_id, result)
-        return results
-
-    global _POOL_TASK
-    context = multiprocessing.get_context("fork")
-    # The lock covers assignment through fork: once Pool() has forked its
-    # workers they hold an inherited copy of the task, so the parent can
-    # clear the global immediately and concurrent runs cannot observe
-    # (or fork with) each other's state.
-    with _POOL_TASK_LOCK:
-        _POOL_TASK = task
-        try:
-            pool = context.Pool(processes=workers)
-        finally:
-            _POOL_TASK = None
-    ordered: list = [None] * num_tasks
-    with pool:
-        for task_id, result in pool.imap_unordered(_pool_entry, range(num_tasks)):
-            ordered[task_id] = result
-            if on_result is not None:
-                on_result(task_id, result)
-    return ordered

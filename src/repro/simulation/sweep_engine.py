@@ -64,10 +64,10 @@ from repro.policies.registry import (
     PolicyFactory,
 )
 from repro.simulation.coldstart import DEFAULT_SCALAR_DRAIN_THRESHOLD
+from repro.core.pool import fork_pool_map
 from repro.simulation.engine import (
     SimulationEngine,
     _AppWorkItem,
-    fork_pool_map,
 )
 from repro.simulation.metrics import AggregateResult, AppSimResult, merge_results
 

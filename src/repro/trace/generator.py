@@ -61,6 +61,17 @@ MINUTES_PER_DAY = 1440.0
 #: functions fire at most once per minute on average.
 STANDARD_TIMER_PERIODS: tuple[float, ...] = (1, 5, 10, 15, 30, 60, 120, 360, 720, 1440)
 
+#: Recognized values of :attr:`GeneratorConfig.rng_scheme`.
+RNG_SCHEMES: tuple[str, ...] = ("v1", "v2")
+
+#: Sub-stream tags of the ``v2`` counter-keyed RNG scheme (the same
+#: ``default_rng([seed, tag, ...])`` derivation the fault layer uses per
+#: invoker): one stream for the vectorized population sampling, and one
+#: per-application stream keyed by application index for everything
+#: dynamic.  Chosen outside any plausible user seed range.
+_V2_POPULATION_STREAM = 0x7FFF_AB01
+_V2_APP_STREAM = 0x7FFF_AB02
+
 
 @dataclass(frozen=True)
 class GeneratorConfig:
@@ -95,6 +106,22 @@ class GeneratorConfig:
             ``None`` keeps the sampled rates.  The per-app
             ``max_invocations_per_app`` cap still applies after
             rescaling, so extreme targets on tiny populations saturate.
+        rng_scheme: Version of the random-number derivation scheme.
+            ``"v1"`` (the historical default) threads one sequential
+            generator through the population sampling and then through
+            every application in index order — bit-stable, but
+            inherently serial: application ``i``'s draws depend on every
+            draw before them.  ``"v2"`` derives the population arrays
+            from a dedicated ``default_rng([seed, tag])`` stream and
+            every application's dynamic draws from its own
+            ``default_rng([seed, tag, app_index])`` stream, making each
+            emitted chunk a **pure function of (seed, app range)** —
+            byte-identical output for any chunk size and any worker
+            count, which is what permits parallel generation
+            (:func:`repro.trace.stream.stream_workload_to_store` with
+            ``workers > 1``).  The two schemes sample the same marginal
+            distributions but produce different (individually pinned)
+            byte streams for the same seed.
     """
 
     num_apps: int = 500
@@ -108,8 +135,13 @@ class GeneratorConfig:
     bursty_fraction: float = 0.55
     diurnal_fraction: float = 0.6
     target_rps: float | None = None
+    rng_scheme: str = "v1"
 
     def __post_init__(self) -> None:
+        if self.rng_scheme not in RNG_SCHEMES:
+            raise ValueError(
+                f"unknown rng_scheme {self.rng_scheme!r}; expected one of {RNG_SCHEMES}"
+            )
         if self.num_apps < 1:
             raise ValueError("num_apps must be at least 1")
         if self.duration_minutes <= 0:
@@ -159,11 +191,24 @@ class WorkloadChunk:
         return [(app.app_id, app.function_ids()) for app in self.apps]
 
 
+@dataclass(frozen=True)
+class _Population:
+    """The vectorized per-app sampling arrays (``O(num_apps)`` scalars)."""
+
+    combos: Sequence[str]
+    function_counts: np.ndarray
+    daily_rates: np.ndarray
+    memory_mb: np.ndarray
+
+
 class WorkloadGenerator:
     """Generates a :class:`~repro.trace.schema.Workload` from a config."""
 
     def __init__(self, config: GeneratorConfig | None = None) -> None:
         self.config = config or GeneratorConfig()
+        # v2-scheme population arrays, computed once per generator (a pure
+        # function of the seed, so caching never changes output).
+        self._population: _Population | None = None
 
     # ------------------------------------------------------------------ #
     def generate(self) -> Workload:
@@ -193,11 +238,14 @@ class WorkloadGenerator:
     def generate_chunks(self, chunk_apps: int = 4096) -> Iterator[WorkloadChunk]:
         """Synthesize the workload as a stream of per-app column chunks.
 
-        The single seeded RNG is threaded through the population sampling
-        and then through every application in index order, exactly as
-        :meth:`generate` does, so the emitted columns are bit-identical to
-        the monolithic path for any chunk size — the boundary between
-        chunks never touches the random stream.  Peak memory is the
+        Under the ``v1`` scheme the single seeded RNG is threaded through
+        the population sampling and then through every application in
+        index order, exactly as the monolithic path always did, so the
+        emitted columns are bit-identical for any chunk size — the
+        boundary between chunks never touches the random stream.  Under
+        ``v2`` each chunk is :meth:`generate_app_range`, a pure function
+        of ``(seed, app range)`` — the same bit-identity, plus chunks may
+        be generated out of order or in parallel.  Peak memory is the
         population-sampling arrays (``O(num_apps)`` scalars) plus one
         chunk of columns, which is what makes million-app streaming
         generation possible (see
@@ -210,7 +258,92 @@ class WorkloadGenerator:
         if chunk_apps < 1:
             raise ValueError("chunk_apps must be at least 1")
         config = self.config
+        if config.rng_scheme == "v2":
+            for start in range(0, config.num_apps, chunk_apps):
+                yield self.generate_app_range(
+                    start, min(start + chunk_apps, config.num_apps)
+                )
+            return
         rng = np.random.default_rng(config.seed)
+        population = self._sample_population(rng)
+
+        apps: list[AppSpec] = []
+        app_times: list[np.ndarray] = []
+        app_positions: list[np.ndarray] = []
+        start_index = 0
+        for index in range(config.num_apps):
+            app, times, positions = self._generate_app(rng, index, population)
+            apps.append(app)
+            app_times.append(times)
+            app_positions.append(positions)
+            if len(apps) == chunk_apps:
+                yield WorkloadChunk(
+                    start_index, tuple(apps), tuple(app_times), tuple(app_positions)
+                )
+                start_index = index + 1
+                apps, app_times, app_positions = [], [], []
+        if apps:
+            yield WorkloadChunk(
+                start_index, tuple(apps), tuple(app_times), tuple(app_positions)
+            )
+
+    def generate_app_range(self, start_app: int, stop_app: int) -> WorkloadChunk:
+        """Synthesize applications ``[start_app, stop_app)`` (``v2`` only).
+
+        A **pure function of ``(seed, start_app, stop_app)``**: every
+        application's dynamic draws come from its own counter-keyed
+        stream (``default_rng([seed, tag, app_index])``) and the
+        population arrays from a dedicated stream, so the result is
+        independent of what was generated before, of chunk boundaries,
+        and of which process evaluates it — the property the parallel
+        generation fan-out and the fused generate→simulate pipeline are
+        built on.
+        """
+        config = self.config
+        if config.rng_scheme != "v2":
+            raise ValueError(
+                "generate_app_range requires rng_scheme='v2' (the v1 scheme "
+                "threads one sequential stream through all applications)"
+            )
+        if not 0 <= start_app <= stop_app <= config.num_apps:
+            raise ValueError(
+                f"app range [{start_app}, {stop_app}) outside [0, {config.num_apps})"
+            )
+        population = self.ensure_population()
+        apps: list[AppSpec] = []
+        app_times: list[np.ndarray] = []
+        app_positions: list[np.ndarray] = []
+        for index in range(start_app, stop_app):
+            rng = self.app_rng(index)
+            app, times, positions = self._generate_app(rng, index, population)
+            apps.append(app)
+            app_times.append(times)
+            app_positions.append(positions)
+        return WorkloadChunk(
+            start_app, tuple(apps), tuple(app_times), tuple(app_positions)
+        )
+
+    def app_rng(self, app_index: int) -> np.random.Generator:
+        """The ``v2`` per-application random stream (counter-keyed)."""
+        return np.random.default_rng(
+            [self.config.seed, _V2_APP_STREAM, int(app_index)]
+        )
+
+    def ensure_population(self) -> _Population:
+        """Sample (and cache) the ``v2`` population arrays.
+
+        Called eagerly by the parallel generation driver *before* forking
+        workers so the ``O(num_apps)`` arrays are shared copy-on-write
+        instead of re-sampled per worker.
+        """
+        if self._population is None:
+            rng = np.random.default_rng([self.config.seed, _V2_POPULATION_STREAM])
+            self._population = self._sample_population(rng)
+        return self._population
+
+    def _sample_population(self, rng: np.random.Generator) -> _Population:
+        """Vectorized population sampling (shared verbatim by v1 and v2)."""
+        config = self.config
         combos = sample_trigger_combinations(rng, config.num_apps)
         function_counts = np.minimum(
             sample_functions_per_app(rng, config.num_apps), config.max_functions_per_app
@@ -226,42 +359,31 @@ class WorkloadGenerator:
                     config.target_rps * 86400.0 / total_per_day
                 )
         memory_mb = MEMORY_MODEL.sample_mb(rng, config.num_apps)
+        return _Population(combos, function_counts, daily_rates, memory_mb)
 
-        apps: list[AppSpec] = []
-        app_times: list[np.ndarray] = []
-        app_positions: list[np.ndarray] = []
-        start_index = 0
-        for index in range(config.num_apps):
-            app_id = f"app{index:05d}"
-            owner_id = f"owner{index % max(config.num_apps // 3, 1):05d}"
-            triggers = self._app_triggers(combos[index])
-            functions = self._build_functions(
-                rng,
-                app_id=app_id,
-                owner_id=owner_id,
-                triggers=triggers,
-                num_functions=max(int(function_counts[index]), len(triggers)),
-            )
-            memory = self._memory_profile(rng, float(memory_mb[index]))
-            app = AppSpec(
-                app_id=app_id, owner_id=owner_id, functions=tuple(functions), memory=memory
-            )
-            apps.append(app)
-            times, positions = self._generate_app_invocations(
-                rng, app, daily_rate=float(daily_rates[index])
-            )
-            app_times.append(times)
-            app_positions.append(positions)
-            if len(apps) == chunk_apps:
-                yield WorkloadChunk(
-                    start_index, tuple(apps), tuple(app_times), tuple(app_positions)
-                )
-                start_index = index + 1
-                apps, app_times, app_positions = [], [], []
-        if apps:
-            yield WorkloadChunk(
-                start_index, tuple(apps), tuple(app_times), tuple(app_positions)
-            )
+    def _generate_app(
+        self, rng: np.random.Generator, index: int, population: _Population
+    ) -> tuple[AppSpec, np.ndarray, np.ndarray]:
+        """Synthesize one application from the given stream (v1 and v2)."""
+        config = self.config
+        app_id = f"app{index:05d}"
+        owner_id = f"owner{index % max(config.num_apps // 3, 1):05d}"
+        triggers = self._app_triggers(population.combos[index])
+        functions = self._build_functions(
+            rng,
+            app_id=app_id,
+            owner_id=owner_id,
+            triggers=triggers,
+            num_functions=max(int(population.function_counts[index]), len(triggers)),
+        )
+        memory = self._memory_profile(rng, float(population.memory_mb[index]))
+        app = AppSpec(
+            app_id=app_id, owner_id=owner_id, functions=tuple(functions), memory=memory
+        )
+        times, positions = self._generate_app_invocations(
+            rng, app, daily_rate=float(population.daily_rates[index])
+        )
+        return app, times, positions
 
     # ------------------------------------------------------------------ #
     # Static population

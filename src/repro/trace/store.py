@@ -82,6 +82,12 @@ AppFunctions = Sequence[tuple[str, Sequence[str]]]
 
 _SUB_MINUTE_PLACEMENTS = ("uniform", "start", "spread")
 
+#: Fixed seed for ``from_minute_counts(placement="uniform")`` when no
+#: generator is supplied: two expansions of the same count matrix must
+#: produce the same store (an unseeded fallback here silently made runs
+#: irreproducible).
+_UNIFORM_PLACEMENT_SEED = 0x7FFF_C0DE
+
 #: Members every complete ``.npz`` store archive must contain.
 _STORE_MEMBERS = frozenset(
     {
@@ -441,7 +447,7 @@ class InvocationStore:
         duration_minutes: float,
         *,
         placement: str = "uniform",
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
     ) -> "InvocationStore":
         """Expand a per-function per-minute count matrix into a store.
 
@@ -460,7 +466,10 @@ class InvocationStore:
             placement: ``"start"`` places invocations at the start of
                 their minute, ``"uniform"`` at seeded uniform offsets,
                 ``"spread"`` evenly spaced within the minute.
-            rng: Generator for ``"uniform"`` placement.
+            rng: Generator or seed for ``"uniform"`` placement.  When
+                omitted, offsets come from a fixed internal seed so two
+                expansions of the same counts are identical — every path
+                through this loader is deterministic by default.
         """
         if placement not in _SUB_MINUTE_PLACEMENTS:
             raise ValueError(f"unknown sub-minute placement {placement!r}")
@@ -483,7 +492,11 @@ class InvocationStore:
         cell_counts = flat[occupied]
         times = np.repeat((occupied % num_minutes).astype(np.float64), cell_counts)
         if placement == "uniform":
-            times += (rng or np.random.default_rng()).random(total)
+            if rng is None:
+                rng = _UNIFORM_PLACEMENT_SEED
+            if not isinstance(rng, np.random.Generator):
+                rng = np.random.default_rng(rng)
+            times += rng.random(total)
         elif placement == "spread":
             cell_starts = np.zeros(occupied.size, dtype=np.int64)
             np.cumsum(cell_counts[:-1], out=cell_starts[1:])

@@ -1,0 +1,92 @@
+"""Tests for the fused generate→simulate pipeline.
+
+The contract: :func:`simulate_streamed` must produce exactly the results
+of the two-step path — stream the same config to disk, re-open the store,
+run the same factories — for every engine route.  This holds because all
+routes simulate applications independently and a bare store weighs every
+application 1 MB in both paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.registry import fixed_keepalive_factory, hybrid_factory
+from repro.simulation.fused import simulate_streamed
+from repro.simulation.runner import RunnerOptions, WorkloadRunner
+from repro.trace.generator import GeneratorConfig
+from repro.trace.stream import open_streamed_store, stream_workload_to_store
+
+SMALL = dict(
+    num_apps=18, duration_minutes=360.0, seed=21, max_daily_rate=200.0
+)
+
+
+def factories():
+    return [fixed_keepalive_factory(10.0), hybrid_factory()]
+
+
+def disk_round_trip(tmp_path, config, options):
+    stats = stream_workload_to_store(config, tmp_path / "disk.npz", chunk_apps=5)
+    store = open_streamed_store(stats.path)
+    return WorkloadRunner(store, options).run_policies(factories())
+
+
+@pytest.mark.parametrize("route", ["serial", "vectorized", "banked", "parallel", "auto"])
+def test_fused_equals_disk_round_trip_per_route(tmp_path, route):
+    config = GeneratorConfig(**SMALL, rng_scheme="v2")
+    options = RunnerOptions(execution=route, workers=2)
+    disk = disk_round_trip(tmp_path, config, options)
+    fused = simulate_streamed(config, factories(), options=options, chunk_apps=5)
+    assert disk.keys() == fused.keys()
+    for name in disk:
+        assert disk[name].app_results == fused[name].app_results, (route, name)
+
+
+def test_fused_works_under_v1_scheme(tmp_path):
+    config = GeneratorConfig(**SMALL)
+    options = RunnerOptions(execution="auto")
+    disk = disk_round_trip(tmp_path, config, options)
+    fused = simulate_streamed(config, factories(), options=options, chunk_apps=7)
+    for name in disk:
+        assert disk[name].app_results == fused[name].app_results, name
+
+
+def test_fused_parallel_generation_matches_serial():
+    config = GeneratorConfig(**SMALL, rng_scheme="v2")
+    serial = simulate_streamed(config, factories(), chunk_apps=4, gen_workers=1)
+    parallel = simulate_streamed(config, factories(), chunk_apps=4, gen_workers=3)
+    assert serial.keys() == parallel.keys()
+    for name in serial:
+        assert serial[name].app_results == parallel[name].app_results, name
+
+
+def test_fused_chunk_size_invisible_in_results():
+    config = GeneratorConfig(**SMALL, rng_scheme="v2")
+    small_chunks = simulate_streamed(config, factories(), chunk_apps=3)
+    one_chunk = simulate_streamed(config, factories(), chunk_apps=SMALL["num_apps"])
+    for name in small_chunks:
+        assert small_chunks[name].app_results == one_chunk[name].app_results, name
+
+
+def test_fused_progress_and_result_shape():
+    config = GeneratorConfig(**SMALL, rng_scheme="v2")
+    seen = []
+    results = simulate_streamed(
+        config,
+        factories(),
+        chunk_apps=5,
+        progress=lambda done, total: seen.append((done, total)),
+    )
+    assert seen[-1] == (config.num_apps, config.num_apps)
+    for result in results.values():
+        # The engine skips zero-invocation applications (same as a
+        # full-store run), so the row count is bounded by the population.
+        assert 0 < result.num_apps <= config.num_apps
+        assert result.total_invocations > 0
+
+
+def test_fused_rejects_parallel_generation_under_v1():
+    config = GeneratorConfig(**SMALL)
+    with pytest.raises(ValueError, match="v2"):
+        simulate_streamed(config, factories(), gen_workers=2)

@@ -121,6 +121,75 @@ class TestCommands:
         assert "resident (heap)" in output
         assert "0.00 MB" in output
 
+    def test_trace_gen_parallel_summary_and_byte_identity(self, tmp_path, capsys):
+        common = ["--apps", "24", "--days", "1", "--seed", "8", "--rng-scheme", "v2"]
+        serial = tmp_path / "serial.npz"
+        parallel = tmp_path / "parallel.npz"
+        assert main(["trace", "gen", str(serial), *common, "--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["trace", "gen", str(parallel), *common, "--workers", "2",
+             "--chunk-apps", "7"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial.read_bytes() == parallel.read_bytes()
+        # Machine-readable completion summary: last line is one JSON object.
+        import json
+
+        summary = json.loads(parallel_out.strip().splitlines()[-1])
+        assert summary["apps"] == 24
+        assert summary["workers"] == 2
+        assert summary["rng_scheme"] == "v2"
+        assert summary["invocations"] > 0
+        assert summary["bytes"] == parallel.stat().st_size
+        assert summary["path"] == str(parallel)
+        assert json.loads(serial_out.strip().splitlines()[-1])["workers"] == 1
+
+    @pytest.mark.parametrize(
+        "arguments, message",
+        [
+            (["--workers", "0"], "--workers must be at least 1"),
+            (["--chunk-apps", "0"], "--chunk-apps must be at least 1"),
+            (["--workers", "2"], "requires --rng-scheme v2"),
+        ],
+    )
+    def test_trace_gen_invalid_arguments_exit_2(
+        self, tmp_path, capsys, arguments, message
+    ):
+        code = main(["trace", "gen", str(tmp_path / "x.npz"), "--apps", "5", *arguments])
+        assert code == 2
+        assert message in capsys.readouterr().err
+        assert not (tmp_path / "x.npz").exists()
+
+    def test_simulate_fused_matches_two_step(self, capsys):
+        arguments = [*SMALL, "--rng-scheme", "v2", "--policies", "fixed:10", "hybrid:240"]
+        assert main(["simulate", *arguments]) == 0
+        two_step = capsys.readouterr().out
+        assert main(["simulate", *arguments, "--fused", "--chunk-apps", "8"]) == 0
+        fused = capsys.readouterr().out
+        assert "fixed-10min" in fused and "hybrid-4h" in fused
+        # Same policies, same numbers: the fused table rows match the
+        # in-memory two-step run line for line.
+        assert fused.splitlines()[:4] == two_step.splitlines()[:4]
+
+    @pytest.mark.parametrize(
+        "arguments, message",
+        [
+            (["--gen-workers", "0"], "--gen-workers must be at least 1"),
+            (["--gen-workers", "2"], "requires --rng-scheme v2"),
+            (["--chunk-apps", "0"], "--chunk-apps must be at least 1"),
+        ],
+    )
+    def test_simulate_fused_invalid_arguments_exit_2(self, capsys, arguments, message):
+        assert main(["simulate", *SMALL, "--fused", *arguments]) == 2
+        assert message in capsys.readouterr().err
+
+    def test_simulate_fused_rejects_trace_dir(self, tmp_path, capsys):
+        assert (
+            main(["simulate", *SMALL, "--fused", "--trace-dir", str(tmp_path)]) == 2
+        )
+        assert "--trace-dir" in capsys.readouterr().err
+
     def test_simulate_accepts_max_resident_mb(self, capsys):
         assert (
             main(

@@ -308,6 +308,30 @@ class TestMinuteCountBuilder:
                 [("a", ["a-f0"])], np.asarray([[1]]), 1.0, placement="bogus"
             )
 
+    def test_uniform_placement_deterministic_without_rng(self):
+        """Regression: the unseeded fallback made repeated expansions of
+        the same count matrix differ — every loader path must be
+        reproducible by default."""
+        counts = np.asarray([[3, 0, 2], [1, 4, 0]])
+        layout = [("a", ["a-f0", "a-f1"])]
+        first = InvocationStore.from_minute_counts(layout, counts, 3.0)
+        second = InvocationStore.from_minute_counts(layout, counts, 3.0)
+        np.testing.assert_array_equal(first.times, second.times)
+        np.testing.assert_array_equal(first.function_idx, second.function_idx)
+
+    def test_uniform_placement_accepts_seed_or_generator(self):
+        counts = np.asarray([[5, 2]])
+        layout = [("a", ["a-f0"])]
+        seeded = InvocationStore.from_minute_counts(layout, counts, 2.0, rng=77)
+        again = InvocationStore.from_minute_counts(layout, counts, 2.0, rng=77)
+        np.testing.assert_array_equal(seeded.times, again.times)
+        explicit = InvocationStore.from_minute_counts(
+            layout, counts, 2.0, rng=np.random.default_rng(77)
+        )
+        np.testing.assert_array_equal(seeded.times, explicit.times)
+        default = InvocationStore.from_minute_counts(layout, counts, 2.0)
+        assert not np.array_equal(seeded.times, default.times)
+
 
 class TestWorkloadFacade:
     def test_workload_exposes_store(self, two_app_workload):
